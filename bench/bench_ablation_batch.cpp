@@ -1,0 +1,40 @@
+// Ablation A6: batch-size sweep (paper §III-A item 3).
+//
+// "With small batch sizes, the overhead of CUDA kernel synchronization
+//  can become significant compared to communication and computation, as
+//  the forward pass is essentially latency-limited."
+//
+// At small batches the baseline's fixed control-path costs (launch, sync,
+// collective trigger) dominate, so the PGAS speedup is overhead-driven;
+// at large batches it is overlap-driven.
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pgasemb;
+  CliParser cli("Batch-size ablation (4 GPUs, weak-style config).");
+  cli.addInt("batches", 20, "batches per configuration");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::printHeader("Ablation: batch size vs latency-limited overheads");
+
+  ConsoleTable table({"batch", "baseline ms", "pgas ms", "speedup",
+                      "baseline sync+unpack share"});
+  for (const std::int64_t batch : {64, 256, 1024, 4096, 16384, 65536}) {
+    auto cfg = trace::weakScalingConfig(4);
+    cfg.num_batches = static_cast<int>(cli.getInt("batches"));
+    cfg.layer.batch_size = batch;
+    const auto base =
+        trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
+    const auto pgas =
+        trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    table.addRow(
+        {std::to_string(batch), ConsoleTable::num(base.avgBatchMs(), 3),
+         ConsoleTable::num(pgas.avgBatchMs(), 3),
+         ConsoleTable::num(base.avgBatchMs() / pgas.avgBatchMs(), 2) + "x",
+         ConsoleTable::num(base.avgSyncUnpackMs() / base.avgBatchMs(),
+                           2)});
+  }
+  printf("\n%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces the paper's Figures 7 and 10: communication volume over
+// time (units of 256 bytes), for the PGAS fused and baseline schemes.
+//
+//   Fig 7:  weak-scaling configuration on 2 GPUs
+//   Fig 10: strong-scaling configuration on 4 GPUs
+//
+// Expected shape: PGAS traffic is spread across the whole compute window
+// (fine-grained overlap, smooth network usage); the baseline's traffic
+// is zero during compute, then a concentrated burst in its communication
+// phase.
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void runFigure(const char* title, pgasemb::trace::ExperimentConfig cfg,
+               const std::string& csv_path) {
+  using namespace pgasemb;
+  cfg.num_batches = 1;  // one batch shows the within-batch shape
+  // ~150 buckets across the PGAS batch for a smooth trace.
+  const auto probe = trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+  cfg.counter_bucket =
+      SimTime(std::max<std::int64_t>(probe.stats.total.count() / 150, 1000));
+
+  const auto pgas =
+      trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+  const auto base =
+      trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
+
+  bench::printHeader(title);
+  printf("\n%s\n",
+         trace::renderCommVolumeChart(pgas, base, title).c_str());
+  printf("total volume: pgas %lld B in %lld messages, baseline %lld B in "
+         "%lld messages\n",
+         static_cast<long long>(pgas.total_wire_bytes),
+         static_cast<long long>(pgas.total_wire_messages),
+         static_cast<long long>(base.total_wire_bytes),
+         static_cast<long long>(base.total_wire_messages));
+  printf("batch time: pgas %.3f ms, baseline %.3f ms\n",
+         pgas.avgBatchMs(), base.avgBatchMs());
+
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path, {"time_us", "pgas_units", "baseline_units"});
+    const std::size_t n = std::max(pgas.wire_bytes_over_time.size(),
+                                   base.wire_bytes_over_time.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t =
+          pgas.bucket_width.toUs() * (static_cast<double>(i) + 0.5);
+      const double pv = i < pgas.wire_bytes_over_time.size()
+                            ? pgas.wire_bytes_over_time[i] / 256.0
+                            : 0.0;
+      const double bv = i < base.wire_bytes_over_time.size()
+                            ? base.wire_bytes_over_time[i] / 256.0
+                            : 0.0;
+      csv.addRow({pgasemb::ConsoleTable::num(t, 2),
+                  pgasemb::ConsoleTable::num(pv, 1),
+                  pgasemb::ConsoleTable::num(bv, 1)});
+    }
+    printf("wrote %s\n", csv_path.c_str());
+  }
+  printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pgasemb;
+  CliParser cli(
+      "Communication volume over time (paper Figures 7 and 10).");
+  cli.addString("csv-fig7", "comm_volume_fig7.csv", "Fig 7 CSV path");
+  cli.addString("csv-fig10", "comm_volume_fig10.csv", "Fig 10 CSV path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  runFigure("Figure 7: comm volume over time — weak scaling, 2 GPUs",
+            trace::weakScalingConfig(2), cli.getString("csv-fig7"));
+  runFigure("Figure 10: comm volume over time — strong scaling, 4 GPUs",
+            trace::strongScalingConfig(4), cli.getString("csv-fig10"));
+  return 0;
+}

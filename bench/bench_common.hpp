@@ -1,0 +1,49 @@
+// Shared scaffolding for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/experiment.hpp"
+#include "trace/report.hpp"
+#include "util/cli.hpp"
+
+namespace pgasemb::bench {
+
+/// Run baseline + PGAS at 1..max_gpus for one scaling mode.
+inline std::vector<trace::ScalingPoint> sweepScaling(bool weak,
+                                                     int max_gpus,
+                                                     int num_batches) {
+  std::vector<trace::ScalingPoint> points;
+  for (int gpus = 1; gpus <= max_gpus; ++gpus) {
+    trace::ExperimentConfig cfg = weak ? trace::weakScalingConfig(gpus)
+                                       : trace::strongScalingConfig(gpus);
+    cfg.num_batches = num_batches;
+    trace::ScalingPoint point;
+    point.gpus = gpus;
+    point.baseline =
+        trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
+    point.pgas = trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+inline void printHeader(const std::string& title) {
+  printf("==========================================================\n");
+  printf("%s\n", title.c_str());
+  printf("==========================================================\n");
+}
+
+inline void printPerGpuRuntimes(const std::vector<trace::ScalingPoint>& pts) {
+  printf("\nPer-batch EMB-layer time (ms), accumulated over %d batches:\n",
+         pts.empty() ? 0 : pts[0].baseline.stats.batches);
+  for (const auto& p : pts) {
+    printf("  %d GPU(s): baseline %8.3f ms   pgas %8.3f ms   speedup %.2fx\n",
+           p.gpus, p.baseline.avgBatchMs(), p.pgas.avgBatchMs(),
+           p.speedup());
+  }
+}
+
+}  // namespace pgasemb::bench

@@ -1,0 +1,63 @@
+// Extension bench (paper §V): weak scaling BEYOND the single node.
+//
+// The paper's system is single-node NVLink; its future work asks how the
+// PGAS scheme behaves when inter-node links (higher latency, lower
+// bandwidth, message-rate limited) enter the picture, and proposes the
+// async aggregator as the mitigation. This bench weak-scales to 16 GPUs
+// across 1-4 nodes and compares baseline, raw PGAS, and PGAS+aggregator.
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace pgasemb;
+
+int main(int argc, char** argv) {
+  CliParser cli("Multi-node weak scaling: baseline vs PGAS vs "
+                "PGAS+aggregator (paper SV extension).");
+  cli.addInt("batches", 10, "batches per configuration");
+  cli.addInt("gpus-per-node", 4, "GPUs per node");
+  if (!cli.parse(argc, argv)) return 0;
+  const int per_node = static_cast<int>(cli.getInt("gpus-per-node"));
+
+  bench::printHeader(
+      "Multi-node weak scaling (4 GPUs/node, IB-like inter-node links)");
+
+  auto make_cfg = [&](int nodes, bool agg) {
+    trace::ExperimentConfig cfg =
+        trace::weakScalingConfig(nodes * per_node);
+    cfg.num_batches = static_cast<int>(cli.getInt("batches"));
+    if (nodes > 1) {
+      cfg.num_nodes = nodes;
+      cfg.inter_node_link.bandwidth_bytes_per_sec = 25e9;
+      cfg.inter_node_link.latency = SimTime::us(5.0);
+      cfg.inter_node_link.header_bytes = 64;
+      cfg.inter_node_link.max_messages_per_sec = 10e6;
+    }
+    cfg.use_aggregator = agg;
+    cfg.aggregator.aggregation_bytes = 64 * 1024;
+    cfg.aggregator.max_wait = SimTime::us(50.0);
+    return cfg;
+  };
+
+  ConsoleTable table({"nodes", "GPUs", "baseline ms", "pgas ms",
+                      "pgas+agg ms", "best speedup"});
+  for (const int nodes : {1, 2, 4}) {
+    const auto base = trace::runExperiment(
+        make_cfg(nodes, false), trace::RetrieverKind::kCollectiveBaseline);
+    const auto pgas = trace::runExperiment(
+        make_cfg(nodes, false), trace::RetrieverKind::kPgasFused);
+    const auto agg = trace::runExperiment(
+        make_cfg(nodes, true), trace::RetrieverKind::kPgasFused);
+    const double best = std::min(pgas.avgBatchMs(), agg.avgBatchMs());
+    table.addRow({std::to_string(nodes),
+                  std::to_string(nodes * per_node),
+                  ConsoleTable::num(base.avgBatchMs(), 3),
+                  ConsoleTable::num(pgas.avgBatchMs(), 3),
+                  ConsoleTable::num(agg.avgBatchMs(), 3),
+                  ConsoleTable::num(base.avgBatchMs() / best, 2) + "x"});
+  }
+  printf("\n%s\n", table.render().c_str());
+  printf("(per-GPU workload constant; cross-node traffic rides shared "
+         "NICs.\n The aggregator recovers the NIC message-rate loss, as "
+         "the paper\n proposes for the multi-node extension.)\n");
+  return 0;
+}

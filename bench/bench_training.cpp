@@ -1,0 +1,91 @@
+// Extension bench: full DLRM TRAINING step at paper scale (forward +
+// MLP backward/all-reduce + EMB backward), combining both of the
+// paper's axes: the forward retrieval scheme and the backward gradient
+// exchange scheme.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "collective/communicator.hpp"
+#include "core/collective_retriever.hpp"
+#include "core/pgas_retriever.hpp"
+#include "dlrm/trainer.hpp"
+#include "fabric/fabric.hpp"
+#include "pgas/runtime.hpp"
+#include "util/table.hpp"
+
+using namespace pgasemb;
+
+int main(int argc, char** argv) {
+  CliParser cli("Full DLRM training step: collective vs PGAS on both the "
+                "forward and backward EMB paths (4 GPUs, weak config).");
+  cli.addInt("batches", 10, "steps per configuration");
+  cli.addInt("gpus", 4, "GPU count");
+  if (!cli.parse(argc, argv)) return 0;
+  const int gpus = static_cast<int>(cli.getInt("gpus"));
+  const int steps = static_cast<int>(cli.getInt("batches"));
+
+  bench::printHeader("Full training step (paper SV realized end-to-end)");
+
+  emb::EmbLayerSpec spec = emb::weakScalingLayerSpec(gpus);
+  dlrm::DlrmConfig model_cfg;
+  model_cfg.dense_dim = 13;
+  model_cfg.top_mlp = {512, 256, spec.dim};
+  model_cfg.bottom_mlp = {512, 256, 1};
+
+  ConsoleTable table({"forward", "backward", "step ms", "emb fwd ms",
+                      "emb bwd ms", "mlp bwd ms"});
+  double base_ms = 0.0;
+  for (const bool pgas_fwd : {false, true}) {
+    for (const bool pgas_bwd : {false, true}) {
+      gpu::SystemConfig sys_cfg;
+      sys_cfg.num_gpus = gpus;
+      sys_cfg.mode = gpu::ExecutionMode::kTimingOnly;
+      gpu::MultiGpuSystem system(sys_cfg);
+      fabric::Fabric fabric(
+          system.simulator(),
+          std::make_unique<fabric::NvlinkAllToAllTopology>(
+              gpus, fabric::LinkParams{}));
+      collective::Communicator comm(system, fabric);
+      pgas::PgasRuntime runtime(system, fabric);
+      emb::ShardedEmbeddingLayer layer(system, spec);
+      dlrm::DlrmModel model(model_cfg, layer);
+      std::unique_ptr<core::EmbeddingRetriever> retriever;
+      if (pgas_fwd) {
+        retriever = std::make_unique<core::PgasFusedRetriever>(
+            layer, runtime, core::PgasRetrieverOptions{});
+      } else {
+        retriever =
+            std::make_unique<core::CollectiveRetriever>(layer, comm);
+      }
+      dlrm::DlrmTrainer trainer(
+          model, *retriever, comm, runtime, 0.01f,
+          pgas_bwd ? dlrm::BackwardScheme::kPgasAtomics
+                   : dlrm::BackwardScheme::kCollective);
+      const auto sparse = emb::SparseBatch::statistical(spec.batchSpec());
+      Rng rng(1);
+      const auto dense = dlrm::DenseBatch::generateUniform(
+          spec.batch_size, model_cfg.dense_dim, rng);
+      SimTime total = SimTime::zero(), fwd = SimTime::zero(),
+              bwd = SimTime::zero(), mlp = SimTime::zero();
+      for (int i = 0; i < steps; ++i) {
+        const auto r = trainer.step(dense, sparse);
+        total += r.total;
+        fwd += r.emb_forward.total;
+        bwd += r.emb_backward.total;
+        mlp += r.mlp_backward_time;
+      }
+      const double ms = total.toMs() / steps;
+      if (!pgas_fwd && !pgas_bwd) base_ms = ms;
+      table.addRow({pgas_fwd ? "pgas" : "collective",
+                    pgas_bwd ? "pgas atomics" : "collective rounds",
+                    ConsoleTable::num(ms, 3),
+                    ConsoleTable::num(fwd.toMs() / steps, 3),
+                    ConsoleTable::num(bwd.toMs() / steps, 3),
+                    ConsoleTable::num(mlp.toMs() / steps, 3)});
+    }
+  }
+  printf("\n%s\n", table.render().c_str());
+  printf("full-PGAS training step speedup over full-collective: see "
+         "rows 1 vs 4 (baseline %.3f ms)\n", base_ms);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Training-step scenario (paper §V future work): forward retrieval plus
+// the EMB backward pass, comparing the collective gradient exchange
+// (all-to-all + multi-round ring shifts + per-round syncs) against PGAS
+// remote atomic adds.
+//
+// Functional mode on a small model: shows the embedding weights actually
+// moving under SGD and that both schemes produce the same updated
+// tables.
+//
+//   $ ./backward_training_step
+#include <cstdio>
+#include <memory>
+
+#include "collective/communicator.hpp"
+#include "core/pgas_retriever.hpp"
+#include "dlrm/backward.hpp"
+#include "fabric/fabric.hpp"
+#include "pgas/runtime.hpp"
+
+using namespace pgasemb;
+
+int main() {
+  emb::EmbLayerSpec spec;
+  spec.total_tables = 6;
+  spec.rows_per_table = 500;
+  spec.dim = 8;
+  spec.batch_size = 16;
+  spec.min_pooling = 1;
+  spec.max_pooling = 4;
+  spec.seed = 0x7ea;
+
+  printf("Training step on 3 simulated GPUs: forward retrieval + EMB "
+         "backward\n\n");
+
+  float sample_weight[2] = {0.0f, 0.0f};
+  SimTime backward_time[2];
+  for (const bool use_pgas : {false, true}) {
+    gpu::SystemConfig sys_cfg;
+    sys_cfg.num_gpus = 3;
+    sys_cfg.memory_capacity_bytes = 256 << 20;
+    sys_cfg.mode = gpu::ExecutionMode::kFunctional;
+    gpu::MultiGpuSystem system(sys_cfg);
+    fabric::Fabric fabric(
+        system.simulator(),
+        std::make_unique<fabric::NvlinkAllToAllTopology>(
+            3, fabric::LinkParams{}));
+    collective::Communicator comm(system, fabric);
+    pgas::PgasRuntime runtime(system, fabric);
+    emb::ShardedEmbeddingLayer layer(system, spec);
+
+    Rng rng(0x515);
+    const auto batch =
+        emb::SparseBatch::generateUniform(spec.batchSpec(), rng);
+
+    // Forward pass (PGAS fused retrieval either way — the comparison
+    // here is the backward scheme).
+    core::PgasFusedRetriever forward(layer, runtime, {});
+    const auto fwd = forward.runBatch(batch);
+
+    const float before = layer.table(0).weight(0, 0);
+    dlrm::EmbBackwardEngine engine(layer, comm, runtime,
+                                   /*learning_rate=*/0.05f);
+    const auto bwd = engine.runBatch(
+        batch, use_pgas ? dlrm::BackwardScheme::kPgasAtomics
+                        : dlrm::BackwardScheme::kCollective);
+    const float after = layer.table(0).weight(0, 0);
+
+    backward_time[use_pgas ? 1 : 0] = bwd.total;
+    sample_weight[use_pgas ? 1 : 0] = after;
+    printf("%-22s forward %s, backward %s (grad %s, comm %s, aggregate "
+           "%s, apply %s)\n",
+           use_pgas ? "pgas_remote_atomics:" : "collective_rounds:",
+           fwd.total.toString().c_str(), bwd.total.toString().c_str(),
+           bwd.grad_phase.toString().c_str(),
+           bwd.comm_phase.toString().c_str(),
+           bwd.aggregate_phase.toString().c_str(),
+           bwd.apply_phase.toString().c_str());
+    printf("%-22s table0[0,0]: %.6f -> %.6f\n", "", before, after);
+  }
+
+  printf("\nbackward speedup (PGAS over collective): %.2fx\n",
+         backward_time[0] / backward_time[1]);
+  printf("updated weights identical across schemes: %s\n",
+         sample_weight[0] == sample_weight[1] ? "yes" : "NO (bug!)");
+  return sample_weight[0] == sample_weight[1] ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// NCCL-like collective communication library on the simulated fabric.
+//
+// Collectives are enqueued on each device's default stream (so they start
+// only after prior kernels on that stream finish — "communication does
+// not start until the embedding table forward CUDA kernel finishes",
+// paper §IV) and charge the host the collective trigger overhead, which
+// is the "communication control path" cost the paper attributes to the
+// baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "collective/request.hpp"
+#include "fabric/fabric.hpp"
+#include "gpu/system.hpp"
+
+namespace pgasemb::collective {
+
+struct ChunkingParams {
+  /// NCCL-style pipeline chunk size.
+  std::int64_t chunk_bytes = 4 * 1024 * 1024;
+};
+
+class Communicator {
+ public:
+  Communicator(gpu::MultiGpuSystem& system, fabric::Fabric& fabric);
+
+  int numGpus() const { return system_.numGpus(); }
+
+  /// Asynchronous all-to-all: `send_bytes[src][dst]` payload bytes move
+  /// from src to dst (diagonal = local, free). Equivalent of
+  /// torch.distributed.all_to_all_single(async_op=True) on every rank.
+  /// `on_complete` (optional) runs at wait() — used by functional mode to
+  /// land the real data. `streams` (optional, one per GPU) selects the
+  /// streams the collective enqueues on — side comm streams let a
+  /// pipelined caller overlap the next batch's compute with this
+  /// collective; default = each device's default stream.
+  Request allToAllSingle(
+      const std::vector<std::vector<std::int64_t>>& send_bytes,
+      std::function<void()> on_complete = nullptr,
+      const ChunkingParams& chunking = {},
+      const std::vector<gpu::Stream*>* streams = nullptr);
+
+  /// Each GPU contributes `bytes_per_rank`; all GPUs end with all
+  /// contributions (ring algorithm, p-1 steps).
+  Request allGather(std::int64_t bytes_per_rank,
+                    std::function<void()> on_complete = nullptr);
+
+  /// Ring reduce-scatter of a `total_bytes` buffer (p-1 steps of
+  /// total/p-sized transfers, reductions overlapped with transfer).
+  Request reduceScatter(std::int64_t total_bytes,
+                        std::function<void()> on_complete = nullptr);
+
+  /// Ring all-reduce = reduce-scatter + all-gather, 2(p-1) steps.
+  Request allReduce(std::int64_t total_bytes,
+                    std::function<void()> on_complete = nullptr);
+
+  /// Root sends `bytes` to every other GPU (flat tree).
+  Request broadcast(int root, std::int64_t bytes,
+                    std::function<void()> on_complete = nullptr);
+
+  /// Every GPU sends `bytes_per_rank` to `root` (flat fan-in).
+  Request gather(int root, std::int64_t bytes_per_rank,
+                 std::function<void()> on_complete = nullptr);
+
+  /// `root` sends a distinct `bytes_per_rank` block to every other GPU.
+  Request scatter(int root, std::int64_t bytes_per_rank,
+                  std::function<void()> on_complete = nullptr);
+
+  /// Synchronization only: zero-byte all-to-all (costs the control path
+  /// and one latency).
+  Request barrier(std::function<void()> on_complete = nullptr);
+
+  /// `rounds` rounds in which every GPU ships `bytes_per_round` to its
+  /// ring successor, with a full synchronization between rounds.  This is
+  /// the baseline gradient-aggregation pattern of the EMB backward pass
+  /// the paper's future-work section describes ("multiple rounds of
+  /// collective calls, where embeddings are shifted to the next GPU").
+  Request ringShiftRounds(std::int64_t bytes_per_round, int rounds,
+                          std::function<void()> on_complete = nullptr);
+
+ private:
+  /// Shared scaffolding: enqueue one op per device; `inject(src, start)`
+  /// returns the time src's part of the wire traffic is fully delivered.
+  Request launch(const std::string& label,
+                 std::function<SimTime(int src, SimTime start)> inject,
+                 std::function<void()> on_complete,
+                 const std::vector<gpu::Stream*>* streams = nullptr);
+
+  /// NCCL protocol efficiency applied to all collective wire traffic
+  /// (staging copies, handshakes) — see CostModel.
+  double protoEff() const {
+    return system_.costModel().collective_protocol_efficiency;
+  }
+
+  gpu::MultiGpuSystem& system_;
+  fabric::Fabric& fabric_;
+};
+
+}  // namespace pgasemb::collective

@@ -1,0 +1,42 @@
+#include "collective/request.hpp"
+
+#include <algorithm>
+
+#include "gpu/system.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::collective {
+
+bool Request::completed() const {
+  PGASEMB_CHECK(valid(), "completed() on an empty request");
+  return state_->completed;
+}
+
+SimTime Request::completionTime() const {
+  PGASEMB_CHECK(valid() && state_->completed,
+                "completionTime() before completion");
+  return state_->completion;
+}
+
+SimTime Request::startTime() const {
+  PGASEMB_CHECK(valid() && state_->completed, "startTime() before completion");
+  return state_->first_start;
+}
+
+SimTime Request::wait(gpu::MultiGpuSystem& system) {
+  PGASEMB_CHECK(valid(), "wait() on an empty request");
+  system.simulator().run();
+  PGASEMB_ASSERT(state_->completed, "collective did not complete on drain");
+  system.hostAdvance(SimTime::zero());  // no-op; keeps intent explicit
+  const SimTime host = std::max(system.hostNow(), state_->completion) +
+                       system.costModel().stream_sync_overhead;
+  system.hostAdvance(host - system.hostNow());
+  if (state_->on_complete) {
+    auto fn = std::move(state_->on_complete);
+    state_->on_complete = nullptr;
+    fn();
+  }
+  return system.hostNow();
+}
+
+}  // namespace pgasemb::collective

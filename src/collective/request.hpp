@@ -1,0 +1,63 @@
+// Asynchronous collective request handle.
+//
+// Mirrors the request object returned by
+// `torch.distributed.all_to_all_single(..., async_op=True)`: the host
+// continues immediately and later calls `wait()`, which blocks until the
+// collective has completed on every device.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pgasemb::gpu {
+class MultiGpuSystem;
+}
+
+namespace pgasemb::collective {
+
+namespace detail {
+
+/// Shared completion state between the stream ops of one collective.
+struct CollectiveState {
+  int devices_pending = 0;
+  SimTime completion = SimTime::zero();
+  SimTime first_start = SimTime::max();  ///< earliest device injection
+  bool completed = false;
+  std::vector<std::function<void(SimTime)>> done_callbacks;
+  std::function<void()> on_complete;  ///< functional data landing
+};
+
+}  // namespace detail
+
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::CollectiveState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once every device's part has finished (after draining the sim).
+  bool completed() const;
+
+  /// Completion time on the device timeline. Precondition: completed().
+  SimTime completionTime() const;
+
+  /// Time the earliest device began injecting traffic; with
+  /// completionTime() this bounds the pure wire time of the collective.
+  /// Precondition: completed().
+  SimTime startTime() const;
+
+  /// Block the host until complete: drains the simulator, advances the
+  /// host clock past the completion (plus the sync overhead), and runs
+  /// the functional completion callback. Returns the new host time.
+  SimTime wait(gpu::MultiGpuSystem& system);
+
+ private:
+  std::shared_ptr<detail::CollectiveState> state_;
+};
+
+}  // namespace pgasemb::collective

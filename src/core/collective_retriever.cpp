@@ -1,0 +1,136 @@
+#include "core/collective_retriever.hpp"
+
+#include <algorithm>
+
+#include "emb/lookup_kernel.hpp"
+#include "emb/unpack_kernel.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::core {
+
+CollectiveRetriever::CollectiveRetriever(emb::ShardedEmbeddingLayer& layer,
+                                         collective::Communicator& comm)
+    : layer_(layer), comm_(comm) {
+  PGASEMB_CHECK(layer.sharding().scheme() == emb::ShardingScheme::kTableWise,
+                "the collective baseline implements table-wise sharding "
+                "(the paper's scheme)");
+  auto& system = layer.system();
+  const auto& sharding = layer.sharding();
+  const int p = system.numGpus();
+  const int dim = layer.dim();
+  for (int g = 0; g < p; ++g) {
+    auto& dev = system.device(g);
+    outputs_.push_back(dev.alloc(sharding.outputElements(g, dim)));
+    if (p > 1) {
+      send_buffers_.push_back(
+          dev.alloc(emb::sendBufferElements(sharding, g, dim)));
+      recv_buffers_.push_back(
+          dev.alloc(emb::recvBufferElements(sharding, g, dim)));
+    }
+  }
+}
+
+CollectiveRetriever::~CollectiveRetriever() {
+  auto& system = layer_.system();
+  for (int g = system.numGpus() - 1; g >= 0; --g) {
+    if (!recv_buffers_.empty()) {
+      system.device(g).free(recv_buffers_[static_cast<std::size_t>(g)]);
+      system.device(g).free(send_buffers_[static_cast<std::size_t>(g)]);
+    }
+    system.device(g).free(outputs_[static_cast<std::size_t>(g)]);
+  }
+}
+
+gpu::DeviceBuffer& CollectiveRetriever::output(int gpu) {
+  PGASEMB_CHECK(gpu >= 0 && gpu < static_cast<int>(outputs_.size()),
+                "bad gpu id ", gpu);
+  return outputs_[static_cast<std::size_t>(gpu)];
+}
+
+void CollectiveRetriever::copyAllToAllPayload() {
+  // Functional landing of the all-to-all: contiguous region per (src,
+  // dst) pair, including the device-local self chunk.
+  const auto& sh = layer_.sharding();
+  const int p = sh.numGpus();
+  const int dim = layer_.dim();
+  for (int src = 0; src < p; ++src) {
+    const auto send = send_buffers_[static_cast<std::size_t>(src)].span();
+    const std::int64_t t_local = sh.tablesOn(src);
+    for (int dst = 0; dst < p; ++dst) {
+      auto recv = recv_buffers_[static_cast<std::size_t>(dst)].span();
+      const std::int64_t len = t_local * sh.miniBatchSize(dst) * dim;
+      const std::int64_t send_base =
+          sh.miniBatchBegin(dst) * t_local * dim;
+      const std::int64_t recv_base =
+          sh.firstTableOn(src) * sh.miniBatchSize(dst) * dim;
+      std::copy_n(send.begin() + send_base, len,
+                  recv.begin() + recv_base);
+    }
+  }
+}
+
+BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
+  auto& system = layer_.system();
+  const auto& sharding = layer_.sharding();
+  const int p = system.numGpus();
+  const bool functional =
+      system.mode() == gpu::ExecutionMode::kFunctional &&
+      batch.materialized();
+  BatchTiming timing;
+  const SimTime t0 = system.hostNow();
+
+  if (p == 1) {
+    // Single GPU: no layout conversion — the lookup writes the final
+    // tensor directly (as PyTorch does without a process group).
+    auto fused = emb::buildFusedLookupKernel(
+        layer_, batch, 0, functional ? &outputs_ : nullptr, /*slices=*/1);
+    system.launchKernel(0, std::move(fused.desc));
+    const SimTime t1 = system.syncAll();
+    timing.compute_phase = t1 - t0;
+    timing.total = t1 - t0;
+    return timing;
+  }
+
+  // Phase 1: lookup kernels into send buffers (compute).
+  std::vector<std::vector<std::int64_t>> matrix(
+      static_cast<std::size_t>(p),
+      std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
+  for (int g = 0; g < p; ++g) {
+    auto kernel = emb::buildBaselineLookupKernel(
+        layer_, batch, g,
+        functional ? &send_buffers_[static_cast<std::size_t>(g)] : nullptr);
+    for (int d = 0; d < p; ++d) {
+      if (d != g) {
+        matrix[static_cast<std::size_t>(g)][static_cast<std::size_t>(d)] =
+            kernel.send_bytes[static_cast<std::size_t>(d)];
+      }
+    }
+    system.launchKernel(g, std::move(kernel.desc));
+  }
+  const SimTime t1 = system.syncAll();
+  timing.compute_phase = t1 - t0;
+
+  // Phase 2: all_to_all_single(async_op=True) + wait().
+  auto request = comm_.allToAllSingle(
+      matrix, functional ? [this] { copyAllToAllPayload(); }
+                         : std::function<void()>());
+  const SimTime t2 = request.wait(system);
+  timing.comm_phase = t2 - t1;
+  timing.wire_time = request.completionTime() - request.startTime();
+
+  // Phase 3: unpack/rearrangement kernels + sync.
+  for (int g = 0; g < p; ++g) {
+    auto desc = emb::buildUnpackKernel(
+        layer_, g,
+        functional ? &recv_buffers_[static_cast<std::size_t>(g)] : nullptr,
+        functional ? &outputs_[static_cast<std::size_t>(g)] : nullptr);
+    system.launchKernel(g, std::move(desc));
+  }
+  const SimTime t3 = system.syncAll();
+  timing.unpack_phase = t3 - t2;
+  timing.total = t3 - t0;
+  PGASEMB_ASSERT(sharding.numGpus() == p, "sharding/system mismatch");
+  return timing;
+}
+
+}  // namespace pgasemb::core

@@ -1,0 +1,40 @@
+// The NCCL-collective baseline retriever (paper §IV setup).
+//
+// Per batch: EmbeddingBagCollection-style lookup kernels write pooled
+// embeddings into per-GPU send buffers in all-to-all order; the host
+// synchronizes, triggers `all_to_all_single(async_op=True)`, calls
+// wait(), then runs an unpack kernel that rearranges the received chunks
+// into the final [sample][table][col] tensor.  The three measured phases
+// (Computation / Communication / Sync+Unpack) fall directly out of this
+// control flow.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collective/communicator.hpp"
+#include "core/retriever.hpp"
+
+namespace pgasemb::core {
+
+class CollectiveRetriever final : public EmbeddingRetriever {
+ public:
+  CollectiveRetriever(emb::ShardedEmbeddingLayer& layer,
+                      collective::Communicator& comm);
+  ~CollectiveRetriever() override;
+
+  std::string name() const override { return "nccl_baseline"; }
+  BatchTiming runBatch(const emb::SparseBatch& batch) override;
+  gpu::DeviceBuffer& output(int gpu) override;
+
+ private:
+  void copyAllToAllPayload();
+
+  emb::ShardedEmbeddingLayer& layer_;
+  collective::Communicator& comm_;
+  std::vector<gpu::DeviceBuffer> send_buffers_;
+  std::vector<gpu::DeviceBuffer> recv_buffers_;
+  std::vector<gpu::DeviceBuffer> outputs_;
+};
+
+}  // namespace pgasemb::core

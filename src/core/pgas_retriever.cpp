@@ -1,0 +1,89 @@
+#include "core/pgas_retriever.hpp"
+
+#include <algorithm>
+
+#include "emb/lookup_kernel.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::core {
+
+PgasFusedRetriever::PgasFusedRetriever(emb::ShardedEmbeddingLayer& layer,
+                                       pgas::PgasRuntime& runtime,
+                                       PgasRetrieverOptions options)
+    : layer_(layer), runtime_(runtime), options_(options) {
+  PGASEMB_CHECK(options.slices >= 1, "need at least one slice");
+  auto& system = layer.system();
+  const auto& sharding = layer.sharding();
+  const int dim = layer.dim();
+  // Outputs live on the symmetric heap (same size on every PE) so remote
+  // writes can address them directly; ragged mini-batches just leave the
+  // tail of the fat partition unused.
+  std::int64_t max_elements = 0;
+  for (int g = 0; g < system.numGpus(); ++g) {
+    max_elements = std::max(max_elements, sharding.outputElements(g, dim));
+  }
+  outputs_sym_ = runtime.heap().alloc(max_elements);
+  for (int g = 0; g < system.numGpus(); ++g) {
+    outputs_view_.push_back(outputs_sym_.on(g));
+  }
+}
+
+PgasFusedRetriever::~PgasFusedRetriever() {
+  runtime_.heap().free(outputs_sym_);
+}
+
+gpu::DeviceBuffer& PgasFusedRetriever::output(int gpu) {
+  PGASEMB_CHECK(gpu >= 0 && gpu < static_cast<int>(outputs_view_.size()),
+                "bad gpu id ", gpu);
+  return outputs_view_[static_cast<std::size_t>(gpu)];
+}
+
+BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
+  auto& system = layer_.system();
+  const int p = system.numGpus();
+  const bool functional =
+      system.mode() == gpu::ExecutionMode::kFunctional &&
+      batch.materialized();
+  const bool row_wise =
+      layer_.sharding().scheme() == emb::ShardingScheme::kRowWise;
+  BatchTiming timing;
+  const SimTime t0 = system.hostNow();
+
+  if (row_wise) {
+    // Row-wise partial sums accumulate: outputs must start at zero. A
+    // real kernel would memset the symmetric output tensor first.
+    const auto& cm = system.costModel();
+    for (int g = 0; g < p; ++g) {
+      gpu::KernelDesc zero;
+      zero.name = "emb_output_zero.gpu" + std::to_string(g);
+      zero.duration = cm.streamKernelTime(static_cast<double>(
+          outputs_view_[static_cast<std::size_t>(g)].sizeBytes()));
+      if (functional) {
+        auto& buf = outputs_view_[static_cast<std::size_t>(g)];
+        zero.functional_body = [&buf] {
+          std::fill(buf.span().begin(), buf.span().end(), 0.0f);
+        };
+      }
+      system.launchKernel(g, std::move(zero));
+    }
+  }
+
+  // One fused lookup kernel per device (paper Listing 2's launch loop);
+  // in-kernel one-sided writes are attached via the PGAS runtime.
+  for (int g = 0; g < p; ++g) {
+    auto fused = emb::buildFusedLookupKernel(
+        layer_, batch, g, functional ? &outputs_view_ : nullptr,
+        options_.slices);
+    runtime_.attachMessagePlan(fused.desc, g, std::move(fused.plan),
+                               options_.counter, options_.aggregator);
+    system.launchKernel(g, std::move(fused.desc));
+  }
+
+  // cudaStreamSynchronize loop over all devices.
+  const SimTime t1 = system.syncAll();
+  timing.compute_phase = t1 - t0;
+  timing.total = t1 - t0;
+  return timing;
+}
+
+}  // namespace pgasemb::core

@@ -1,0 +1,157 @@
+#include "core/pipelined_retriever.hpp"
+
+#include "emb/lookup_kernel.hpp"
+#include "emb/unpack_kernel.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::core {
+
+PipelinedCollectiveRetriever::PipelinedCollectiveRetriever(
+    emb::ShardedEmbeddingLayer& layer, collective::Communicator& comm,
+    int depth)
+    : layer_(layer), comm_(comm), depth_(depth) {
+  PGASEMB_CHECK(depth >= 1, "pipeline depth must be >= 1");
+  PGASEMB_CHECK(layer.sharding().scheme() == emb::ShardingScheme::kTableWise,
+                "pipelined baseline is table-wise only");
+  PGASEMB_CHECK(layer.system().mode() == gpu::ExecutionMode::kTimingOnly,
+                "the pipelined baseline recycles buffers across in-flight "
+                "batches; use timing-only mode");
+  auto& system = layer.system();
+  const auto& sharding = layer.sharding();
+  const int p = system.numGpus();
+  const int dim = layer.dim();
+  PGASEMB_CHECK(p > 1, "pipelining needs at least 2 GPUs");
+  slots_.resize(static_cast<std::size_t>(depth));
+  for (auto& slot : slots_) {
+    for (int g = 0; g < p; ++g) {
+      auto& dev = system.device(g);
+      slot.send.push_back(
+          dev.alloc(emb::sendBufferElements(sharding, g, dim)));
+      slot.recv.push_back(
+          dev.alloc(emb::recvBufferElements(sharding, g, dim)));
+      slot.out.push_back(dev.alloc(sharding.outputElements(g, dim)));
+    }
+  }
+  for (int g = 0; g < p; ++g) {
+    comm_streams_.push_back(&system.createStream(g, "comm"));
+  }
+}
+
+PipelinedCollectiveRetriever::~PipelinedCollectiveRetriever() {
+  auto& system = layer_.system();
+  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+    for (int g = system.numGpus() - 1; g >= 0; --g) {
+      system.device(g).free(it->out[static_cast<std::size_t>(g)]);
+      system.device(g).free(it->recv[static_cast<std::size_t>(g)]);
+      system.device(g).free(it->send[static_cast<std::size_t>(g)]);
+    }
+  }
+}
+
+gpu::DeviceBuffer& PipelinedCollectiveRetriever::output(int gpu) {
+  PGASEMB_CHECK(!slots_.empty(), "no slots");
+  return slots_[static_cast<std::size_t>((submitted_ > 0 ? submitted_ - 1
+                                                         : 0) %
+                                         depth_)]
+      .out[static_cast<std::size_t>(gpu)];
+}
+
+BatchTiming PipelinedCollectiveRetriever::runBatch(
+    const emb::SparseBatch& batch) {
+  auto& system = layer_.system();
+  const int p = system.numGpus();
+
+  // Per-batch events: per-GPU kernel-done, per-GPU a2a-done.
+  const std::size_t ev_base = events_.size();
+  for (int i = 0; i < 2 * p; ++i) {
+    events_.push_back(std::make_unique<gpu::GpuEvent>());
+  }
+  auto kernel_done = [&](int g) -> gpu::GpuEvent& {
+    return *events_[ev_base + static_cast<std::size_t>(g)];
+  };
+  auto a2a_done = [&](int g) -> gpu::GpuEvent& {
+    return *events_[ev_base + static_cast<std::size_t>(p + g)];
+  };
+  // The a2a of the batch that last used this slot must finish reading
+  // the send buffer before the new lookup overwrites it.
+  gpu::GpuEvent* slot_free[64] = {};
+  if (submitted_ >= depth_) {
+    const std::size_t old_base =
+        static_cast<std::size_t>(submitted_ - depth_) * 2 *
+        static_cast<std::size_t>(p);
+    for (int g = 0; g < p; ++g) {
+      slot_free[g] = events_[old_base + static_cast<std::size_t>(p + g)]
+                         .get();
+    }
+  }
+
+  std::vector<std::vector<std::int64_t>> matrix(
+      static_cast<std::size_t>(p),
+      std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
+  for (int g = 0; g < p; ++g) {
+    auto kernel =
+        emb::buildBaselineLookupKernel(layer_, batch, g, nullptr);
+    for (int d = 0; d < p; ++d) {
+      if (d != g) {
+        matrix[static_cast<std::size_t>(g)][static_cast<std::size_t>(d)] =
+            kernel.send_bytes[static_cast<std::size_t>(d)];
+      }
+    }
+    auto& stream = system.stream(g);
+    if (slot_free[g] != nullptr) {
+      stream.enqueueWaitEvent(system.hostNow(), *slot_free[g]);
+    }
+    system.launchKernel(g, std::move(kernel.desc));
+    stream.enqueueRecord(system.hostNow(), kernel_done(g));
+    // The collective (enqueued below on the comm stream) starts once
+    // this GPU's lookup has produced its send buffer.
+    comm_streams_[static_cast<std::size_t>(g)]->enqueueWaitEvent(
+        system.hostNow(), kernel_done(g));
+  }
+
+  comm_.allToAllSingle(matrix, nullptr, {}, &comm_streams_);
+  for (int g = 0; g < p; ++g) {
+    comm_streams_[static_cast<std::size_t>(g)]->enqueueRecord(
+        system.hostNow(), a2a_done(g));
+  }
+
+  // Now — with this batch's lookup already on the compute streams, where
+  // it overlaps the PREVIOUS batch's in-flight all-to-all — enqueue that
+  // previous batch's unpack behind it.
+  enqueuePendingUnpack();
+  pending_unpack_ev_base_ = static_cast<std::int64_t>(ev_base);
+
+  ++submitted_;
+  // Host side only enqueues; the amortized batch time is (drain time -
+  // start) / batches, measured by the caller.
+  BatchTiming timing;
+  timing.total = system.hostNow() - last_host_;
+  timing.compute_phase = timing.total;
+  last_host_ = system.hostNow();
+  return timing;
+}
+
+void PipelinedCollectiveRetriever::enqueuePendingUnpack() {
+  if (pending_unpack_ev_base_ < 0) return;
+  auto& system = layer_.system();
+  const int p = system.numGpus();
+  const std::size_t base =
+      static_cast<std::size_t>(pending_unpack_ev_base_);
+  for (int g = 0; g < p; ++g) {
+    system.stream(g).enqueueWaitEvent(
+        system.hostNow(),
+        *events_[base + static_cast<std::size_t>(p + g)]);
+    system.launchKernel(g,
+                        emb::buildUnpackKernel(layer_, g, nullptr, nullptr));
+  }
+  pending_unpack_ev_base_ = -1;
+}
+
+SimTime PipelinedCollectiveRetriever::drain() {
+  enqueuePendingUnpack();
+  const SimTime t = layer_.system().syncAll();
+  last_host_ = t;
+  return t;
+}
+
+}  // namespace pgasemb::core

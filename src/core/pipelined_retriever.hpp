@@ -1,0 +1,70 @@
+// Inter-batch pipelined variant of the collective baseline.
+//
+// The natural systems rebuttal to the paper: even without PGAS, the
+// baseline could hide its communication behind the NEXT batch's compute
+// by double-buffering — lookup of batch i+1 runs on the compute stream
+// while batch i's all-to-all rides a side communication stream and its
+// unpack waits on an event. This retriever implements exactly that, so
+// the benchmarks can quantify how much of the PGAS win survives the
+// strongest software-pipelined baseline (answer: the unpack pass and the
+// per-batch control path do — see bench_pipelined).
+//
+// Timing-only: double buffering recycles output tensors across in-flight
+// batches, so the functional data plane is not supported here.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "collective/communicator.hpp"
+#include "core/retriever.hpp"
+#include "gpu/gpu_event.hpp"
+
+namespace pgasemb::core {
+
+class PipelinedCollectiveRetriever final : public EmbeddingRetriever {
+ public:
+  /// `depth` = in-flight batches (2 = classic double buffering).
+  PipelinedCollectiveRetriever(emb::ShardedEmbeddingLayer& layer,
+                               collective::Communicator& comm,
+                               int depth = 2);
+  ~PipelinedCollectiveRetriever() override;
+
+  std::string name() const override { return "nccl_pipelined"; }
+
+  /// Submits the batch into the pipeline and returns the host-time
+  /// increment since the previous call — the amortized per-batch cost
+  /// once the pipeline is warm. Call drain() after the last batch.
+  BatchTiming runBatch(const emb::SparseBatch& batch) override;
+
+  /// Waits for all in-flight batches; returns the final host time.
+  SimTime drain();
+
+  gpu::DeviceBuffer& output(int gpu) override;
+
+ private:
+  struct Slot {
+    std::vector<gpu::DeviceBuffer> send;
+    std::vector<gpu::DeviceBuffer> recv;
+    std::vector<gpu::DeviceBuffer> out;
+  };
+
+  emb::ShardedEmbeddingLayer& layer_;
+  collective::Communicator& comm_;
+  int depth_;
+  std::vector<Slot> slots_;
+  std::vector<gpu::Stream*> comm_streams_;  // one per GPU
+  // Events live until drain (the simulator may still reference them).
+  std::vector<std::unique_ptr<gpu::GpuEvent>> events_;
+  std::int64_t submitted_ = 0;
+  SimTime last_host_ = SimTime::zero();
+  // Event-table base of the batch whose unpack is still pending (it is
+  // enqueued only after the NEXT batch's lookup, so that lookup overlaps
+  // this batch's all-to-all on the comm streams). -1 = none.
+  std::int64_t pending_unpack_ev_base_ = -1;
+
+  void enqueuePendingUnpack();
+};
+
+}  // namespace pgasemb::core

@@ -1,0 +1,14 @@
+#include "core/retriever.hpp"
+
+namespace pgasemb::core {
+
+void RetrieverStats::add(const BatchTiming& t) {
+  ++batches;
+  total += t.total;
+  compute_phase += t.compute_phase;
+  comm_phase += t.comm_phase;
+  unpack_phase += t.unpack_phase;
+  wire_time += t.wire_time;
+}
+
+}  // namespace pgasemb::core

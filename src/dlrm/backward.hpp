@@ -1,0 +1,72 @@
+// EMB-layer backward pass — the paper's future-work extension (§V).
+//
+// In backprop the flow reverses: each GPU holds the upstream gradients
+// for ITS mini-batch (data-parallel), and every bag entry's gradient must
+// reach the GPU that owns that embedding row (model-parallel) and be
+// summed with contributions from every other GPU that used the same row.
+// The communicated volume is proportional to the bag entries touched by
+// the batch — up to a pooling-factor larger than the forward pass.
+//
+//  - kCollective: grad kernel -> sync -> all-to-all of per-(table,
+//    sample) gradients -> scatter-add kernel -> (P-1) rounds of ring
+//    shifts with per-round synchronization (the paper's "multiple rounds
+//    of collective calls, where embeddings are shifted to the next GPU")
+//    -> apply.
+//  - kPgasAtomics: one fused kernel per GPU that pushes each row
+//    gradient as a remote ATOMIC ADD the moment it is computed, quiet,
+//    then apply — no rounds, no extra synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "collective/communicator.hpp"
+#include "emb/layer.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgasemb::dlrm {
+
+enum class BackwardScheme { kCollective, kPgasAtomics };
+
+struct BackwardTiming {
+  SimTime total = SimTime::zero();
+  SimTime grad_phase = SimTime::zero();       ///< local gradient kernels
+  SimTime comm_phase = SimTime::zero();       ///< collective exchange
+  SimTime aggregate_phase = SimTime::zero();  ///< multi-round shifts
+  SimTime apply_phase = SimTime::zero();      ///< SGD update kernels
+};
+
+class EmbBackwardEngine {
+ public:
+  EmbBackwardEngine(emb::ShardedEmbeddingLayer& layer,
+                    collective::Communicator& comm,
+                    pgas::PgasRuntime& runtime, float learning_rate);
+
+  /// Deterministic synthetic upstream gradient for output (table,
+  /// sample, col) — stands in for the interaction layer's backprop.
+  static float upstreamGrad(std::uint64_t seed, std::int64_t table,
+                            std::int64_t sample, int col);
+
+  /// Upstream gradient provider: dL/d(output of table t, sample b,
+  /// col c). Defaults to the synthetic upstreamGrad() when null.
+  using UpstreamGradFn =
+      std::function<float(std::int64_t table, std::int64_t sample, int col)>;
+
+  /// Run one backward pass over `batch`. In functional mode the dense
+  /// embedding tables are updated in place (identically for both
+  /// schemes).
+  BackwardTiming runBatch(const emb::SparseBatch& batch,
+                          BackwardScheme scheme,
+                          const UpstreamGradFn& upstream = nullptr);
+
+ private:
+  void applyGradientsFunctional(const emb::SparseBatch& batch,
+                                const UpstreamGradFn& upstream);
+
+  emb::ShardedEmbeddingLayer& layer_;
+  collective::Communicator& comm_;
+  pgas::PgasRuntime& runtime_;
+  float lr_;
+};
+
+}  // namespace pgasemb::dlrm

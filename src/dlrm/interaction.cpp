@@ -1,0 +1,136 @@
+#include "dlrm/interaction.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::dlrm {
+
+InteractionLayer::InteractionLayer(InteractionKind kind, int dim,
+                                   std::int64_t num_sparse)
+    : kind_(kind), dim_(dim), num_sparse_(num_sparse) {
+  PGASEMB_CHECK(dim >= 1, "interaction needs positive dim");
+  PGASEMB_CHECK(num_sparse >= 1, "interaction needs sparse features");
+}
+
+int InteractionLayer::outputDim() const {
+  const std::int64_t n = num_sparse_ + 1;  // sparse embeddings + dense
+  if (kind_ == InteractionKind::kDotProduct) {
+    // Dense embedding concatenated with all pairwise dot products.
+    return dim_ + static_cast<int>(n * (n - 1) / 2);
+  }
+  return static_cast<int>(n) * dim_;
+}
+
+std::vector<float> InteractionLayer::fuse(
+    std::span<const float> dense, std::span<const float> sparse) const {
+  PGASEMB_CHECK(static_cast<int>(dense.size()) == dim_,
+                "dense embedding dim mismatch");
+  PGASEMB_CHECK(static_cast<std::int64_t>(sparse.size()) ==
+                    num_sparse_ * dim_,
+                "sparse embedding count mismatch");
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(outputDim()));
+  if (kind_ == InteractionKind::kConcat) {
+    out.insert(out.end(), dense.begin(), dense.end());
+    out.insert(out.end(), sparse.begin(), sparse.end());
+    return out;
+  }
+  // Dot-product interaction over the (num_sparse + 1) embedding vectors.
+  out.insert(out.end(), dense.begin(), dense.end());
+  auto vec = [&](std::int64_t v) -> std::span<const float> {
+    if (v == 0) return dense;
+    return sparse.subspan(static_cast<std::size_t>((v - 1) * dim_),
+                          static_cast<std::size_t>(dim_));
+  };
+  const std::int64_t n = num_sparse_ + 1;
+  for (std::int64_t a = 0; a < n; ++a) {
+    for (std::int64_t b = a + 1; b < n; ++b) {
+      const auto va = vec(a);
+      const auto vb = vec(b);
+      float dot = 0.0f;
+      for (int c = 0; c < dim_; ++c) {
+        dot += va[static_cast<std::size_t>(c)] *
+               vb[static_cast<std::size_t>(c)];
+      }
+      out.push_back(dot);
+    }
+  }
+  return out;
+}
+
+void InteractionLayer::fuseBackward(std::span<const float> dense,
+                                    std::span<const float> sparse,
+                                    std::span<const float> grad_output,
+                                    std::span<float> grad_dense,
+                                    std::span<float> grad_sparse) const {
+  PGASEMB_CHECK(static_cast<int>(grad_output.size()) == outputDim(),
+                "grad_output dim mismatch");
+  PGASEMB_CHECK(static_cast<int>(grad_dense.size()) == dim_ &&
+                    static_cast<std::int64_t>(grad_sparse.size()) ==
+                        num_sparse_ * dim_,
+                "gradient buffer shape mismatch");
+  if (kind_ == InteractionKind::kConcat) {
+    for (int c = 0; c < dim_; ++c) {
+      grad_dense[static_cast<std::size_t>(c)] +=
+          grad_output[static_cast<std::size_t>(c)];
+    }
+    for (std::size_t k = 0; k < grad_sparse.size(); ++k) {
+      grad_sparse[k] += grad_output[static_cast<std::size_t>(dim_) + k];
+    }
+    return;
+  }
+  // Dot-product interaction: dense passthrough + pairwise dots.
+  for (int c = 0; c < dim_; ++c) {
+    grad_dense[static_cast<std::size_t>(c)] +=
+        grad_output[static_cast<std::size_t>(c)];
+  }
+  auto vec = [&](std::int64_t v) -> std::span<const float> {
+    if (v == 0) return dense;
+    return sparse.subspan(static_cast<std::size_t>((v - 1) * dim_),
+                          static_cast<std::size_t>(dim_));
+  };
+  auto grad_vec = [&](std::int64_t v) -> std::span<float> {
+    if (v == 0) return grad_dense;
+    return grad_sparse.subspan(static_cast<std::size_t>((v - 1) * dim_),
+                               static_cast<std::size_t>(dim_));
+  };
+  const std::int64_t n = num_sparse_ + 1;
+  std::size_t out_idx = static_cast<std::size_t>(dim_);
+  for (std::int64_t a = 0; a < n; ++a) {
+    for (std::int64_t b = a + 1; b < n; ++b) {
+      const float g = grad_output[out_idx++];
+      const auto va = vec(a);
+      const auto vb = vec(b);
+      auto ga = grad_vec(a);
+      auto gb = grad_vec(b);
+      for (int c = 0; c < dim_; ++c) {
+        // d(dot)/d(va) = vb and vice versa.
+        ga[static_cast<std::size_t>(c)] +=
+            g * vb[static_cast<std::size_t>(c)];
+        gb[static_cast<std::size_t>(c)] +=
+            g * va[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+}
+
+gpu::KernelDesc InteractionLayer::buildKernel(
+    const gpu::MultiGpuSystem& system, std::int64_t batch,
+    const std::string& name) const {
+  const auto& cm = system.costModel();
+  gpu::KernelDesc desc;
+  desc.name = name;
+  const double n = static_cast<double>(num_sparse_ + 1);
+  const double flops =
+      static_cast<double>(batch) * n * (n - 1) / 2.0 * dim_ * 2.0;
+  const double bytes = static_cast<double>(batch) *
+                       (n * dim_ + outputDim()) * 4.0;
+  const double compute_s = flops / (cm.peak_flops * 0.6);
+  const double memory_s = bytes / (cm.hbm_bandwidth * cm.stream_efficiency);
+  desc.duration = std::max(SimTime::sec(std::max(compute_s, memory_s)),
+                           cm.kernel_latency_floor);
+  return desc;
+}
+
+}  // namespace pgasemb::dlrm

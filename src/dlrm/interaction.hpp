@@ -1,0 +1,52 @@
+// Feature-interaction layer (paper Fig 1): fuses the dense-path
+// embedding with the EMB-layer embeddings via pairwise dot products
+// (facebookresearch/dlrm's default) or concatenation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/kernel.hpp"
+#include "gpu/system.hpp"
+
+namespace pgasemb::dlrm {
+
+enum class InteractionKind { kDotProduct, kConcat };
+
+class InteractionLayer {
+ public:
+  InteractionLayer(InteractionKind kind, int dim, std::int64_t num_sparse);
+
+  InteractionKind kind() const { return kind_; }
+
+  /// Output feature count for one sample.
+  int outputDim() const;
+
+  /// Functional fuse of one sample: `dense` is the dense-path embedding
+  /// (size dim); `sparse` is the EMB output for this sample laid out
+  /// [table][col] (num_sparse x dim).
+  std::vector<float> fuse(std::span<const float> dense,
+                          std::span<const float> sparse) const;
+
+  /// Backprop of fuse() for one sample: given dL/d(fused output), adds
+  /// dL/d(dense embedding) into `grad_dense` (size dim) and
+  /// dL/d(sparse embeddings) into `grad_sparse` (num_sparse x dim).
+  void fuseBackward(std::span<const float> dense,
+                    std::span<const float> sparse,
+                    std::span<const float> grad_output,
+                    std::span<float> grad_dense,
+                    std::span<float> grad_sparse) const;
+
+  /// Kernel descriptor for a batched interaction pass.
+  gpu::KernelDesc buildKernel(const gpu::MultiGpuSystem& system,
+                              std::int64_t batch,
+                              const std::string& name) const;
+
+ private:
+  InteractionKind kind_;
+  int dim_;
+  std::int64_t num_sparse_;
+};
+
+}  // namespace pgasemb::dlrm

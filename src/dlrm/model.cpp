@@ -1,0 +1,58 @@
+#include "dlrm/model.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::dlrm {
+
+DlrmModel::DlrmModel(const DlrmConfig& config,
+                     emb::ShardedEmbeddingLayer& layer)
+    : config_(config),
+      layer_(layer),
+      top_(MlpConfig{config.dense_dim, config.top_mlp, config.seed ^ 0x1}),
+      bottom_(MlpConfig{
+          InteractionLayer(config.interaction, layer.dim(),
+                           layer.spec().total_tables)
+              .outputDim(),
+          config.bottom_mlp, config.seed ^ 0x2}),
+      interaction_(config.interaction, layer.dim(),
+                   layer.spec().total_tables) {
+  PGASEMB_CHECK(!config.top_mlp.empty() && !config.bottom_mlp.empty(),
+                "DLRM needs non-empty MLP stacks");
+  PGASEMB_CHECK(config.top_mlp.back() == layer.dim(),
+                "top MLP output (", config.top_mlp.back(),
+                ") must equal the embedding dim (", layer.dim(),
+                ") for the interaction layer");
+  PGASEMB_CHECK(config.bottom_mlp.back() == 1,
+                "bottom MLP must end in a single logit");
+}
+
+float DlrmModel::predict(std::span<const float> dense_input,
+                         std::span<const float> sparse_embeddings) const {
+  const auto dense_emb = top_.forward(dense_input);
+  const auto fused = interaction_.fuse(dense_emb, sparse_embeddings);
+  const auto logit = bottom_.forward(fused);
+  return 1.0f / (1.0f + std::exp(-logit[0]));
+}
+
+DenseBatch DenseBatch::generateUniform(std::int64_t batch_size,
+                                       int dense_dim, Rng& rng) {
+  PGASEMB_CHECK(batch_size >= 1 && dense_dim >= 1, "bad dense batch shape");
+  DenseBatch b;
+  b.batch_size = batch_size;
+  b.dense_dim = dense_dim;
+  b.values.resize(static_cast<std::size_t>(batch_size * dense_dim));
+  for (auto& v : b.values) {
+    v = static_cast<float>(rng.uniformDouble());
+  }
+  return b;
+}
+
+std::span<const float> DenseBatch::sample(std::int64_t b) const {
+  PGASEMB_CHECK(b >= 0 && b < batch_size, "sample out of range: ", b);
+  return std::span<const float>(
+      values.data() + b * dense_dim, static_cast<std::size_t>(dense_dim));
+}
+
+}  // namespace pgasemb::dlrm

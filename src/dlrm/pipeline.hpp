@@ -1,0 +1,46 @@
+// Multi-GPU DLRM inference pipeline (paper Fig 4).
+//
+// Per batch: the host partitions inputs (dense by mini-batch, sparse by
+// table location) and copies them to the GPUs; the data-parallel top MLP
+// runs on a side stream concurrently with the model-parallel EMB
+// retrieval; the retriever converts the layout to data parallelism; the
+// interaction layer and bottom MLP finish the prediction.
+//
+// The EMB-layer timing (what the paper measures: lookup + communication
+// + unpack) is reported separately from the end-to-end batch time.
+#pragma once
+
+#include <vector>
+
+#include "core/retriever.hpp"
+#include "dlrm/model.hpp"
+
+namespace pgasemb::dlrm {
+
+struct PipelineResult {
+  core::BatchTiming emb;        ///< the paper's measured quantity
+  SimTime batch_total = SimTime::zero();  ///< end-to-end batch time
+};
+
+class InferencePipeline {
+ public:
+  InferencePipeline(DlrmModel& model, core::EmbeddingRetriever& retriever);
+
+  /// Run one inference batch. In functional mode, per-GPU predictions
+  /// are computed and kept (see predictions()).
+  PipelineResult runBatch(const DenseBatch& dense,
+                          const emb::SparseBatch& sparse);
+
+  /// predictions()[gpu][local sample] — functional mode only.
+  const std::vector<std::vector<float>>& predictions() const {
+    return predictions_;
+  }
+
+ private:
+  DlrmModel& model_;
+  core::EmbeddingRetriever& retriever_;
+  std::vector<gpu::Stream*> mlp_streams_;
+  std::vector<std::vector<float>> predictions_;
+};
+
+}  // namespace pgasemb::dlrm

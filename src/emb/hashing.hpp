@@ -1,0 +1,36 @@
+// Sparse-feature index hashing (paper §II-A).
+//
+// Raw categorical indices live in an arbitrarily large domain; a hash
+// H: raw -> [0, M) maps them onto the table's M rows, trading collisions
+// for bounded memory.  We use SplitMix64 with a per-table seed so tables
+// hash independently.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace pgasemb::emb {
+
+/// Per-table hash seed derived from a layer seed and the table id.
+constexpr std::uint64_t tableSeed(std::uint64_t layer_seed,
+                                  std::int64_t table) {
+  return splitmix64(layer_seed ^ (0x9e3779b97f4a7c15ULL +
+                                  static_cast<std::uint64_t>(table)));
+}
+
+/// Hash a raw sparse index into row [0, hash_size).
+constexpr std::int64_t hashIndex(std::uint64_t raw_index,
+                                 std::uint64_t table_seed,
+                                 std::int64_t hash_size) {
+  return static_cast<std::int64_t>(splitmix64(raw_index ^ table_seed) %
+                                   static_cast<std::uint64_t>(hash_size));
+}
+
+/// Deterministic procedural embedding weight in [-1, 1): the "learned"
+/// value of (table, row, col). Dense tables are initialized with this
+/// same function so functional results are identical across storage
+/// policies.
+float proceduralWeight(std::uint64_t table_seed, std::int64_t row, int col);
+
+}  // namespace pgasemb::emb

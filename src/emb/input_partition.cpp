@@ -1,0 +1,32 @@
+#include "emb/input_partition.hpp"
+
+namespace pgasemb::emb {
+
+InputPartitionCost inputPartitionCost(const ShardedEmbeddingLayer& layer,
+                                      const SparseBatch& batch, bool fused,
+                                      const InputPartitionParams& params) {
+  const auto& spec = layer.spec();
+  const double total_indices = batch.totalIndices(0, spec.total_tables);
+  InputPartitionCost cost;
+  if (fused) {
+    // The kernel scans the full replicated (offsets + indices) stream
+    // and picks out its own tables/rows; the host only ships one copy.
+    cost.host_time = params.host_fixed;
+    cost.extra_kernel_bytes_per_gpu =
+        total_indices * 8.0 +
+        static_cast<double>(spec.total_tables) * spec.batch_size * 8.0;
+    return cost;
+  }
+  cost.host_time = params.host_fixed;
+  if (layer.sharding().scheme() == ShardingScheme::kTableWise) {
+    // Route whole tables: one slice per (table, destination).
+    cost.host_time += params.host_per_table * spec.total_tables;
+  } else {
+    // Route every raw index by its hashed row's owner.
+    cost.host_time += params.host_per_index *
+                      static_cast<std::int64_t>(total_indices);
+  }
+  return cost;
+}
+
+}  // namespace pgasemb::emb

@@ -1,0 +1,51 @@
+// Sparse-input partitioning (paper §V).
+//
+// "In our current implementation, we partition the sparse inputs on the
+//  CPU and then copy it to the GPU. The time spent on input partitioning
+//  is small in our experiments because we use a simple table sharding
+//  scheme (partitioning by tables). However, if a more complicated
+//  sharding scheme is used (partitioning by rows), the sparse input
+//  partitioning and aggregation time will become more significant. A
+//  potential optimization is to merge the sparse input partitioning into
+//  the computation kernel..."
+//
+// This module models exactly that: the host-side cost of routing a
+// global batch to the GPUs under each sharding scheme, and the paper's
+// proposed fused alternative, where the kernel picks its own inputs out
+// of the replicated batch (host cost vanishes; the kernel scans more
+// index data).
+#pragma once
+
+#include "emb/layer.hpp"
+#include "util/time.hpp"
+
+namespace pgasemb::emb {
+
+struct InputPartitionParams {
+  /// Host cost to slice one table's CSR out of the global batch
+  /// (table-wise sharding routes whole tables: a couple of pointer/size
+  /// computations plus a memcpy descriptor).
+  SimTime host_per_table = SimTime::ns(150.0);
+  /// Host cost to hash one raw index and append it to the right GPU's
+  /// bucket (row-wise sharding must route every index individually).
+  SimTime host_per_index = SimTime::ns(2.5);
+  /// Fixed per-batch overhead (allocation, H2D descriptor setup).
+  SimTime host_fixed = SimTime::us(15.0);
+};
+
+struct InputPartitionCost {
+  /// Serial CPU time charged before kernels can launch.
+  SimTime host_time = SimTime::zero();
+  /// Extra bytes each GPU's lookup kernel reads when partitioning is
+  /// fused into it (it scans the whole replicated index stream and
+  /// filters its own work).
+  double extra_kernel_bytes_per_gpu = 0.0;
+};
+
+/// Cost of preparing `batch` for `layer`'s sharding scheme.
+/// `fused` = the paper's proposed in-kernel partitioning.
+InputPartitionCost inputPartitionCost(const ShardedEmbeddingLayer& layer,
+                                      const SparseBatch& batch, bool fused,
+                                      const InputPartitionParams& params = {});
+
+}  // namespace pgasemb::emb

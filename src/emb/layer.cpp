@@ -1,0 +1,189 @@
+#include "emb/layer.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::emb {
+
+std::int64_t EmbLayerSpec::tableBytesPerGpu(int num_gpus) const {
+  PGASEMB_CHECK(num_gpus >= 1, "need at least one GPU");
+  const BlockPartition part(total_tables, num_gpus);
+  // The fattest shard (first part) bounds per-GPU memory.
+  return part.size(0) * rows_per_table * dim * 4;
+}
+
+std::int64_t GpuLookupWork::totalOutputs() const {
+  std::int64_t total = 0;
+  for (const auto v : outputs_to) total += v;
+  return total;
+}
+
+std::int64_t GpuLookupWork::remoteOutputs(int self) const {
+  std::int64_t total = 0;
+  for (int d = 0; d < static_cast<int>(outputs_to.size()); ++d) {
+    if (d != self) total += outputs_to[static_cast<std::size_t>(d)];
+  }
+  return total;
+}
+
+namespace {
+
+Sharding makeSharding(const EmbLayerSpec& spec, int num_gpus,
+                      ShardingScheme scheme) {
+  if (scheme == ShardingScheme::kTableWise && spec.balance_tables) {
+    // Balance expected gather rows per GPU across skewed tables.
+    const auto batch = spec.batchSpec();
+    std::vector<double> weights(static_cast<std::size_t>(
+        spec.total_tables));
+    for (std::int64_t t = 0; t < spec.total_tables; ++t) {
+      weights[static_cast<std::size_t>(t)] =
+          batch.avgPoolingOf(t) * static_cast<double>(spec.batch_size);
+    }
+    return Sharding(balancedTableBoundaries(weights, num_gpus),
+                    spec.batch_size, num_gpus);
+  }
+  return Sharding(spec.total_tables, spec.batch_size, num_gpus, scheme);
+}
+
+}  // namespace
+
+ShardedEmbeddingLayer::ShardedEmbeddingLayer(gpu::MultiGpuSystem& system,
+                                             const EmbLayerSpec& spec,
+                                             ShardingScheme scheme)
+    : system_(system),
+      spec_(spec),
+      sharding_(makeSharding(spec, system.numGpus(), scheme)) {
+  const TableConfig config{spec.rows_per_table, spec.dim};
+  tables_.reserve(static_cast<std::size_t>(spec.total_tables));
+  if (scheme == ShardingScheme::kTableWise) {
+    const bool dense = system.mode() == gpu::ExecutionMode::kFunctional;
+    for (std::int64_t t = 0; t < spec.total_tables; ++t) {
+      tables_.push_back(std::make_unique<EmbeddingTable>(
+          system.device(sharding_.tableOwner(t)), config,
+          tableSeed(spec.seed, t),
+          dense ? TableStorage::kDense : TableStorage::kProcedural));
+    }
+  } else {
+    // Row-wise: every table is striped over all GPUs (row r on GPU
+    // r % P); charge each device its shard of every table.
+    const int p = system.numGpus();
+    const std::int64_t shard_rows = (spec.rows_per_table + p - 1) / p;
+    for (int g = 0; g < p; ++g) {
+      system.device(g).allocVirtual(shard_rows * spec.dim *
+                                    spec.total_tables);
+    }
+    for (std::int64_t t = 0; t < spec.total_tables; ++t) {
+      tables_.push_back(std::make_unique<EmbeddingTable>(
+          config, tableSeed(spec.seed, t)));
+    }
+  }
+}
+
+ShardedEmbeddingLayer::~ShardedEmbeddingLayer() {
+  if (sharding_.scheme() == ShardingScheme::kTableWise) {
+    for (std::int64_t t = spec_.total_tables - 1; t >= 0; --t) {
+      tables_[static_cast<std::size_t>(t)]->release(
+          system_.device(sharding_.tableOwner(t)));
+    }
+  }
+}
+
+EmbeddingTable& ShardedEmbeddingLayer::table(std::int64_t global_table) {
+  PGASEMB_CHECK(global_table >= 0 && global_table < spec_.total_tables,
+                "bad table id ", global_table);
+  return *tables_[static_cast<std::size_t>(global_table)];
+}
+
+const EmbeddingTable& ShardedEmbeddingLayer::table(
+    std::int64_t global_table) const {
+  PGASEMB_CHECK(global_table >= 0 && global_table < spec_.total_tables,
+                "bad table id ", global_table);
+  return *tables_[static_cast<std::size_t>(global_table)];
+}
+
+GpuLookupWork ShardedEmbeddingLayer::lookupWork(const SparseBatch& batch,
+                                                int gpu) const {
+  PGASEMB_CHECK(batch.numTables() == spec_.total_tables &&
+                    batch.batchSize() == spec_.batch_size,
+                "batch shape does not match layer spec");
+  const int p = sharding_.numGpus();
+  GpuLookupWork work;
+  work.outputs_to.assign(static_cast<std::size_t>(p), 0);
+  if (sharding_.scheme() == ShardingScheme::kTableWise) {
+    const std::int64_t first = sharding_.firstTableOn(gpu);
+    const std::int64_t count = sharding_.tablesOn(gpu);
+    work.gathered_rows = batch.totalIndices(first, count);
+    for (int d = 0; d < p; ++d) {
+      work.outputs_to[static_cast<std::size_t>(d)] =
+          count * sharding_.miniBatchSize(d);
+    }
+  } else {
+    // Row-wise: every GPU scans all tables but gathers only ~1/p of each
+    // bag, and emits one *partial* pooled vector per (table, sample).
+    work.gathered_rows =
+        batch.totalIndices(0, spec_.total_tables) / static_cast<double>(p);
+    for (int d = 0; d < p; ++d) {
+      work.outputs_to[static_cast<std::size_t>(d)] =
+          spec_.total_tables * sharding_.miniBatchSize(d);
+    }
+  }
+  return work;
+}
+
+std::int64_t ShardedEmbeddingLayer::hashedRow(std::int64_t table,
+                                              std::uint64_t raw) const {
+  return hashIndex(raw, tableSeed(spec_.seed, table), spec_.rows_per_table);
+}
+
+std::vector<float> ShardedEmbeddingLayer::pooledValue(
+    const SparseBatch& batch, std::int64_t table,
+    std::int64_t sample) const {
+  std::vector<float> acc(static_cast<std::size_t>(spec_.dim), 0.0f);
+  const auto offs = batch.offsets(table);
+  const auto idxs = batch.indices(table);
+  const auto b = static_cast<std::size_t>(sample);
+  for (std::int64_t i = offs[b]; i < offs[b + 1]; ++i) {
+    this->table(table).accumulateRow(
+        hashedRow(table, idxs[static_cast<std::size_t>(i)]), acc);
+  }
+  return acc;
+}
+
+std::vector<float> ShardedEmbeddingLayer::partialPooledValue(
+    const SparseBatch& batch, std::int64_t table, std::int64_t sample,
+    int gpu) const {
+  std::vector<float> acc(static_cast<std::size_t>(spec_.dim), 0.0f);
+  const auto offs = batch.offsets(table);
+  const auto idxs = batch.indices(table);
+  const auto b = static_cast<std::size_t>(sample);
+  const int p = sharding_.numGpus();
+  for (std::int64_t i = offs[b]; i < offs[b + 1]; ++i) {
+    const std::int64_t row =
+        hashedRow(table, idxs[static_cast<std::size_t>(i)]);
+    if (static_cast<int>(row % p) == gpu) {
+      this->table(table).accumulateRow(row, acc);
+    }
+  }
+  return acc;
+}
+
+std::vector<float> ShardedEmbeddingLayer::referenceOutput(
+    const SparseBatch& batch, int gpu) const {
+  const std::int64_t mb = sharding_.miniBatchSize(gpu);
+  const std::int64_t b0 = sharding_.miniBatchBegin(gpu);
+  std::vector<float> out(static_cast<std::size_t>(
+      mb * spec_.total_tables * spec_.dim));
+  for (std::int64_t s = 0; s < mb; ++s) {
+    for (std::int64_t t = 0; t < spec_.total_tables; ++t) {
+      const auto pooled = pooledValue(batch, t, b0 + s);
+      const std::size_t base = static_cast<std::size_t>(
+          (s * spec_.total_tables + t) * spec_.dim);
+      for (int c = 0; c < spec_.dim; ++c) {
+        out[base + static_cast<std::size_t>(c)] =
+            pooled[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pgasemb::emb

@@ -1,0 +1,141 @@
+#include "emb/lookup_kernel.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::emb {
+
+SimTime lookupComputeTime(const ShardedEmbeddingLayer& layer,
+                          const GpuLookupWork& work) {
+  const auto& cm =
+      const_cast<ShardedEmbeddingLayer&>(layer).system().costModel();
+  const double dim = static_cast<double>(layer.dim());
+  const double outputs = static_cast<double>(work.totalOutputs());
+  // CSR offsets + raw indices + gathered rows + pooled output writes.
+  const double bytes = outputs * 8.0 + work.gathered_rows * 8.0 +
+                       work.gathered_rows * dim * 4.0 +
+                       outputs * dim * 4.0;
+  const double flops = work.gathered_rows * dim;
+  return cm.gatherKernelTime(flops, bytes, work.gathered_rows);
+}
+
+std::int64_t sendBufferElements(const Sharding& sharding, int gpu,
+                                int dim) {
+  return sharding.tablesOn(gpu) * sharding.batchSize() * dim;
+}
+
+std::int64_t sendBufferIndex(const Sharding& sharding, int gpu,
+                             std::int64_t local_table, std::int64_t sample,
+                             int col, int dim) {
+  const int dst = sharding.sampleOwner(sample);
+  const std::int64_t t_local_count = sharding.tablesOn(gpu);
+  const std::int64_t region_base =
+      sharding.miniBatchBegin(dst) * t_local_count;
+  const std::int64_t in_region =
+      local_table * sharding.miniBatchSize(dst) +
+      (sample - sharding.miniBatchBegin(dst));
+  return (region_base + in_region) * dim + col;
+}
+
+BaselineLookupKernel buildBaselineLookupKernel(
+    ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
+    gpu::DeviceBuffer* send_buffer) {
+  const auto& sharding = layer.sharding();
+  PGASEMB_CHECK(sharding.scheme() == ShardingScheme::kTableWise,
+                "baseline send-buffer layout is table-wise only");
+  const GpuLookupWork work = layer.lookupWork(batch, gpu);
+  const int p = sharding.numGpus();
+  const int dim = layer.dim();
+
+  BaselineLookupKernel out;
+  out.desc.name = "emb_lookup_baseline.gpu" + std::to_string(gpu);
+  out.desc.duration = lookupComputeTime(layer, work);
+  out.send_bytes.resize(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    out.send_bytes[static_cast<std::size_t>(d)] =
+        work.outputs_to[static_cast<std::size_t>(d)] * dim * 4;
+  }
+
+  if (send_buffer != nullptr && batch.materialized()) {
+    PGASEMB_CHECK(send_buffer->size() >=
+                      sendBufferElements(sharding, gpu, dim),
+                  "send buffer too small");
+    out.desc.functional_body = [&layer, &batch, gpu, send_buffer] {
+      const auto& sh = layer.sharding();
+      const std::int64_t first = sh.firstTableOn(gpu);
+      const std::int64_t count = sh.tablesOn(gpu);
+      auto dst_span = send_buffer->span();
+      for (std::int64_t lt = 0; lt < count; ++lt) {
+        for (std::int64_t b = 0; b < sh.batchSize(); ++b) {
+          const auto pooled = layer.pooledValue(batch, first + lt, b);
+          for (int c = 0; c < layer.dim(); ++c) {
+            dst_span[static_cast<std::size_t>(
+                sendBufferIndex(sh, gpu, lt, b, c, layer.dim()))] =
+                pooled[static_cast<std::size_t>(c)];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+FusedLookupKernel buildFusedLookupKernel(
+    ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
+    std::vector<gpu::DeviceBuffer>* outputs, int slices) {
+  PGASEMB_CHECK(slices >= 1, "need at least one slice");
+  const auto& sharding = layer.sharding();
+  const GpuLookupWork work = layer.lookupWork(batch, gpu);
+  const int p = sharding.numGpus();
+  const int dim = layer.dim();
+
+  FusedLookupKernel out;
+  out.desc.name = "emb_lookup_pgas_fused.gpu" + std::to_string(gpu);
+  out.desc.duration = lookupComputeTime(layer, work);
+
+  std::vector<std::int64_t> payload(static_cast<std::size_t>(p), 0);
+  for (int d = 0; d < p; ++d) {
+    payload[static_cast<std::size_t>(d)] =
+        work.outputs_to[static_cast<std::size_t>(d)] * dim * 4;
+  }
+  out.plan = pgas::makeUniformPlan(payload, gpu, slices,
+                                   kCoalescedMessageBytes);
+
+  if (outputs != nullptr && batch.materialized()) {
+    PGASEMB_CHECK(static_cast<int>(outputs->size()) == p,
+                  "need one output tensor per GPU");
+    const bool row_wise = sharding.scheme() == ShardingScheme::kRowWise;
+    out.desc.functional_body = [&layer, &batch, gpu, outputs, row_wise] {
+      const auto& sh = layer.sharding();
+      const int dim2 = layer.dim();
+      const std::int64_t first =
+          row_wise ? 0 : sh.firstTableOn(gpu);
+      const std::int64_t count =
+          row_wise ? sh.totalTables() : sh.tablesOn(gpu);
+      for (std::int64_t lt = 0; lt < count; ++lt) {
+        const std::int64_t t = first + lt;
+        for (std::int64_t b = 0; b < sh.batchSize(); ++b) {
+          const int dst = sh.sampleOwner(b);
+          auto dst_span =
+              (*outputs)[static_cast<std::size_t>(dst)].span();
+          const auto pooled =
+              row_wise ? layer.partialPooledValue(batch, t, b, gpu)
+                       : layer.pooledValue(batch, t, b);
+          for (int c = 0; c < dim2; ++c) {
+            const auto idx = static_cast<std::size_t>(
+                sh.outputIndex(b, t, c, dim2));
+            // One-sided store for table-wise ownership; remote atomic
+            // add for row-wise partial sums (paper §V).
+            if (row_wise) {
+              dst_span[idx] += pooled[static_cast<std::size_t>(c)];
+            } else {
+              dst_span[idx] = pooled[static_cast<std::size_t>(c)];
+            }
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace pgasemb::emb

@@ -1,0 +1,65 @@
+// Lookup+pooling kernel builders (paper §II-B and Listing 2).
+//
+// Both retrieval schemes run the same gather/pool compute; they differ in
+// where results are written:
+//  - baseline: into a local *send buffer* in all-to-all order (so NCCL
+//    can ship contiguous chunks), later unpacked on the receiver;
+//  - PGAS fused: directly into the (possibly remote) final output tensor
+//    via one-sided writes issued as results are produced — no staging,
+//    no unpack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emb/layer.hpp"
+#include "gpu/kernel.hpp"
+#include "pgas/message_plan.hpp"
+
+namespace pgasemb::emb {
+
+/// Warp-coalesced one-sided message granularity (paper Figs 7/10 use
+/// 256-byte units; one dim-64 fp32 embedding row is exactly 256 B).
+inline constexpr std::int64_t kCoalescedMessageBytes = 256;
+
+struct BaselineLookupKernel {
+  gpu::KernelDesc desc;
+  /// Payload bytes destined to each GPU (self entry = the local chunk,
+  /// which moves as a device-local copy, not over the fabric).
+  std::vector<std::int64_t> send_bytes;
+};
+
+/// Build GPU `gpu`'s baseline lookup kernel. In functional mode
+/// `send_buffer` receives the pooled embeddings laid out
+/// [dst][local table][dst-local sample][col].
+BaselineLookupKernel buildBaselineLookupKernel(
+    ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
+    gpu::DeviceBuffer* send_buffer);
+
+struct FusedLookupKernel {
+  gpu::KernelDesc desc;  ///< message plan not yet attached (PgasRuntime)
+  pgas::MessagePlan plan;
+};
+
+/// Build GPU `gpu`'s PGAS fused lookup kernel. In functional mode
+/// `outputs[d]` is GPU d's final output tensor
+/// ([mini-batch sample][global table][col]); remote entries are written
+/// directly (row-wise sharding accumulates partial sums instead).
+FusedLookupKernel buildFusedLookupKernel(
+    ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
+    std::vector<gpu::DeviceBuffer>* outputs, int slices);
+
+/// Compute cost shared by both kernels (gather + pool + output writes).
+SimTime lookupComputeTime(const ShardedEmbeddingLayer& layer,
+                          const GpuLookupWork& work);
+
+/// Offset (elements) of (local table, destination, dst-local sample)
+/// within a baseline send buffer.
+std::int64_t sendBufferIndex(const Sharding& sharding, int gpu,
+                             std::int64_t local_table, std::int64_t sample,
+                             int col, int dim);
+
+/// Elements in GPU `gpu`'s baseline send buffer.
+std::int64_t sendBufferElements(const Sharding& sharding, int gpu, int dim);
+
+}  // namespace pgasemb::emb

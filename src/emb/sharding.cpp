@@ -1,0 +1,131 @@
+#include "emb/sharding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgasemb::emb {
+
+BlockPartition::BlockPartition(std::int64_t count, int parts)
+    : count_(count), parts_(parts) {
+  PGASEMB_CHECK(count >= 0, "negative item count");
+  PGASEMB_CHECK(parts >= 1, "need at least one part");
+}
+
+BlockPartition::BlockPartition(std::vector<std::int64_t> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  PGASEMB_CHECK(boundaries_.size() >= 2, "need at least one part");
+  PGASEMB_CHECK(boundaries_.front() == 0, "boundaries must start at 0");
+  for (std::size_t k = 1; k < boundaries_.size(); ++k) {
+    PGASEMB_CHECK(boundaries_[k] >= boundaries_[k - 1],
+                  "boundaries must be non-decreasing");
+  }
+  parts_ = static_cast<int>(boundaries_.size()) - 1;
+  count_ = boundaries_.back();
+}
+
+std::int64_t BlockPartition::begin(int part) const {
+  PGASEMB_CHECK(part >= 0 && part < parts_, "bad part ", part);
+  if (!boundaries_.empty()) {
+    return boundaries_[static_cast<std::size_t>(part)];
+  }
+  const std::int64_t base = count_ / parts_;
+  const std::int64_t extra = count_ % parts_;
+  return static_cast<std::int64_t>(part) * base +
+         std::min<std::int64_t>(part, extra);
+}
+
+std::int64_t BlockPartition::size(int part) const {
+  PGASEMB_CHECK(part >= 0 && part < parts_, "bad part ", part);
+  if (!boundaries_.empty()) {
+    return boundaries_[static_cast<std::size_t>(part) + 1] -
+           boundaries_[static_cast<std::size_t>(part)];
+  }
+  const std::int64_t base = count_ / parts_;
+  const std::int64_t extra = count_ % parts_;
+  return base + (part < extra ? 1 : 0);
+}
+
+int BlockPartition::ownerOf(std::int64_t item) const {
+  PGASEMB_CHECK(item >= 0 && item < count_, "item out of range: ", item);
+  if (!boundaries_.empty()) {
+    // First part whose end exceeds the item.
+    const auto it = std::upper_bound(boundaries_.begin() + 1,
+                                     boundaries_.end(), item);
+    return static_cast<int>(it - boundaries_.begin()) - 1;
+  }
+  const std::int64_t base = count_ / parts_;
+  const std::int64_t extra = count_ % parts_;
+  const std::int64_t fat = (base + 1) * extra;  // items in the fat prefix
+  if (item < fat) {
+    return static_cast<int>(item / (base + 1));
+  }
+  PGASEMB_ASSERT(base > 0, "ownerOf: ragged partition inconsistency");
+  return static_cast<int>(extra + (item - fat) / base);
+}
+
+Sharding::Sharding(std::int64_t total_tables, std::int64_t batch_size,
+                   int num_gpus, ShardingScheme scheme)
+    : tables_(total_tables, num_gpus),
+      batch_(batch_size, num_gpus),
+      scheme_(scheme) {
+  PGASEMB_CHECK(total_tables >= 1, "need at least one table");
+  PGASEMB_CHECK(batch_size >= num_gpus,
+                "batch must have at least one sample per GPU");
+}
+
+Sharding::Sharding(std::vector<std::int64_t> table_boundaries,
+                   std::int64_t batch_size, int num_gpus)
+    : tables_(std::move(table_boundaries)),
+      batch_(batch_size, num_gpus),
+      scheme_(ShardingScheme::kTableWise) {
+  PGASEMB_CHECK(tables_.parts() == num_gpus,
+                "boundary count must match the GPU count");
+  PGASEMB_CHECK(batch_size >= num_gpus,
+                "batch must have at least one sample per GPU");
+}
+
+std::vector<std::int64_t> balancedTableBoundaries(
+    const std::vector<double>& weights, int parts) {
+  PGASEMB_CHECK(parts >= 1, "need at least one part");
+  PGASEMB_CHECK(static_cast<int>(weights.size()) >= parts,
+                "need at least one table per part");
+  double remaining = 0.0;
+  for (double w : weights) {
+    PGASEMB_CHECK(w >= 0.0, "negative table weight");
+    remaining += w;
+  }
+  const std::int64_t n = static_cast<std::int64_t>(weights.size());
+  std::vector<std::int64_t> boundaries{0};
+  std::int64_t t = 0;
+  for (int part = 0; part < parts - 1; ++part) {
+    const int parts_left = parts - part;
+    const double target = remaining / parts_left;
+    // Each block takes at least one table, then keeps extending while
+    // that brings its load closer to the remaining-average target —
+    // without starving the later parts of their one-table minimum.
+    double acc = weights[static_cast<std::size_t>(t++)];
+    while (t < n - (parts_left - 1)) {
+      const double with = acc + weights[static_cast<std::size_t>(t)];
+      if (std::abs(with - target) > std::abs(acc - target)) break;
+      acc = with;
+      ++t;
+    }
+    remaining -= acc;
+    boundaries.push_back(t);
+  }
+  boundaries.push_back(n);
+  return boundaries;
+}
+
+std::int64_t Sharding::outputIndex(std::int64_t sample, std::int64_t table,
+                                   int col, int dim) const {
+  const int owner = sampleOwner(sample);
+  const std::int64_t local_sample = sample - batch_.begin(owner);
+  return (local_sample * tables_.count() + table) * dim + col;
+}
+
+std::int64_t Sharding::outputElements(int gpu, int dim) const {
+  return batch_.size(gpu) * tables_.count() * dim;
+}
+
+}  // namespace pgasemb::emb

@@ -1,0 +1,109 @@
+#include "emb/sparse_batch.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::emb {
+namespace {
+
+void validate(const SparseBatchSpec& spec) {
+  PGASEMB_CHECK(spec.num_tables >= 1, "need at least one table");
+  PGASEMB_CHECK(spec.batch_size >= 1, "need at least one sample");
+  PGASEMB_CHECK(spec.min_pooling >= 0, "negative min pooling");
+  PGASEMB_CHECK(spec.max_pooling >= spec.min_pooling,
+                "max pooling below min pooling");
+  PGASEMB_CHECK(spec.index_space >= 1, "empty index space");
+  PGASEMB_CHECK(spec.per_table_max_pooling.empty() ||
+                    static_cast<std::int64_t>(
+                        spec.per_table_max_pooling.size()) ==
+                        spec.num_tables,
+                "per-table pooling list must match the table count");
+  for (int m : spec.per_table_max_pooling) {
+    PGASEMB_CHECK(m >= spec.min_pooling,
+                  "per-table max pooling below min pooling");
+  }
+}
+
+}  // namespace
+
+SparseBatch SparseBatch::statistical(const SparseBatchSpec& spec) {
+  validate(spec);
+  SparseBatch b;
+  b.spec_ = spec;
+  b.materialized_ = false;
+  return b;
+}
+
+SparseBatch SparseBatch::generateUniform(const SparseBatchSpec& spec,
+                                         Rng& rng) {
+  validate(spec);
+  SparseBatch b;
+  b.spec_ = spec;
+  b.materialized_ = true;
+  b.offsets_.resize(static_cast<std::size_t>(spec.num_tables));
+  b.indices_.resize(static_cast<std::size_t>(spec.num_tables));
+  for (std::int64_t t = 0; t < spec.num_tables; ++t) {
+    auto& offs = b.offsets_[static_cast<std::size_t>(t)];
+    auto& idxs = b.indices_[static_cast<std::size_t>(t)];
+    offs.reserve(static_cast<std::size_t>(spec.batch_size) + 1);
+    offs.push_back(0);
+    for (std::int64_t s = 0; s < spec.batch_size; ++s) {
+      const std::int64_t bag =
+          rng.uniformInt(spec.min_pooling, spec.maxPoolingOf(t));
+      for (std::int64_t i = 0; i < bag; ++i) {
+        idxs.push_back(rng.nextBounded(spec.index_space));
+      }
+      offs.push_back(static_cast<std::int64_t>(idxs.size()));
+    }
+  }
+  return b;
+}
+
+std::span<const std::int64_t> SparseBatch::offsets(std::int64_t table) const {
+  PGASEMB_CHECK(materialized_, "offsets() on a statistical batch");
+  PGASEMB_CHECK(table >= 0 && table < spec_.num_tables, "bad table ", table);
+  return offsets_[static_cast<std::size_t>(table)];
+}
+
+std::span<const std::uint64_t> SparseBatch::indices(
+    std::int64_t table) const {
+  PGASEMB_CHECK(materialized_, "indices() on a statistical batch");
+  PGASEMB_CHECK(table >= 0 && table < spec_.num_tables, "bad table ", table);
+  return indices_[static_cast<std::size_t>(table)];
+}
+
+std::int64_t SparseBatch::poolingFactor(std::int64_t table,
+                                        std::int64_t sample) const {
+  const auto offs = offsets(table);
+  PGASEMB_CHECK(sample >= 0 && sample < spec_.batch_size, "bad sample ",
+                sample);
+  return offs[static_cast<std::size_t>(sample) + 1] -
+         offs[static_cast<std::size_t>(sample)];
+}
+
+double SparseBatch::totalIndices(std::int64_t first,
+                                 std::int64_t count) const {
+  PGASEMB_CHECK(first >= 0 && count >= 0 &&
+                    first + count <= spec_.num_tables,
+                "bad table range [", first, ", ", first + count, ")");
+  if (!materialized_) {
+    double total = 0.0;
+    for (std::int64_t t = first; t < first + count; ++t) {
+      total += static_cast<double>(spec_.batch_size) *
+               spec_.avgPoolingOf(t);
+    }
+    return total;
+  }
+  std::int64_t total = 0;
+  for (std::int64_t t = first; t < first + count; ++t) {
+    total += tableIndexCount(t);
+  }
+  return static_cast<double>(total);
+}
+
+std::int64_t SparseBatch::tableIndexCount(std::int64_t table) const {
+  PGASEMB_CHECK(materialized_, "tableIndexCount() on a statistical batch");
+  return static_cast<std::int64_t>(
+      indices_[static_cast<std::size_t>(table)].size());
+}
+
+}  // namespace pgasemb::emb

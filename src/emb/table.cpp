@@ -1,0 +1,84 @@
+#include "emb/table.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::emb {
+
+EmbeddingTable::EmbeddingTable(gpu::Device& device,
+                               const TableConfig& config, std::uint64_t seed,
+                               TableStorage storage)
+    : config_(config), seed_(seed), storage_(storage) {
+  PGASEMB_CHECK(config.hash_size >= 1, "table needs at least one row");
+  PGASEMB_CHECK(config.dim >= 1, "table needs positive dim");
+  const std::int64_t elements = config.hash_size * config.dim;
+  if (storage == TableStorage::kDense) {
+    buffer_ = device.alloc(elements);
+    if (buffer_.backed()) {
+      auto data = buffer_.span();
+      for (std::int64_t r = 0; r < config.hash_size; ++r) {
+        for (int c = 0; c < config.dim; ++c) {
+          data[static_cast<std::size_t>(r * config.dim + c)] =
+              proceduralWeight(seed, r, c);
+        }
+      }
+    }
+  } else {
+    // Capacity is still charged — the paper's strong-scaling config is
+    // sized by what fits in one 32 GB GPU.
+    buffer_ = device.allocVirtual(elements);
+  }
+}
+
+EmbeddingTable::EmbeddingTable(const TableConfig& config, std::uint64_t seed)
+    : config_(config), seed_(seed), storage_(TableStorage::kProcedural) {
+  PGASEMB_CHECK(config.hash_size >= 1, "table needs at least one row");
+  PGASEMB_CHECK(config.dim >= 1, "table needs positive dim");
+}
+
+float EmbeddingTable::weight(std::int64_t row, int col) const {
+  PGASEMB_CHECK(row >= 0 && row < config_.hash_size, "row out of range: ",
+                row);
+  PGASEMB_CHECK(col >= 0 && col < config_.dim, "col out of range: ", col);
+  if (storage_ == TableStorage::kDense && buffer_.backed()) {
+    return buffer_.span()[static_cast<std::size_t>(row * config_.dim + col)];
+  }
+  return proceduralWeight(seed_, row, col);
+}
+
+void EmbeddingTable::accumulateRow(std::int64_t row,
+                                   std::span<float> acc) const {
+  PGASEMB_CHECK(static_cast<int>(acc.size()) == config_.dim,
+                "accumulator size mismatch");
+  if (storage_ == TableStorage::kDense && buffer_.backed()) {
+    const auto data = buffer_.span();
+    const std::size_t base = static_cast<std::size_t>(row * config_.dim);
+    for (int c = 0; c < config_.dim; ++c) {
+      acc[static_cast<std::size_t>(c)] += data[base +
+                                               static_cast<std::size_t>(c)];
+    }
+  } else {
+    for (int c = 0; c < config_.dim; ++c) {
+      acc[static_cast<std::size_t>(c)] += proceduralWeight(seed_, row, c);
+    }
+  }
+}
+
+void EmbeddingTable::applyGradient(std::int64_t row,
+                                   std::span<const float> grad, float lr) {
+  PGASEMB_CHECK(storage_ == TableStorage::kDense && buffer_.backed(),
+                "applyGradient requires dense backed storage");
+  PGASEMB_CHECK(static_cast<int>(grad.size()) == config_.dim,
+                "gradient size mismatch");
+  auto data = buffer_.span();
+  const std::size_t base = static_cast<std::size_t>(row * config_.dim);
+  for (int c = 0; c < config_.dim; ++c) {
+    data[base + static_cast<std::size_t>(c)] -=
+        lr * grad[static_cast<std::size_t>(c)];
+  }
+}
+
+void EmbeddingTable::release(gpu::Device& device) {
+  if (buffer_.valid()) device.free(buffer_);
+}
+
+}  // namespace pgasemb::emb

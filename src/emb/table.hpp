@@ -1,0 +1,63 @@
+// Embedding tables (paper §II-A, Fig 2).
+//
+// A table is M rows of d learned fp32 weights on one device.  Storage is
+// either dense (a real device buffer — functional mode, trainable) or
+// procedural (weights computed from a hash of (table, row, col) — zero
+// bytes of host memory, used for paper-scale timing runs).  Both policies
+// expose identical values for the same seed, so correctness tests can
+// compare the two paths bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "emb/hashing.hpp"
+#include "gpu/device.hpp"
+
+namespace pgasemb::emb {
+
+enum class TableStorage { kDense, kProcedural };
+
+struct TableConfig {
+  std::int64_t hash_size = 100;  ///< M: rows after hashing
+  int dim = 64;                  ///< d: embedding vector size
+};
+
+class EmbeddingTable {
+ public:
+  /// Allocates the table on `device` (dense storage is initialized to the
+  /// procedural weights for `seed` so both policies agree).
+  EmbeddingTable(gpu::Device& device, const TableConfig& config,
+                 std::uint64_t seed, TableStorage storage);
+
+  /// Procedural table whose device capacity is managed externally (used
+  /// by row-wise sharding, where one table's rows are striped over all
+  /// GPUs and each GPU charges only its shard).
+  EmbeddingTable(const TableConfig& config, std::uint64_t seed);
+
+  const TableConfig& config() const { return config_; }
+  TableStorage storage() const { return storage_; }
+  std::uint64_t seed() const { return seed_; }
+  std::int64_t sizeBytes() const { return config_.hash_size * config_.dim * 4; }
+
+  /// Weight of (row, col).
+  float weight(std::int64_t row, int col) const;
+
+  /// Accumulate row `row` into `acc` (size dim) — the pooling step.
+  void accumulateRow(std::int64_t row, std::span<float> acc) const;
+
+  /// Add `grad` (size dim) into row `row` scaled by -lr (SGD update).
+  /// Dense storage only.
+  void applyGradient(std::int64_t row, std::span<const float> grad,
+                     float lr);
+
+  /// Release the device allocation.
+  void release(gpu::Device& device);
+
+ private:
+  TableConfig config_;
+  std::uint64_t seed_;
+  TableStorage storage_;
+  gpu::DeviceBuffer buffer_;
+};
+
+}  // namespace pgasemb::emb

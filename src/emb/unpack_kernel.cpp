@@ -1,0 +1,64 @@
+#include "emb/unpack_kernel.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::emb {
+
+std::int64_t recvBufferIndex(const Sharding& sharding, int dst, int src,
+                             std::int64_t local_table,
+                             std::int64_t local_sample, int col, int dim) {
+  // Chunks are ordered by source GPU; source g contributes
+  // tablesOn(g) * miniBatchSize(dst) rows. Because tables are
+  // block-partitioned, the chunk base is firstTableOn(src) rows-worth.
+  const std::int64_t mb = sharding.miniBatchSize(dst);
+  const std::int64_t base = sharding.firstTableOn(src) * mb;
+  return (base + local_table * mb + local_sample) * dim + col;
+}
+
+std::int64_t recvBufferElements(const Sharding& sharding, int dst, int dim) {
+  return sharding.totalTables() * sharding.miniBatchSize(dst) * dim;
+}
+
+gpu::KernelDesc buildUnpackKernel(ShardedEmbeddingLayer& layer, int gpu,
+                                  gpu::DeviceBuffer* recv_buffer,
+                                  gpu::DeviceBuffer* output) {
+  const auto& sharding = layer.sharding();
+  const int dim = layer.dim();
+  const auto& cm = layer.system().costModel();
+
+  gpu::KernelDesc desc;
+  desc.name = "emb_unpack.gpu" + std::to_string(gpu);
+  // One streaming read + one write of every received element.
+  const double bytes =
+      2.0 * static_cast<double>(recvBufferElements(sharding, gpu, dim)) *
+      4.0;
+  desc.duration = cm.unpackKernelTime(bytes);
+
+  if (recv_buffer != nullptr && output != nullptr) {
+    desc.functional_body = [&layer, gpu, recv_buffer, output] {
+      const auto& sh = layer.sharding();
+      const int dim2 = layer.dim();
+      const auto recv = recv_buffer->span();
+      auto out = output->span();
+      const std::int64_t mb = sh.miniBatchSize(gpu);
+      const std::int64_t b0 = sh.miniBatchBegin(gpu);
+      for (int src = 0; src < sh.numGpus(); ++src) {
+        const std::int64_t first = sh.firstTableOn(src);
+        const std::int64_t count = sh.tablesOn(src);
+        for (std::int64_t lt = 0; lt < count; ++lt) {
+          for (std::int64_t s = 0; s < mb; ++s) {
+            for (int c = 0; c < dim2; ++c) {
+              out[static_cast<std::size_t>(
+                  sh.outputIndex(b0 + s, first + lt, c, dim2))] =
+                  recv[static_cast<std::size_t>(recvBufferIndex(
+                      sh, gpu, src, lt, s, c, dim2))];
+            }
+          }
+        }
+      }
+    };
+  }
+  return desc;
+}
+
+}  // namespace pgasemb::emb

@@ -1,0 +1,33 @@
+// The baseline's unpack / data-rearrangement kernel (paper §III-A item 1).
+//
+// After the all-to-all, GPU d's receive buffer holds contiguous chunks
+// ordered by source GPU: [src][src-local table][d-local sample][col].
+// The interaction layer needs [d-local sample][global table][col], so the
+// baseline pays one extra streaming pass over all received (plus local)
+// data.  The PGAS path has no analogue of this kernel — that is one of
+// the paper's two headline savings.
+#pragma once
+
+#include <cstdint>
+
+#include "emb/layer.hpp"
+#include "gpu/kernel.hpp"
+
+namespace pgasemb::emb {
+
+/// Offset (elements) of (src GPU, src-local table, dst-local sample, col)
+/// in GPU `dst`'s receive buffer.
+std::int64_t recvBufferIndex(const Sharding& sharding, int dst, int src,
+                             std::int64_t local_table,
+                             std::int64_t local_sample, int col, int dim);
+
+/// Elements in GPU `dst`'s receive buffer (all sources, local included).
+std::int64_t recvBufferElements(const Sharding& sharding, int dst, int dim);
+
+/// Build GPU `gpu`'s unpack kernel. In functional mode it rearranges
+/// `recv_buffer` into `output` (the final [sample][table][col] tensor).
+gpu::KernelDesc buildUnpackKernel(ShardedEmbeddingLayer& layer, int gpu,
+                                  gpu::DeviceBuffer* recv_buffer,
+                                  gpu::DeviceBuffer* output);
+
+}  // namespace pgasemb::emb

@@ -1,0 +1,47 @@
+#include "emb/workload.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::emb {
+
+EmbLayerSpec weakScalingLayerSpec(int num_gpus) {
+  PGASEMB_CHECK(num_gpus >= 1, "need at least one GPU");
+  EmbLayerSpec spec;
+  spec.total_tables = 64LL * num_gpus;
+  spec.rows_per_table = 1'000'000;
+  spec.dim = 64;
+  spec.batch_size = 16'384;
+  spec.min_pooling = 1;
+  spec.max_pooling = 128;
+  spec.seed = 0x5eed'0001;
+  spec.index_space = 1ULL << 40;  // large raw domain; hashing compresses
+  return spec;
+}
+
+EmbLayerSpec strongScalingLayerSpec() {
+  EmbLayerSpec spec;
+  spec.total_tables = 96;
+  spec.rows_per_table = 1'000'000;
+  spec.dim = 64;
+  spec.batch_size = 16'384;
+  spec.min_pooling = 1;
+  spec.max_pooling = 32;
+  spec.seed = 0x5eed'0002;
+  spec.index_space = 1ULL << 40;
+  return spec;
+}
+
+EmbLayerSpec tinyLayerSpec() {
+  EmbLayerSpec spec;
+  spec.total_tables = 8;
+  spec.rows_per_table = 100;
+  spec.dim = 8;
+  spec.batch_size = 12;
+  spec.min_pooling = 0;  // exercise NULL inputs
+  spec.max_pooling = 6;
+  spec.seed = 0x5eed'0003;
+  spec.index_space = 1u << 16;
+  return spec;
+}
+
+}  // namespace pgasemb::emb

@@ -1,0 +1,23 @@
+// The paper's experiment configurations (§IV).
+#pragma once
+
+#include "emb/layer.hpp"
+
+namespace pgasemb::emb {
+
+/// Weak scaling (§IV-A): per GPU, 64 tables x 1M rows, dim 64, batch
+/// 16384, pooling U(1, 128), 100 batches.
+EmbLayerSpec weakScalingLayerSpec(int num_gpus);
+
+/// Strong scaling (§IV-B): 96 tables x 1M rows total (sized to fill one
+/// 32 GB V100), dim 64, batch 16384, pooling U(1, 32), 100 batches.
+EmbLayerSpec strongScalingLayerSpec();
+
+/// Number of inference batches both tests accumulate over.
+inline constexpr int kPaperNumBatches = 100;
+
+/// A small functional-mode spec for examples/tests (same shape, tiny
+/// sizes).
+EmbLayerSpec tinyLayerSpec();
+
+}  // namespace pgasemb::emb

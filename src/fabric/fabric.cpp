@@ -1,0 +1,70 @@
+#include "fabric/fabric.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::fabric {
+
+Fabric::Fabric(sim::Simulator& simulator, std::unique_ptr<Topology> topology,
+               SimTime counter_bucket_width)
+    : simulator_(simulator),
+      topology_(std::move(topology)),
+      injected_(counter_bucket_width),
+      delivered_(counter_bucket_width) {
+  PGASEMB_CHECK(topology_ != nullptr, "fabric needs a topology");
+}
+
+Fabric::Delivery Fabric::transfer(int src, int dst,
+                                  std::int64_t payload_bytes,
+                                  std::int64_t n_messages, SimTime at,
+                                  std::function<void(SimTime)> on_delivered,
+                                  double bandwidth_fraction) {
+  PGASEMB_CHECK(payload_bytes >= 0 && n_messages >= 0, "negative flow");
+  Delivery d{at, at};
+  if (src != dst && payload_bytes + n_messages > 0) {
+    SimTime cursor = at;
+    SimTime wire_start = at;
+    bool first_hop = true;
+    for (Link* link : topology_->route(src, dst)) {
+      // Store-and-forward at flow granularity per hop.
+      const auto grant =
+          link->occupy(cursor, payload_bytes, n_messages,
+                       bandwidth_fraction);
+      if (first_hop) {
+        wire_start = grant.start;
+        first_hop = false;
+      }
+      cursor = grant.end + link->params().latency;
+    }
+    d.delivered = cursor;
+    if (flow_observer_) {
+      flow_observer_(src, dst, payload_bytes, n_messages, wire_start,
+                     d.delivered);
+    }
+    injected_.add(at, static_cast<double>(payload_bytes));
+    delivered_.add(d.delivered, static_cast<double>(payload_bytes));
+    total_payload_bytes_ += payload_bytes;
+    total_messages_ += n_messages;
+  }
+  if (on_delivered) {
+    if (d.delivered <= simulator_.now()) {
+      on_delivered(d.delivered);
+    } else {
+      simulator_.scheduleAt(d.delivered,
+                            [t = d.delivered, fn = std::move(on_delivered)] {
+                              fn(t);
+                            });
+    }
+  }
+  return d;
+}
+
+void Fabric::reset() {
+  injected_.reset();
+  delivered_.reset();
+  total_payload_bytes_ = 0;
+  total_messages_ = 0;
+  for (Link* link : topology_->links()) link->reset();
+}
+
+}  // namespace pgasemb::fabric

@@ -1,0 +1,81 @@
+// Fabric: the transfer facade over a Topology.
+//
+// A "flow" is a batch of same-destination messages injected at one
+// simulated instant — a collective chunk (one big message) or a slice of
+// warp-coalesced PGAS stores (many 256-byte messages).  The fabric
+// serializes flows hop by hop through the route's FIFO links, records
+// byte counters over time, and reports the delivery time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "fabric/time_series_counter.hpp"
+#include "fabric/topology.hpp"
+#include "util/time.hpp"
+
+namespace pgasemb::sim {
+class Simulator;
+}
+
+namespace pgasemb::fabric {
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& simulator, std::unique_ptr<Topology> topology,
+         SimTime counter_bucket_width = SimTime::us(5.0));
+
+  int numGpus() const { return topology_->numGpus(); }
+  Topology& topology() { return *topology_; }
+
+  struct Delivery {
+    SimTime injected;
+    SimTime delivered;
+  };
+
+  /// Inject a flow of `n_messages` messages totalling `payload_bytes`
+  /// from GPU `src` to GPU `dst` at time `at`.  Returns the (eagerly
+  /// computable) delivery time; if `on_delivered` is given it fires as a
+  /// simulator event at that time (used for functional data landing and
+  /// request completion).
+  /// `bandwidth_fraction` scales achieved link bandwidth for this flow
+  /// (collective protocol efficiency vs. raw one-sided stores).
+  Delivery transfer(int src, int dst, std::int64_t payload_bytes,
+                    std::int64_t n_messages, SimTime at,
+                    std::function<void(SimTime)> on_delivered = nullptr,
+                    double bandwidth_fraction = 1.0);
+
+  /// Bytes put on the wire over time (payload only), all flows.
+  const TimeSeriesCounter& injectionCounter() const { return injected_; }
+  /// Bytes delivered over time (payload only), all flows.
+  const TimeSeriesCounter& deliveryCounter() const { return delivered_; }
+
+  std::int64_t totalPayloadBytes() const { return total_payload_bytes_; }
+  std::int64_t totalMessages() const { return total_messages_; }
+
+  /// Observer invoked once per non-local flow with
+  /// (src, dst, payload bytes, message count, wire start, delivered).
+  using FlowObserver = std::function<void(int src, int dst,
+                                          std::int64_t payload_bytes,
+                                          std::int64_t n_messages,
+                                          SimTime wire_start,
+                                          SimTime delivered)>;
+  void setFlowObserver(FlowObserver observer) {
+    flow_observer_ = std::move(observer);
+  }
+
+  /// Clear counters and link occupancy (new experiment, same topology).
+  void reset();
+
+ private:
+  sim::Simulator& simulator_;
+  std::unique_ptr<Topology> topology_;
+  TimeSeriesCounter injected_;
+  TimeSeriesCounter delivered_;
+  std::int64_t total_payload_bytes_ = 0;
+  std::int64_t total_messages_ = 0;
+  FlowObserver flow_observer_;
+};
+
+}  // namespace pgasemb::fabric

@@ -1,0 +1,48 @@
+#include "fabric/link.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::fabric {
+
+Link::Link(std::string name, const LinkParams& params)
+    : name_(std::move(name)), params_(params), fifo_(name_ + ".wire") {
+  PGASEMB_CHECK(params.bandwidth_bytes_per_sec > 0.0,
+                "link bandwidth must be positive");
+  PGASEMB_CHECK(params.header_bytes >= 0, "negative header size");
+}
+
+SimTime Link::serializationTime(std::int64_t payload_bytes,
+                                std::int64_t n_messages,
+                                double bandwidth_fraction) const {
+  PGASEMB_CHECK(payload_bytes >= 0 && n_messages >= 0, "negative flow size");
+  PGASEMB_CHECK(bandwidth_fraction > 0.0 && bandwidth_fraction <= 1.0,
+                "bandwidth fraction out of (0, 1]: ", bandwidth_fraction);
+  const double wire_bytes = static_cast<double>(
+      payload_bytes + n_messages * params_.header_bytes);
+  double seconds =
+      wire_bytes / (params_.bandwidth_bytes_per_sec * bandwidth_fraction);
+  if (params_.max_messages_per_sec > 0.0 && n_messages > 0) {
+    seconds = std::max(seconds, static_cast<double>(n_messages) /
+                                    params_.max_messages_per_sec);
+  }
+  return SimTime::sec(seconds);
+}
+
+sim::FifoResource::Grant Link::occupy(SimTime at, std::int64_t payload_bytes,
+                                      std::int64_t n_messages,
+                                      double bandwidth_fraction) {
+  total_payload_bytes_ += payload_bytes;
+  total_messages_ += n_messages;
+  return fifo_.acquire(
+      at, serializationTime(payload_bytes, n_messages, bandwidth_fraction));
+}
+
+void Link::reset() {
+  fifo_.reset();
+  total_payload_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+}  // namespace pgasemb::fabric

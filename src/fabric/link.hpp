@@ -1,0 +1,62 @@
+// A directed interconnect link with bandwidth, latency, per-message
+// header overhead and an optional message-rate ceiling.
+//
+// NVLink-style links have negligible per-message cost beyond the 32-byte
+// flit header (hardware write-combining keeps small stores efficient);
+// network (inter-node) links additionally cap the sustainable message
+// rate, which is what makes un-aggregated small messages expensive there
+// (paper §V future-work discussion, and the aggregator ablation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/fifo_resource.hpp"
+#include "util/time.hpp"
+
+namespace pgasemb::fabric {
+
+struct LinkParams {
+  double bandwidth_bytes_per_sec = 48e9;  ///< V100 NVLink pair, per direction
+  SimTime latency = SimTime::us(1.9);     ///< one-way propagation + protocol
+  std::int64_t header_bytes = 32;         ///< per-message framing overhead
+  double max_messages_per_sec = 0.0;      ///< 0 = unlimited (NVLink)
+};
+
+class Link {
+ public:
+  Link(std::string name, const LinkParams& params);
+
+  /// Wire time to serialize `payload_bytes` split over `n_messages`
+  /// (headers included; message-rate ceiling applied).
+  /// `bandwidth_fraction` scales the achieved bandwidth — collectives
+  /// pass their protocol efficiency; direct one-sided stores pass 1.0.
+  SimTime serializationTime(std::int64_t payload_bytes,
+                            std::int64_t n_messages,
+                            double bandwidth_fraction = 1.0) const;
+
+  /// Occupy the link for one flow arriving at `at`; returns the grant
+  /// from the FIFO queue (start/end of wire occupancy; delivery adds
+  /// `params().latency`).
+  sim::FifoResource::Grant occupy(SimTime at, std::int64_t payload_bytes,
+                                  std::int64_t n_messages,
+                                  double bandwidth_fraction = 1.0);
+
+  const LinkParams& params() const { return params_; }
+  const std::string& name() const { return name_; }
+  sim::FifoResource& fifo() { return fifo_; }
+
+  std::int64_t totalPayloadBytes() const { return total_payload_bytes_; }
+  std::int64_t totalMessages() const { return total_messages_; }
+
+  void reset();
+
+ private:
+  std::string name_;
+  LinkParams params_;
+  sim::FifoResource fifo_;
+  std::int64_t total_payload_bytes_ = 0;
+  std::int64_t total_messages_ = 0;
+};
+
+}  // namespace pgasemb::fabric

@@ -1,0 +1,111 @@
+// Interconnect topologies.
+//
+// A topology owns the directed links of a system and maps (src GPU, dst
+// GPU) to the ordered sequence of links a flow traverses.
+//
+//  - NvlinkAllToAllTopology: the paper's testbed — every GPU pair is
+//    directly connected (DGX V100, NVLink), one dedicated directed link
+//    per ordered pair, so pairwise flows never contend.
+//  - MultiNodeTopology: the future-work target — NVLink inside a node,
+//    and one shared NIC up-link/down-link per node for inter-node flows
+//    (higher latency, lower bandwidth, message-rate-limited), which is
+//    where the async aggregator pays off.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fabric/link.hpp"
+
+namespace pgasemb::fabric {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int numGpus() const = 0;
+
+  /// Ordered links a flow from `src` to `dst` traverses. Empty for local
+  /// (src == dst) transfers.
+  virtual std::vector<Link*> route(int src, int dst) = 0;
+
+  /// All links (for counters/reset/utilization reports).
+  virtual std::vector<Link*> links() = 0;
+};
+
+/// Fully connected single-node NVLink system (the paper's DGX).
+class NvlinkAllToAllTopology final : public Topology {
+ public:
+  NvlinkAllToAllTopology(int num_gpus, const LinkParams& params);
+
+  int numGpus() const override { return num_gpus_; }
+  std::vector<Link*> route(int src, int dst) override;
+  std::vector<Link*> links() override;
+
+  Link& link(int src, int dst);
+
+ private:
+  int num_gpus_;
+  // Dense (src, dst) matrix of directed links; diagonal unused.
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+/// NVSwitch-style topology: every GPU has one full-bandwidth up link and
+/// one down link to a central crossbar (DGX-2 / NVSwitch systems). All
+/// of a GPU's egress traffic shares its up port, so fan-out flows
+/// contend at the port rather than pairwise (contrast with
+/// NvlinkAllToAllTopology's dedicated pair links).
+class NvSwitchTopology final : public Topology {
+ public:
+  NvSwitchTopology(int num_gpus, const LinkParams& port_params);
+
+  int numGpus() const override { return num_gpus_; }
+  std::vector<Link*> route(int src, int dst) override;
+  std::vector<Link*> links() override;
+
+ private:
+  int num_gpus_;
+  std::vector<std::unique_ptr<Link>> up_;
+  std::vector<std::unique_ptr<Link>> down_;
+};
+
+/// Unidirectional ring: GPU i connects to (i+1) % n; a flow to a
+/// non-neighbor traverses every intermediate hop (store-and-forward).
+/// Models constrained consumer multi-GPU boxes without full NVLink
+/// meshes.
+class RingTopology final : public Topology {
+ public:
+  RingTopology(int num_gpus, const LinkParams& params);
+
+  int numGpus() const override { return num_gpus_; }
+  std::vector<Link*> route(int src, int dst) override;
+  std::vector<Link*> links() override;
+
+ private:
+  int num_gpus_;
+  std::vector<std::unique_ptr<Link>> hops_;  // hops_[i]: i -> (i+1)%n
+};
+
+/// Multiple NVLink nodes joined by per-node NIC links.
+class MultiNodeTopology final : public Topology {
+ public:
+  MultiNodeTopology(int num_nodes, int gpus_per_node,
+                    const LinkParams& intra_params,
+                    const LinkParams& inter_params);
+
+  int numGpus() const override { return num_nodes_ * gpus_per_node_; }
+  std::vector<Link*> route(int src, int dst) override;
+  std::vector<Link*> links() override;
+
+  int nodeOf(int gpu) const { return gpu / gpus_per_node_; }
+
+ private:
+  int num_nodes_;
+  int gpus_per_node_;
+  std::vector<std::unique_ptr<Link>> intra_links_;  // per (node, src, dst)
+  std::vector<std::unique_ptr<Link>> nic_up_;       // per node
+  std::vector<std::unique_ptr<Link>> nic_down_;     // per node
+  Link& intraLink(int src, int dst);
+};
+
+}  // namespace pgasemb::fabric

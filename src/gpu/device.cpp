@@ -1,0 +1,84 @@
+#include "gpu/device.hpp"
+
+#include <sstream>
+
+namespace pgasemb::gpu {
+
+std::span<float> DeviceBuffer::span() {
+  PGASEMB_CHECK(valid(), "span() on an invalid buffer");
+  PGASEMB_CHECK(backed_,
+                "span() on an unbacked buffer (timing-only mode or virtual "
+                "allocation)");
+  return device_->storageSpan(offset_, size_);
+}
+
+std::span<const float> DeviceBuffer::span() const {
+  PGASEMB_CHECK(valid(), "span() on an invalid buffer");
+  PGASEMB_CHECK(backed_, "span() on an unbacked buffer");
+  return device_->storageSpan(offset_, size_);
+}
+
+Device::Device(int id, std::int64_t memory_capacity_bytes, ExecutionMode mode)
+    : id_(id),
+      capacity_bytes_(memory_capacity_bytes),
+      mode_(mode),
+      compute_("gpu" + std::to_string(id) + ".compute") {
+  PGASEMB_CHECK(memory_capacity_bytes > 0, "device needs positive capacity");
+}
+
+DeviceBuffer Device::alloc(std::int64_t n) {
+  PGASEMB_CHECK(n > 0, "alloc size must be positive, got ", n);
+  const std::int64_t bytes = n * 4;
+  if (used_bytes_ + bytes > capacity_bytes_) {
+    std::ostringstream oss;
+    oss << "simulated device " << id_ << " out of memory: requested " << bytes
+        << " B, used " << used_bytes_ << " of " << capacity_bytes_ << " B";
+    throw OutOfMemoryError(oss.str());
+  }
+  const std::int64_t offset = next_offset_;
+  next_offset_ += n;
+  used_bytes_ += bytes;
+  const bool backed = (mode_ == ExecutionMode::kFunctional);
+  if (backed) {
+    storage_.resize(static_cast<std::size_t>(next_offset_), 0.0f);
+  }
+  return DeviceBuffer(this, offset, n, backed);
+}
+
+DeviceBuffer Device::allocVirtual(std::int64_t n) {
+  PGASEMB_CHECK(n > 0, "alloc size must be positive, got ", n);
+  const std::int64_t bytes = n * 4;
+  if (used_bytes_ + bytes > capacity_bytes_) {
+    std::ostringstream oss;
+    oss << "simulated device " << id_ << " out of memory: requested " << bytes
+        << " B, used " << used_bytes_ << " of " << capacity_bytes_ << " B";
+    throw OutOfMemoryError(oss.str());
+  }
+  const std::int64_t offset = next_offset_;
+  next_offset_ += n;
+  used_bytes_ += bytes;
+  return DeviceBuffer(this, offset, n, /*backed=*/false);
+}
+
+void Device::free(DeviceBuffer& buffer) {
+  PGASEMB_CHECK(buffer.valid() && buffer.device() == this,
+                "free() of a foreign or invalid buffer");
+  used_bytes_ -= buffer.sizeBytes();
+  if (buffer.offset() + buffer.size() == next_offset_) {
+    next_offset_ = buffer.offset();
+    if (buffer.backed()) {
+      storage_.resize(static_cast<std::size_t>(next_offset_));
+    }
+  }
+  buffer = DeviceBuffer();
+}
+
+std::span<float> Device::storageSpan(std::int64_t offset, std::int64_t size) {
+  PGASEMB_ASSERT(offset >= 0 && offset + size <=
+                     static_cast<std::int64_t>(storage_.size()),
+                 "storage span out of range");
+  return std::span<float>(storage_.data() + offset,
+                          static_cast<std::size_t>(size));
+}
+
+}  // namespace pgasemb::gpu

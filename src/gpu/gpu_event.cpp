@@ -1,0 +1,35 @@
+#include "gpu/gpu_event.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::gpu {
+
+SimTime GpuEvent::time() const {
+  PGASEMB_CHECK(recorded_, "GpuEvent::time() before record()");
+  return time_;
+}
+
+void GpuEvent::record(SimTime at) {
+  PGASEMB_ASSERT(!recorded_, "GpuEvent recorded twice without reset()");
+  recorded_ = true;
+  time_ = at;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& fn : waiters) fn(at);
+}
+
+void GpuEvent::onRecorded(std::function<void(SimTime)> fn) {
+  if (recorded_) {
+    fn(time_);
+  } else {
+    waiters_.push_back(std::move(fn));
+  }
+}
+
+void GpuEvent::reset() {
+  PGASEMB_ASSERT(waiters_.empty(), "reset() with pending waiters");
+  recorded_ = false;
+  time_ = SimTime::zero();
+}
+
+}  // namespace pgasemb::gpu

@@ -1,0 +1,34 @@
+// CUDA-event analogue: records a point in a stream's execution that other
+// streams (or the host) can wait on.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pgasemb::gpu {
+
+class GpuEvent {
+ public:
+  bool recorded() const { return recorded_; }
+
+  /// Time the event completed; only valid once recorded.
+  SimTime time() const;
+
+  /// Mark the event complete at `at` and release all waiters.
+  void record(SimTime at);
+
+  /// Invoke `fn(completion_time)` once recorded (immediately if already).
+  void onRecorded(std::function<void(SimTime)> fn);
+
+  /// Re-arm for reuse across batches.
+  void reset();
+
+ private:
+  bool recorded_ = false;
+  SimTime time_ = SimTime::zero();
+  std::vector<std::function<void(SimTime)>> waiters_;
+};
+
+}  // namespace pgasemb::gpu

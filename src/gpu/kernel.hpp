@@ -1,0 +1,41 @@
+// Kernel descriptor for the simulated CUDA runtime.
+//
+// A kernel occupies its device's compute resource for a precomputed
+// duration (from the CostModel).  Its timeline is subdivided into
+// `slices`; the PGAS layer uses the slice hook to inject one-sided
+// messages *throughout* kernel execution, which is exactly the paper's
+// fine-grained overlap mechanism.  `finalize` lets the PGAS layer stretch
+// kernel completion to the last remote delivery (nvshmem_quiet
+// semantics); for ordinary kernels completion equals compute end.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace pgasemb::gpu {
+
+struct KernelDesc {
+  std::string name;
+
+  /// Compute-resource occupancy (from CostModel::*KernelTime).
+  SimTime duration = SimTime::zero();
+
+  /// Number of timeline subdivisions; `on_slice` fires at the end of each.
+  int slices = 1;
+
+  /// Called at the end of slice `i` (0-based) at simulated time `at`.
+  /// Slice `slices - 1` fires exactly at compute end.
+  std::function<void(int slice, SimTime at)> on_slice;
+
+  /// Host-side functional data-plane work, run once when the kernel
+  /// starts. Null in timing-only mode.
+  std::function<void()> functional_body;
+
+  /// Maps compute-end time to kernel completion time (>= compute end).
+  /// Used for in-kernel communication quiet; null means identity.
+  std::function<SimTime(SimTime compute_end)> finalize;
+};
+
+}  // namespace pgasemb::gpu

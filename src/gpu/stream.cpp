@@ -1,0 +1,112 @@
+#include "gpu/stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gpu/device.hpp"
+#include "gpu/gpu_event.hpp"
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::gpu {
+
+Stream::Stream(sim::Simulator& simulator, Device& device, std::string name)
+    : simulator_(simulator), device_(device), name_(std::move(name)) {}
+
+void Stream::enqueue(SimTime ready, std::string label, Op op) {
+  queue_.push_back(Pending{ready, std::move(label), std::move(op)});
+  if (!busy_) tryStartNext();
+}
+
+void Stream::tryStartNext() {
+  if (busy_ || queue_.empty()) return;
+  Pending next = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+
+  const SimTime start =
+      std::max({last_completion_, next.ready, simulator_.now()});
+  // Invoke the op at its start time so any resource acquisitions it makes
+  // happen in global simulated-time order.
+  simulator_.scheduleAt(
+      start, [this, start, op = std::move(next.op)]() mutable {
+        op(start, [this](SimTime end) {
+          PGASEMB_ASSERT(end >= simulator_.now(),
+                         "op completion in the past");
+          if (end == simulator_.now()) {
+            opFinished(end);
+          } else {
+            simulator_.scheduleAt(end, [this, end] { opFinished(end); });
+          }
+        });
+      });
+}
+
+void Stream::opFinished(SimTime end) {
+  busy_ = false;
+  last_completion_ = std::max(last_completion_, end);
+  tryStartNext();
+}
+
+void Stream::enqueueKernel(SimTime ready, KernelDesc desc) {
+  PGASEMB_CHECK(desc.slices >= 1, "kernel needs >= 1 slice");
+  enqueue(ready, desc.name,
+          [this, desc = std::move(desc)](
+              SimTime start, std::function<void(SimTime)> done) {
+            auto grant = device_.computeResource().acquire(start,
+                                                           desc.duration);
+            if (desc.functional_body) desc.functional_body();
+            if (desc.on_slice) {
+              const std::int64_t dur = desc.duration.count();
+              for (int i = 0; i < desc.slices; ++i) {
+                const SimTime at =
+                    grant.start +
+                    SimTime(dur * (i + 1) / desc.slices);
+                simulator_.scheduleAt(
+                    at, [i, at, fn = desc.on_slice] { fn(i, at); });
+              }
+            }
+            simulator_.scheduleAt(
+                grant.end,
+                [this, grant, done = std::move(done),
+                 finalize = desc.finalize, name = desc.name] {
+                  const SimTime completion =
+                      finalize ? finalize(grant.end) : grant.end;
+                  PGASEMB_ASSERT(
+                      completion >= grant.end,
+                      "finalize moved completion before compute end");
+                  device_.notifyKernelSpan(name, grant.start, grant.end,
+                                           completion);
+                  done(completion);
+                });
+          });
+}
+
+void Stream::enqueueFixed(SimTime ready, std::string label, SimTime duration,
+                          std::function<void()> body) {
+  enqueue(ready, std::move(label),
+          [duration, body = std::move(body)](
+              SimTime start, std::function<void(SimTime)> done) {
+            if (body) body();
+            done(start + duration);
+          });
+}
+
+void Stream::enqueueRecord(SimTime ready, GpuEvent& event) {
+  enqueue(ready, "record",
+          [&event](SimTime start, std::function<void(SimTime)> done) {
+            event.record(start);
+            done(start);
+          });
+}
+
+void Stream::enqueueWaitEvent(SimTime ready, GpuEvent& event) {
+  enqueue(ready, "wait_event",
+          [&event](SimTime start, std::function<void(SimTime)> done) {
+            event.onRecorded([start, done = std::move(done)](SimTime at) {
+              done(std::max(start, at));
+            });
+          });
+}
+
+}  // namespace pgasemb::gpu

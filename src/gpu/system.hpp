@@ -1,0 +1,87 @@
+// MultiGpuSystem: the simulated single-node multi-GPU machine.
+//
+// Owns the simulator, the devices, one default stream per device, and the
+// host clock.  Host-side API calls (kernel launches, stream syncs) charge
+// realistic CPU overheads to the host clock — these are precisely the
+// "communication control path" costs the paper attributes to the
+// collective baseline (§III-A).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/cost_model.hpp"
+#include "gpu/device.hpp"
+#include "gpu/stream.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgasemb::gpu {
+
+struct SystemConfig {
+  int num_gpus = 4;
+  std::int64_t memory_capacity_bytes = 32LL * 1024 * 1024 * 1024;  // V100 32GB
+  ExecutionMode mode = ExecutionMode::kTimingOnly;
+  CostModel cost_model;
+};
+
+class MultiGpuSystem {
+ public:
+  explicit MultiGpuSystem(const SystemConfig& config);
+
+  int numGpus() const { return static_cast<int>(devices_.size()); }
+  ExecutionMode mode() const { return config_.mode; }
+  const CostModel& costModel() const { return config_.cost_model; }
+
+  sim::Simulator& simulator() { return simulator_; }
+  Device& device(int id);
+  Stream& stream(int id);
+
+  /// Create an extra stream on device `id` (e.g. a side stream for the
+  /// data-parallel MLP so it time-shares with the EMB kernel).
+  Stream& createStream(int id, const std::string& name);
+
+  // --- Host clock ----------------------------------------------------------
+
+  /// Current host (CPU) time. The host clock only moves forward.
+  SimTime hostNow() const { return host_now_; }
+
+  /// Charge host CPU time (API call overheads, input partitioning, ...).
+  void hostAdvance(SimTime duration) { host_now_ += duration; }
+
+  /// Launch a kernel on device `id`'s default stream; charges the host
+  /// launch overhead and returns the host time after the call.
+  SimTime launchKernel(int id, KernelDesc desc);
+  SimTime launchKernelOn(Stream& stream, KernelDesc desc);
+
+  /// Block the host until device `id`'s default stream drains; charges
+  /// the sync overhead. Returns host time after the call.
+  SimTime syncDevice(int id);
+
+  /// cudaDeviceSynchronize loop over all devices (paper Listing 2).
+  SimTime syncAll();
+
+  /// Drain the simulator without charging host overhead (used by tests).
+  void drain() { simulator_.run(); }
+
+  /// Observer invoked at each kernel completion with
+  /// (device id, kernel name, compute start, compute end, completion).
+  /// Completion > compute end when an in-kernel quiet waited on remote
+  /// deliveries. Used by the timeline/Chrome-trace exporters.
+  using KernelObserver =
+      std::function<void(int device, const std::string& name,
+                         SimTime start, SimTime end, SimTime completion)>;
+  void setKernelObserver(KernelObserver observer);
+  const KernelObserver& kernelObserver() const { return kernel_observer_; }
+
+ private:
+  KernelObserver kernel_observer_;
+  SystemConfig config_;
+  sim::Simulator simulator_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<Stream>> default_streams_;
+  std::vector<std::unique_ptr<Stream>> extra_streams_;
+  SimTime host_now_ = SimTime::zero();
+};
+
+}  // namespace pgasemb::gpu

@@ -1,0 +1,73 @@
+#include "pgas/aggregator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::pgas {
+
+MessagePlan aggregatePlan(const MessagePlan& plan, SimTime kernel_duration,
+                          const AggregatorParams& params) {
+  PGASEMB_CHECK(params.aggregation_bytes > 0,
+                "aggregation size must be positive");
+  PGASEMB_CHECK(plan.slices >= 1 &&
+                    plan.flows.size() == static_cast<std::size_t>(plan.slices),
+                "malformed message plan");
+
+  const SimTime slice_dt =
+      SimTime(std::max<std::int64_t>(1, kernel_duration.count() /
+                                            plan.slices));
+  // max_wait expressed in whole slices (>= 1 so a wait can expire).
+  const int max_wait_slices = std::max<std::int64_t>(
+      1, params.max_wait.count() / slice_dt.count());
+
+  struct PendingBuf {
+    std::int64_t bytes = 0;
+    int oldest_slice = -1;  // slice index of the first unflushed byte
+  };
+  std::map<int, PendingBuf> pending;  // by destination
+
+  MessagePlan out;
+  out.slices = plan.slices;
+  out.flows.resize(static_cast<std::size_t>(plan.slices));
+
+  auto flush = [&out](int dst, PendingBuf& buf, int at_slice) {
+    if (buf.bytes == 0) return;
+    out.flows[static_cast<std::size_t>(at_slice)].push_back(
+        SliceFlow{dst, buf.bytes, /*n_messages=*/1});
+    buf.bytes = 0;
+    buf.oldest_slice = -1;
+  };
+
+  for (int s = 0; s < plan.slices; ++s) {
+    // Accumulate this slice's traffic.
+    for (const auto& f : plan.flows[static_cast<std::size_t>(s)]) {
+      auto& buf = pending[f.dst];
+      if (buf.bytes == 0) buf.oldest_slice = s;
+      buf.bytes += f.payload_bytes;
+      // Size-triggered flushes (possibly several if a slice is large).
+      while (buf.bytes >= params.aggregation_bytes) {
+        const std::int64_t flush_bytes = params.aggregation_bytes;
+        out.flows[static_cast<std::size_t>(s)].push_back(
+            SliceFlow{f.dst, flush_bytes, 1});
+        buf.bytes -= flush_bytes;
+        buf.oldest_slice = buf.bytes > 0 ? s : -1;
+      }
+    }
+    // Wait-triggered flushes.
+    for (auto& [dst, buf] : pending) {
+      if (buf.bytes > 0 && s - buf.oldest_slice >= max_wait_slices) {
+        flush(dst, buf, s);
+      }
+    }
+  }
+  // Quiet at kernel end drains every partial buffer.
+  for (auto& [dst, buf] : pending) flush(dst, buf, plan.slices - 1);
+
+  PGASEMB_ASSERT(out.totalPayloadBytes() == plan.totalPayloadBytes(),
+                 "aggregator lost bytes");
+  return out;
+}
+
+}  // namespace pgasemb::pgas

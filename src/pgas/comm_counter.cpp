@@ -1,0 +1,11 @@
+#include "pgas/comm_counter.hpp"
+
+namespace pgasemb::pgas {
+
+void CommCounter::record(SimTime at, std::int64_t payload_bytes) {
+  if (payload_bytes <= 0) return;
+  series_.add(at, static_cast<double>(payload_bytes) /
+                      static_cast<double>(kUnitBytes));
+}
+
+}  // namespace pgasemb::pgas

@@ -1,0 +1,40 @@
+// The paper's in-kernel communication counter (§IV-A2b).
+//
+// "We designed a communication counter to be read every hundred GPU
+//  clock cycles. With each RDMA write, that thread also atomically adds
+//  to that counter."
+//
+// We record, at each injection instant, the number of 256-byte message
+// units put on the wire, bucketed on a fixed simulated-time grid — the
+// data behind Figs 7 and 10.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/time_series_counter.hpp"
+#include "util/time.hpp"
+
+namespace pgasemb::pgas {
+
+class CommCounter {
+ public:
+  static constexpr std::int64_t kUnitBytes = 256;
+
+  explicit CommCounter(SimTime sample_period = SimTime::us(5.0))
+      : series_(sample_period) {}
+
+  /// Record `payload_bytes` of writes issued at `at`.
+  void record(SimTime at, std::int64_t payload_bytes);
+
+  /// Volume (in 256-byte units) per sample bucket.
+  const fabric::TimeSeriesCounter& series() const { return series_; }
+
+  double totalUnits() const { return series_.total(); }
+
+  void reset() { series_.reset(); }
+
+ private:
+  fabric::TimeSeriesCounter series_;
+};
+
+}  // namespace pgasemb::pgas

@@ -1,0 +1,44 @@
+// Message plan: the communication a fused kernel performs, slice by
+// slice.
+//
+// The paper's fused kernel issues a one-sided write the moment each
+// pooled embedding is computed, and hardware warp-coalescing merges
+// naturally adjacent stores into ~256-byte lines (§IV-A2d).  Simulating
+// every individual store would be prohibitive (millions per kernel), so
+// the kernel's timeline is subdivided into slices and each slice carries
+// the warp-coalesced messages generated during it.  This preserves the
+// three effects the paper measures: communication spread over the whole
+// compute window, per-message header overhead, and quiet-bounded kernel
+// completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pgasemb::pgas {
+
+/// A batch of same-destination messages injected at one slice boundary.
+struct SliceFlow {
+  int dst = 0;
+  std::int64_t payload_bytes = 0;
+  std::int64_t n_messages = 0;
+};
+
+struct MessagePlan {
+  int slices = 1;
+  /// flows[s] = traffic generated during slice s (size == slices).
+  std::vector<std::vector<SliceFlow>> flows;
+
+  std::int64_t totalPayloadBytes() const;
+  std::int64_t totalMessages() const;
+};
+
+/// Build a plan that spreads `payload_bytes[dst]` (as `message_bytes`-
+/// sized messages) uniformly over `slices` slices — the traffic shape of
+/// a lookup kernel whose outputs are uniformly distributed over the
+/// remote mini-batches, as with the paper's uniform synthetic inputs.
+MessagePlan makeUniformPlan(const std::vector<std::int64_t>& payload_bytes,
+                            int self, int slices,
+                            std::int64_t message_bytes);
+
+}  // namespace pgasemb::pgas

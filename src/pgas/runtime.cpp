@@ -1,0 +1,59 @@
+#include "pgas/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::pgas {
+
+PgasRuntime::PgasRuntime(gpu::MultiGpuSystem& system, fabric::Fabric& fabric)
+    : system_(system), fabric_(fabric), heap_(system) {
+  PGASEMB_CHECK(fabric.numGpus() >= system.numGpus(),
+                "fabric topology smaller than the GPU system");
+}
+
+void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
+                                    MessagePlan plan, CommCounter* counter,
+                                    const AggregatorParams* aggregator) {
+  PGASEMB_CHECK(src >= 0 && src < system_.numGpus(), "bad source PE ", src);
+  if (aggregator != nullptr) {
+    plan = aggregatePlan(plan, desc.duration, *aggregator);
+  }
+  PGASEMB_CHECK(plan.slices >= 1 &&
+                    plan.flows.size() ==
+                        static_cast<std::size_t>(plan.slices),
+                "malformed message plan");
+
+  desc.slices = plan.slices;
+
+  // Tracks the last remote delivery of this kernel's writes for quiet.
+  struct QuietState {
+    SimTime last_delivery = SimTime::zero();
+  };
+  auto quiet = std::make_shared<QuietState>();
+
+  desc.on_slice = [this, src, counter, quiet,
+                   plan = std::move(plan)](int slice, SimTime at) {
+    for (const auto& f :
+         plan.flows[static_cast<std::size_t>(slice)]) {
+      const auto d =
+          fabric_.transfer(src, f.dst, f.payload_bytes, f.n_messages, at);
+      quiet->last_delivery = std::max(quiet->last_delivery, d.delivered);
+      if (counter != nullptr) counter->record(at, f.payload_bytes);
+    }
+  };
+
+  desc.finalize = [quiet](SimTime compute_end) {
+    // nvshmem_quiet: kernel completion waits for remote-write delivery.
+    return std::max(compute_end, quiet->last_delivery);
+  };
+}
+
+SimTime PgasRuntime::put(int src, int dst, std::int64_t payload_bytes,
+                         std::int64_t n_messages) {
+  const auto d = fabric_.transfer(src, dst, payload_bytes, n_messages,
+                                  system_.hostNow());
+  return d.delivered;
+}
+
+}  // namespace pgasemb::pgas

@@ -1,0 +1,51 @@
+// PGAS runtime: attaches one-sided communication to simulated kernels.
+//
+// `attachMessagePlan` is the heart of the paper's mechanism: it wires a
+// kernel descriptor so that each timeline slice injects its one-sided
+// messages into the fabric the moment they are "generated", and the
+// kernel completes only when compute is done AND the last remote write
+// has been delivered (nvshmem_quiet semantics).  The communication is
+// thereby overlapped with — and normally hidden inside — the compute
+// window.
+#pragma once
+
+#include <memory>
+
+#include "fabric/fabric.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/system.hpp"
+#include "pgas/aggregator.hpp"
+#include "pgas/comm_counter.hpp"
+#include "pgas/message_plan.hpp"
+#include "pgas/symmetric_heap.hpp"
+
+namespace pgasemb::pgas {
+
+class PgasRuntime {
+ public:
+  PgasRuntime(gpu::MultiGpuSystem& system, fabric::Fabric& fabric);
+
+  SymmetricHeap& heap() { return heap_; }
+  fabric::Fabric& fabric() { return fabric_; }
+
+  /// Wire `desc` so its slices emit `plan`'s flows from GPU `src` and its
+  /// completion implements quiet (waits for the last delivery).  If
+  /// `counter` is non-null every injection is recorded (paper Figs 7/10).
+  /// If `aggregator` is non-null the plan is first rewritten through the
+  /// async aggregator model.
+  void attachMessagePlan(gpu::KernelDesc& desc, int src, MessagePlan plan,
+                         CommCounter* counter = nullptr,
+                         const AggregatorParams* aggregator = nullptr);
+
+  /// Host-initiated blocking one-sided put (control-plane uses; the data
+  /// plane goes through kernels). Returns the delivery time.
+  SimTime put(int src, int dst, std::int64_t payload_bytes,
+              std::int64_t n_messages);
+
+ private:
+  gpu::MultiGpuSystem& system_;
+  fabric::Fabric& fabric_;
+  SymmetricHeap heap_;
+};
+
+}  // namespace pgasemb::pgas

@@ -1,0 +1,35 @@
+#include "pgas/symmetric_heap.hpp"
+
+#include "gpu/system.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::pgas {
+
+gpu::DeviceBuffer& SymmetricBuffer::on(int pe) {
+  PGASEMB_CHECK(pe >= 0 && pe < numPes(), "bad PE id ", pe);
+  return parts_[static_cast<std::size_t>(pe)];
+}
+
+const gpu::DeviceBuffer& SymmetricBuffer::on(int pe) const {
+  PGASEMB_CHECK(pe >= 0 && pe < numPes(), "bad PE id ", pe);
+  return parts_[static_cast<std::size_t>(pe)];
+}
+
+SymmetricBuffer SymmetricHeap::alloc(std::int64_t elements_per_pe) {
+  SymmetricBuffer buf;
+  buf.size_per_pe_ = elements_per_pe;
+  buf.parts_.reserve(static_cast<std::size_t>(system_.numGpus()));
+  for (int pe = 0; pe < system_.numGpus(); ++pe) {
+    buf.parts_.push_back(system_.device(pe).alloc(elements_per_pe));
+  }
+  return buf;
+}
+
+void SymmetricHeap::free(SymmetricBuffer& buffer) {
+  for (int pe = 0; pe < buffer.numPes(); ++pe) {
+    system_.device(pe).free(buffer.on(pe));
+  }
+  buffer = SymmetricBuffer();
+}
+
+}  // namespace pgasemb::pgas

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::sim {
+
+std::uint64_t EventQueue::push(SimTime at, EventFn fn) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    storage_[slot] = std::move(fn);
+  } else {
+    slot = storage_.size();
+    storage_.push_back(std::move(fn));
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(HeapEntry{at, seq, slot});
+  return seq;
+}
+
+SimTime EventQueue::nextTime() const {
+  if (heap_.empty()) return SimTime::max();
+  return heap_.top().time;
+}
+
+EventQueue::Entry EventQueue::pop() {
+  PGASEMB_ASSERT(!heap_.empty(), "pop() on empty event queue");
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  Entry e{top.time, top.seq, std::move(storage_[top.slot])};
+  storage_[top.slot] = nullptr;
+  free_slots_.push_back(top.slot);
+  return e;
+}
+
+}  // namespace pgasemb::sim

@@ -1,0 +1,59 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events are ordered by (time, sequence number): two events at the same
+// simulated instant fire in insertion order, which makes every run fully
+// deterministic regardless of host scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pgasemb::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Enqueue `fn` to fire at absolute time `at`. Returns the event's
+  /// sequence number (monotonic), usable for debugging/tracing.
+  std::uint64_t push(SimTime at, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; SimTime::max() when empty.
+  SimTime nextTime() const;
+
+  /// Pop the earliest event. Precondition: !empty().
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  Entry pop();
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    // Index into storage_ — keeps the heap nodes small and cheap to swap.
+    std::size_t slot;
+    bool operator>(const HeapEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::vector<EventFn> storage_;
+  std::vector<std::size_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pgasemb::sim

@@ -1,0 +1,37 @@
+#include "sim/fifo_resource.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::sim {
+
+FifoResource::Grant FifoResource::acquire(SimTime arrival, SimTime duration) {
+  PGASEMB_ASSERT(duration >= SimTime::zero(), "negative service duration");
+  const SimTime start = std::max(arrival, free_at_);
+  const SimTime end = start + duration;
+  free_at_ = end;
+  busy_ += duration;
+  return Grant{start, end};
+}
+
+SimTime FifoResource::nextFreeTime(SimTime at) const {
+  return std::max(at, free_at_);
+}
+
+SimTime FifoResource::backlog(SimTime at) const {
+  if (free_at_ <= at) return SimTime::zero();
+  return free_at_ - at;
+}
+
+double FifoResource::utilization(SimTime horizon) const {
+  if (horizon <= SimTime::zero()) return 0.0;
+  return std::min(1.0, busy_ / horizon);
+}
+
+void FifoResource::reset() {
+  free_at_ = SimTime::zero();
+  busy_ = SimTime::zero();
+}
+
+}  // namespace pgasemb::sim

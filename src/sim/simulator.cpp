@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::sim {
+
+void Simulator::scheduleAt(SimTime at, EventFn fn) {
+  PGASEMB_ASSERT(at >= now_, "event scheduled in the past: at=",
+                 at.toString(), " now=", now_.toString());
+  queue_.push(at, std::move(fn));
+}
+
+void Simulator::scheduleAfter(SimTime delay, EventFn fn) {
+  PGASEMB_ASSERT(delay >= SimTime::zero(), "negative delay");
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    EventQueue::Entry e = queue_.pop();
+    now_ = e.time;
+    ++events_processed_;
+    e.fn();
+  }
+  return now_;
+}
+
+SimTime Simulator::runUntil(SimTime until) {
+  while (!queue_.empty() && queue_.nextTime() <= until) {
+    EventQueue::Entry e = queue_.pop();
+    now_ = e.time;
+    ++events_processed_;
+    e.fn();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+void Simulator::advanceClock(SimTime to) {
+  if (to <= now_) return;
+  PGASEMB_ASSERT(queue_.empty() || queue_.nextTime() >= to,
+                 "advanceClock would skip pending events");
+  now_ = to;
+}
+
+}  // namespace pgasemb::sim

@@ -1,0 +1,105 @@
+#include "trace/chrome_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::trace {
+namespace {
+
+std::string escapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ChromeTraceRecorder::attach(gpu::MultiGpuSystem& system,
+                                 fabric::Fabric& fabric) {
+  PGASEMB_CHECK(system_ == nullptr, "recorder already attached");
+  system_ = &system;
+  fabric_ = &fabric;
+  system.setKernelObserver([this](int device, const std::string& name,
+                                  SimTime start, SimTime end,
+                                  SimTime completion) {
+    kernels_.push_back(KernelSpan{device, name, start, end, completion});
+  });
+  fabric.setFlowObserver([this](int src, int dst, std::int64_t bytes,
+                                std::int64_t messages, SimTime start,
+                                SimTime end) {
+    flows_.push_back(FlowSpan{src, dst, bytes, messages, start, end});
+  });
+}
+
+void ChromeTraceRecorder::detach() {
+  if (system_ != nullptr) system_->setKernelObserver(nullptr);
+  if (fabric_ != nullptr) fabric_->setFlowObserver(nullptr);
+  system_ = nullptr;
+  fabric_ = nullptr;
+}
+
+std::string ChromeTraceRecorder::toJson() const {
+  std::ostringstream out;
+  out << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& name, const std::string& cat, int pid,
+                  int tid, SimTime start, SimTime dur,
+                  const std::string& args) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"" << escapeJson(name) << "\", \"cat\": \"" << cat
+        << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << tid
+        << ", \"ts\": " << start.toUs() << ", \"dur\": " << dur.toUs();
+    if (!args.empty()) out << ", \"args\": {" << args << "}";
+    out << "}";
+  };
+
+  // pid 0 = GPUs (one tid per device); pid 1 = fabric (one tid per
+  // ordered pair, encoded src*64+dst).
+  for (const auto& k : kernels_) {
+    emit(k.name, "kernel", 0, k.device, k.start, k.end - k.start, "");
+    if (k.completion > k.end) {
+      emit(k.name + ".quiet", "quiet", 0, k.device, k.end,
+           k.completion - k.end, "");
+    }
+  }
+  for (const auto& f : flows_) {
+    std::ostringstream args;
+    args << "\"bytes\": " << f.bytes << ", \"messages\": " << f.messages;
+    emit("flow " + std::to_string(f.src) + "->" + std::to_string(f.dst),
+         "wire", 1, f.src * 64 + f.dst, f.start, f.end - f.start,
+         args.str());
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+void ChromeTraceRecorder::writeFile(const std::string& path) const {
+  std::ofstream f(path);
+  PGASEMB_CHECK(f.good(), "cannot open trace file: ", path);
+  f << toJson();
+}
+
+void ChromeTraceRecorder::clear() {
+  kernels_.clear();
+  flows_.clear();
+}
+
+}  // namespace pgasemb::trace

@@ -1,0 +1,150 @@
+#include "trace/experiment.hpp"
+
+#include <memory>
+
+#include "collective/communicator.hpp"
+#include "core/collective_retriever.hpp"
+#include "core/pgas_retriever.hpp"
+#include "emb/lookup_kernel.hpp"
+#include "fabric/fabric.hpp"
+#include "pgas/runtime.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::trace {
+
+std::string retrieverName(RetrieverKind kind) {
+  switch (kind) {
+    case RetrieverKind::kCollectiveBaseline:
+      return "nccl_baseline";
+    case RetrieverKind::kPgasFused:
+      return "pgas_fused";
+  }
+  return "?";
+}
+
+double ExperimentResult::avgBatchMs() const {
+  return stats.batches ? stats.total.toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgComputeMs() const {
+  return stats.batches ? stats.compute_phase.toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgCommunicationMs() const {
+  return stats.batches ? stats.communication().toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgSyncUnpackMs() const {
+  return stats.batches ? stats.syncUnpack().toMs() / stats.batches : 0.0;
+}
+
+ExperimentResult runExperiment(const ExperimentConfig& config,
+                               RetrieverKind kind) {
+  PGASEMB_CHECK(config.num_batches >= 1, "need at least one batch");
+
+  gpu::SystemConfig sys_cfg;
+  sys_cfg.num_gpus = config.num_gpus;
+  sys_cfg.memory_capacity_bytes = config.device_memory_bytes;
+  sys_cfg.mode = config.mode;
+  sys_cfg.cost_model = config.cost_model;
+  gpu::MultiGpuSystem system(sys_cfg);
+
+  std::unique_ptr<fabric::Topology> topo;
+  if (config.num_nodes > 0) {
+    PGASEMB_CHECK(config.num_gpus % config.num_nodes == 0,
+                  "num_gpus must divide evenly across nodes");
+    topo = std::make_unique<fabric::MultiNodeTopology>(
+        config.num_nodes, config.num_gpus / config.num_nodes, config.link,
+        config.inter_node_link);
+  } else {
+    topo = std::make_unique<fabric::NvlinkAllToAllTopology>(config.num_gpus,
+                                                            config.link);
+  }
+  fabric::Fabric fabric(system.simulator(), std::move(topo),
+                        config.counter_bucket);
+
+  collective::Communicator comm(system, fabric);
+  pgas::PgasRuntime runtime(system, fabric);
+
+  emb::ShardedEmbeddingLayer layer(system, config.layer, config.sharding);
+
+  std::unique_ptr<core::EmbeddingRetriever> retriever;
+  if (kind == RetrieverKind::kCollectiveBaseline) {
+    retriever = std::make_unique<core::CollectiveRetriever>(layer, comm);
+  } else {
+    core::PgasRetrieverOptions opts;
+    opts.slices = config.pgas_slices;
+    opts.aggregator = config.use_aggregator ? &config.aggregator : nullptr;
+    retriever = std::make_unique<core::PgasFusedRetriever>(layer, runtime,
+                                                           opts);
+  }
+
+  ExperimentResult result;
+  Rng rng(config.batch_seed);
+  const bool functional = config.mode == gpu::ExecutionMode::kFunctional;
+  // Timing-only runs reuse one statistical batch: the workload is the
+  // distribution's expectation every batch, as in the paper's uniform
+  // synthetic inputs.
+  emb::SparseBatch statistical =
+      emb::SparseBatch::statistical(config.layer.batchSpec());
+  for (int b = 0; b < config.num_batches; ++b) {
+    if (functional) {
+      const auto batch =
+          emb::SparseBatch::generateUniform(config.layer.batchSpec(), rng);
+      const auto t = retriever->runBatch(batch);
+      result.stats.add(t);
+      result.per_batch.push_back(t);
+    } else {
+      const auto t = retriever->runBatch(statistical);
+      result.stats.add(t);
+      result.per_batch.push_back(t);
+    }
+  }
+
+  // Delivery (wire-occupancy) counter: for PGAS this matches the paper's
+  // in-kernel issue counter; for the baseline it spreads each chunk over
+  // its serialization window, exactly the paper's "linearly interpolated
+  // over the communication time" dashed line.
+  const auto& counter = fabric.deliveryCounter();
+  result.bucket_width = counter.bucketWidth();
+  result.wire_bytes_over_time.resize(counter.numBuckets());
+  for (std::size_t i = 0; i < counter.numBuckets(); ++i) {
+    result.wire_bytes_over_time[i] = counter.bucket(i);
+  }
+  result.total_wire_bytes = fabric.totalPayloadBytes();
+  result.total_wire_messages = fabric.totalMessages();
+
+  // ncu-style throughput of the lookup kernel on GPU 0.
+  {
+    const auto work = layer.lookupWork(statistical, 0);
+    const double dim = static_cast<double>(config.layer.dim);
+    const double outputs = static_cast<double>(work.totalOutputs());
+    const double bytes = outputs * 8.0 + work.gathered_rows * 8.0 +
+                         work.gathered_rows * dim * 4.0 +
+                         outputs * dim * 4.0;
+    // ncu's SM throughput counts all scalar instructions (index math,
+    // addressing), not just the pooling adds.
+    const double instructions =
+        work.gathered_rows * dim *
+        config.cost_model.compute_instructions_per_element;
+    const SimTime duration = emb::lookupComputeTime(layer, work);
+    const auto tp =
+        config.cost_model.kernelThroughput(instructions, bytes, duration);
+    result.lookup_compute_throughput = tp.compute;
+    result.lookup_memory_throughput = tp.memory;
+  }
+  return result;
+}
+
+ExperimentConfig weakScalingConfig(int num_gpus) {
+  ExperimentConfig cfg;
+  cfg.num_gpus = num_gpus;
+  cfg.layer = emb::weakScalingLayerSpec(num_gpus);
+  return cfg;
+}
+
+ExperimentConfig strongScalingConfig(int num_gpus) {
+  ExperimentConfig cfg;
+  cfg.num_gpus = num_gpus;
+  cfg.layer = emb::strongScalingLayerSpec();
+  return cfg;
+}
+
+}  // namespace pgasemb::trace

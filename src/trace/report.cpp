@@ -1,0 +1,134 @@
+#include "trace/report.hpp"
+
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace pgasemb::trace {
+
+double geomeanSpeedup(const std::vector<ScalingPoint>& points) {
+  std::vector<double> speedups;
+  for (const auto& p : points) {
+    if (p.gpus >= 2) speedups.push_back(p.speedup());
+  }
+  return speedups.empty() ? 0.0 : geomean(speedups);
+}
+
+std::string renderSpeedupTable(const std::vector<ScalingPoint>& points) {
+  std::vector<std::string> headers{"Speedup"};
+  std::vector<std::string> row{"PGAS over baseline"};
+  for (const auto& p : points) {
+    if (p.gpus < 2) continue;
+    headers.push_back(std::to_string(p.gpus) + " GPUs");
+    row.push_back(ConsoleTable::num(p.speedup(), 2) + "x");
+  }
+  headers.push_back("geo-mean");
+  row.push_back(ConsoleTable::num(geomeanSpeedup(points), 2) + "x");
+  ConsoleTable table(headers);
+  table.addRow(row);
+  return table.render();
+}
+
+std::string renderScalingChart(const std::vector<ScalingPoint>& points,
+                               bool weak) {
+  PGASEMB_CHECK(!points.empty(), "no scaling points");
+  double base_baseline = 0.0, base_pgas = 0.0;
+  for (const auto& p : points) {
+    if (p.gpus == 1) {
+      base_baseline = p.baseline.avgBatchMs();
+      base_pgas = p.pgas.avgBatchMs();
+    }
+  }
+  PGASEMB_CHECK(base_baseline > 0.0 && base_pgas > 0.0,
+                "scaling chart needs a 1-GPU reference point");
+
+  ChartSeries sb{"baseline", {}, {}, 'b'};
+  ChartSeries sp{"PGAS fused", {}, {}, 'p'};
+  ChartSeries ideal{"ideal", {}, {}, '.'};
+  for (const auto& p : points) {
+    const double x = p.gpus;
+    sb.x.push_back(x);
+    sp.x.push_back(x);
+    ideal.x.push_back(x);
+    if (weak) {
+      // Weak-scaling factor: 1-GPU runtime / runtime (ideal flat 1.0).
+      sb.y.push_back(base_baseline / p.baseline.avgBatchMs());
+      sp.y.push_back(base_pgas / p.pgas.avgBatchMs());
+      ideal.y.push_back(1.0);
+    } else {
+      // Strong-scaling factor: 1-GPU runtime / runtime (ideal = p).
+      sb.y.push_back(base_baseline / p.baseline.avgBatchMs());
+      sp.y.push_back(base_pgas / p.pgas.avgBatchMs());
+      ideal.y.push_back(x);
+    }
+  }
+  AsciiLineChart chart(weak ? "Weak scaling factor (ideal = 1.0)"
+                            : "Strong scaling factor (ideal = #GPUs)");
+  chart.setAxisLabels("GPUs", "scaling factor");
+  chart.addSeries(ideal);
+  chart.addSeries(sb);
+  chart.addSeries(sp);
+  return chart.render();
+}
+
+std::string renderBreakdownBars(const std::vector<ScalingPoint>& points,
+                                const std::string& title) {
+  AsciiStackedBars bars(title,
+                        {"computation", "communication", "sync+unpack"});
+  for (const auto& p : points) {
+    const std::string g = std::to_string(p.gpus) + "gpu";
+    bars.addBar("baseline " + g,
+                {p.baseline.avgComputeMs(), p.baseline.avgCommunicationMs(),
+                 p.baseline.avgSyncUnpackMs()});
+    bars.addBar("pgas     " + g, {p.pgas.avgBatchMs(), 0.0, 0.0});
+  }
+  return bars.render() + "  (bars in ms per batch; PGAS is one fused "
+                         "phase — no separable comm/unpack)\n";
+}
+
+std::string renderCommVolumeChart(const ExperimentResult& pgas,
+                                  const ExperimentResult& baseline,
+                                  const std::string& title) {
+  ChartSeries sp{"PGAS fused", {}, {}, 'p'};
+  for (std::size_t i = 0; i < pgas.wire_bytes_over_time.size(); ++i) {
+    sp.x.push_back(pgas.bucket_width.toUs() * (static_cast<double>(i) + 0.5));
+    sp.y.push_back(pgas.wire_bytes_over_time[i] / 256.0);
+  }
+  ChartSeries sb{"baseline", {}, {}, 'b'};
+  for (std::size_t i = 0; i < baseline.wire_bytes_over_time.size(); ++i) {
+    sb.x.push_back(baseline.bucket_width.toUs() *
+                   (static_cast<double>(i) + 0.5));
+    sb.y.push_back(baseline.wire_bytes_over_time[i] / 256.0);
+  }
+  AsciiLineChart chart(title);
+  chart.setAxisLabels("time (us)", "comm volume (256 B units per bucket)");
+  if (!sb.x.empty()) chart.addSeries(sb);
+  if (!sp.x.empty()) chart.addSeries(sp);
+  return chart.render();
+}
+
+void writeScalingCsv(const std::string& path,
+                     const std::vector<ScalingPoint>& points) {
+  CsvWriter csv(path,
+                {"gpus", "baseline_ms", "pgas_ms", "speedup",
+                 "baseline_compute_ms", "baseline_comm_ms",
+                 "baseline_sync_unpack_ms", "pgas_wire_bytes",
+                 "baseline_wire_bytes"});
+  for (const auto& p : points) {
+    csv.addRow({std::to_string(p.gpus),
+                ConsoleTable::num(p.baseline.avgBatchMs(), 4),
+                ConsoleTable::num(p.pgas.avgBatchMs(), 4),
+                ConsoleTable::num(p.speedup(), 3),
+                ConsoleTable::num(p.baseline.avgComputeMs(), 4),
+                ConsoleTable::num(p.baseline.avgCommunicationMs(), 4),
+                ConsoleTable::num(p.baseline.avgSyncUnpackMs(), 4),
+                std::to_string(p.pgas.total_wire_bytes),
+                std::to_string(p.baseline.total_wire_bytes)});
+  }
+}
+
+}  // namespace pgasemb::trace

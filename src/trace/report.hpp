@@ -1,0 +1,52 @@
+// Reporters shared by the benchmark binaries: paper-style speedup
+// tables, scaling-factor charts, breakdown bars, and comm-volume traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/experiment.hpp"
+
+namespace pgasemb::trace {
+
+/// One (gpus, baseline, pgas) scaling data point.
+struct ScalingPoint {
+  int gpus = 0;
+  ExperimentResult baseline;
+  ExperimentResult pgas;
+
+  double speedup() const {
+    return pgas.avgBatchMs() > 0.0
+               ? baseline.avgBatchMs() / pgas.avgBatchMs()
+               : 0.0;
+  }
+};
+
+/// Renders the paper's speedup table ("Speedup | 2 GPUs | 3 GPUs | 4
+/// GPUs") plus the geometric mean, from multi-GPU points.
+std::string renderSpeedupTable(const std::vector<ScalingPoint>& points);
+
+/// Geometric mean of the multi-GPU speedups (the paper's headline
+/// 1.97x / 2.63x numbers).
+double geomeanSpeedup(const std::vector<ScalingPoint>& points);
+
+/// Weak-scaling factor chart (runtime / 1-GPU runtime; ideal = 1.0,
+/// paper Fig 5) or strong-scaling chart (1-GPU runtime / runtime; ideal
+/// = p, paper Fig 8).
+std::string renderScalingChart(const std::vector<ScalingPoint>& points,
+                               bool weak);
+
+/// Runtime-breakdown stacked bars (paper Figs 6 / 9).
+std::string renderBreakdownBars(const std::vector<ScalingPoint>& points,
+                                const std::string& title);
+
+/// Comm-volume-over-time chart in 256-byte units (paper Figs 7 / 10).
+std::string renderCommVolumeChart(const ExperimentResult& pgas,
+                                  const ExperimentResult& baseline,
+                                  const std::string& title);
+
+/// Write a scaling sweep as CSV rows for offline plotting.
+void writeScalingCsv(const std::string& path,
+                     const std::vector<ScalingPoint>& points);
+
+}  // namespace pgasemb::trace

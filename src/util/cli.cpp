@@ -1,0 +1,126 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace pgasemb {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::addInt(const std::string& name, std::int64_t default_value,
+                       const std::string& help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kInt, v, v, help};
+  order_.push_back(name);
+}
+
+void CliParser::addDouble(const std::string& name, double default_value,
+                          const std::string& help) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%g", default_value);
+  flags_[name] = Flag{Kind::kDouble, buf, buf, help};
+  order_.push_back(name);
+}
+
+void CliParser::addString(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{Kind::kString, default_value, default_value, help};
+  order_.push_back(name);
+}
+
+void CliParser::addBool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  const std::string v = default_value ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, v, v, help};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printf("%s", usage().c_str());
+      return false;
+    }
+    PGASEMB_CHECK(arg.rfind("--", 0) == 0, "unexpected argument: ", arg);
+    arg = arg.substr(2);
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      PGASEMB_CHECK(it != flags_.end(), "unknown flag: --", name);
+      if (it->second.kind == Kind::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else {
+        PGASEMB_CHECK(i + 1 < argc, "flag --", name, " needs a value");
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    PGASEMB_CHECK(it != flags_.end(), "unknown flag: --", name);
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name,
+                                       Kind kind) const {
+  auto it = flags_.find(name);
+  PGASEMB_CHECK(it != flags_.end(), "flag not registered: --", name);
+  PGASEMB_CHECK(it->second.kind == kind, "flag --", name,
+                " accessed with wrong type");
+  return it->second;
+}
+
+std::int64_t CliParser::getInt(const std::string& name) const {
+  const Flag& f = find(name, Kind::kInt);
+  try {
+    return std::stoll(f.value);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("flag --" + name +
+                               " expects an integer, got: " + f.value);
+  }
+}
+
+double CliParser::getDouble(const std::string& name) const {
+  const Flag& f = find(name, Kind::kDouble);
+  try {
+    return std::stod(f.value);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("flag --" + name +
+                               " expects a number, got: " + f.value);
+  }
+}
+
+std::string CliParser::getString(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool CliParser::getBool(const std::string& name) const {
+  const Flag& f = find(name, Kind::kBool);
+  if (f.value == "true" || f.value == "1" || f.value == "yes") return true;
+  if (f.value == "false" || f.value == "0" || f.value == "no") return false;
+  throw InvalidArgumentError("flag --" + name +
+                             " expects a boolean, got: " + f.value);
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    out << "  --" << name << " (default: " << f.default_value << ")\n"
+        << "      " << f.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pgasemb

@@ -1,0 +1,55 @@
+// Tiny command-line flag parser used by the bench and example binaries.
+//
+// Supports `--name value` and `--name=value`; every flag has a default so
+// all binaries run with no arguments (required for the bench sweep loop).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pgasemb {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Register flags before parse(). Returned index is internal.
+  void addInt(const std::string& name, std::int64_t default_value,
+              const std::string& help);
+  void addDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void addString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void addBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv. On `--help`, prints usage and returns false.
+  /// Throws InvalidArgumentError on unknown flags or bad values.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t getInt(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  std::string getString(const std::string& name) const;
+  bool getBool(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;  // current value, textual
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pgasemb

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out_(path), arity_(headers.size()) {
+  PGASEMB_CHECK(out_.good(), "cannot open CSV file for writing: ", path);
+  PGASEMB_CHECK(arity_ > 0, "CSV needs at least one column");
+  writeRow(headers);
+}
+
+void CsvWriter::addRow(const std::vector<std::string>& cells) {
+  PGASEMB_CHECK(cells.size() == arity_, "CSV row arity ", cells.size(),
+                " != header arity ", arity_);
+  writeRow(cells);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << escape(cells[i]);
+  }
+  out_ << "\n";
+}
+
+}  // namespace pgasemb

@@ -1,0 +1,35 @@
+// CSV emission for benchmark results so figures can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pgasemb {
+
+/// Writes RFC-4180-ish CSV (quotes fields containing separators/quotes).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void addRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; called by the destructor too.
+  void close();
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  static std::string escape(const std::string& field);
+
+ private:
+  void writeRow(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace pgasemb

@@ -1,0 +1,66 @@
+// Error-handling primitives for the pgasemb library.
+//
+// The library is exception-based: precondition violations and runtime
+// failures (e.g. simulated-device OOM) throw `pgasemb::Error` with a
+// formatted message.  `PGASEMB_CHECK` is used for conditions that depend
+// on caller input and must stay on in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pgasemb {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a simulated device allocation exceeds its memory capacity.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when user-supplied shapes/configs are inconsistent.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+template <typename ErrorT, typename... Args>
+[[noreturn]] void throwFormatted(const char* cond, const char* file, int line,
+                                 Args&&... args) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": check failed: " << cond;
+  if constexpr (sizeof...(Args) > 0) {
+    oss << " — ";
+    (oss << ... << args);
+  }
+  throw ErrorT(oss.str());
+}
+
+}  // namespace detail
+}  // namespace pgasemb
+
+/// Always-on check; throws pgasemb::InvalidArgumentError on failure.
+#define PGASEMB_CHECK(cond, ...)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::pgasemb::detail::throwFormatted<::pgasemb::InvalidArgumentError>( \
+          #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__);         \
+    }                                                                    \
+  } while (0)
+
+/// Always-on check for internal invariants; throws pgasemb::Error.
+#define PGASEMB_ASSERT(cond, ...)                                \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::pgasemb::detail::throwFormatted<::pgasemb::Error>(       \
+          #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                            \
+  } while (0)

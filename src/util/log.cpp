@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace pgasemb {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void logMessage(LogLevel level, const std::string& msg) {
+  fprintf(stderr, "[pgasemb %s] %s\n", levelName(level), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace pgasemb

@@ -1,0 +1,45 @@
+// Leveled logging to stderr. Off (kWarn) by default so benchmark output
+// stays clean; tests and debugging sessions can raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pgasemb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void logMessage(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void logAt(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::logMessage(level, oss.str());
+}
+
+template <typename... Args>
+void logDebug(Args&&... args) {
+  logAt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logInfo(Args&&... args) {
+  logAt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logWarn(Args&&... args) {
+  logAt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logError(Args&&... args) {
+  logAt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace pgasemb

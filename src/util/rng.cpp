@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace pgasemb {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x = splitmix64(x);
+    s = x;
+  }
+  // Avoid the all-zero state (probability ~0, but be safe).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBounded(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double Rng::uniformDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * uniformDouble();
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniformDouble(-1.0, 1.0);
+    v = uniformDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xabcdef0123456789ULL); }
+
+}  // namespace pgasemb

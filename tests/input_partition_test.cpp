@@ -1,0 +1,79 @@
+// Tests for the sparse-input partitioning model (paper §V).
+#include <gtest/gtest.h>
+
+#include "emb/input_partition.hpp"
+#include "emb/workload.hpp"
+
+namespace pgasemb::emb {
+namespace {
+
+gpu::SystemConfig timingConfig(int gpus) {
+  gpu::SystemConfig cfg;
+  cfg.num_gpus = gpus;
+  cfg.memory_capacity_bytes = 64LL << 30;
+  cfg.mode = gpu::ExecutionMode::kTimingOnly;
+  return cfg;
+}
+
+TEST(InputPartitionTest, TableWiseHostCostIsSmall) {
+  gpu::MultiGpuSystem system(timingConfig(4));
+  const auto spec = weakScalingLayerSpec(4);
+  ShardedEmbeddingLayer layer(system, spec);
+  const auto batch = SparseBatch::statistical(spec.batchSpec());
+  const auto cost = inputPartitionCost(layer, batch, /*fused=*/false);
+  // "The time spent on input partitioning is small" — well under 100 us
+  // for 256 tables.
+  EXPECT_LT(cost.host_time, SimTime::us(100));
+  EXPECT_DOUBLE_EQ(cost.extra_kernel_bytes_per_gpu, 0.0);
+}
+
+TEST(InputPartitionTest, RowWiseHostCostScalesWithIndices) {
+  gpu::MultiGpuSystem system(timingConfig(4));
+  const auto spec = weakScalingLayerSpec(4);
+  ShardedEmbeddingLayer layer(system, spec, ShardingScheme::kRowWise);
+  const auto batch = SparseBatch::statistical(spec.batchSpec());
+  const auto cost = inputPartitionCost(layer, batch, /*fused=*/false);
+  // ~270M indices to hash-route: hundreds of ms of serial host time.
+  EXPECT_GT(cost.host_time, SimTime::ms(100));
+
+  auto small_spec = spec;
+  small_spec.max_pooling = 2;  // ~32x fewer indices
+  const auto small_batch = SparseBatch::statistical(small_spec.batchSpec());
+  const auto small_cost =
+      inputPartitionCost(layer, small_batch, /*fused=*/false);
+  EXPECT_LT(small_cost.host_time * 10, cost.host_time);
+}
+
+TEST(InputPartitionTest, FusedMovesCostFromHostToKernel) {
+  gpu::MultiGpuSystem system(timingConfig(4));
+  const auto spec = weakScalingLayerSpec(4);
+  ShardedEmbeddingLayer layer(system, spec, ShardingScheme::kRowWise);
+  const auto batch = SparseBatch::statistical(spec.batchSpec());
+  const auto host = inputPartitionCost(layer, batch, /*fused=*/false);
+  const auto fused = inputPartitionCost(layer, batch, /*fused=*/true);
+  EXPECT_LT(fused.host_time, host.host_time / 100);
+  EXPECT_GT(fused.extra_kernel_bytes_per_gpu, 0.0);
+  // The extra kernel read is the replicated index stream (8 B each).
+  EXPECT_GT(fused.extra_kernel_bytes_per_gpu,
+            batch.totalIndices(0, spec.total_tables) * 8.0 * 0.99);
+}
+
+TEST(InputPartitionTest, ExactForMaterializedBatches) {
+  gpu::SystemConfig cfg = timingConfig(2);
+  cfg.mode = gpu::ExecutionMode::kFunctional;
+  cfg.memory_capacity_bytes = 256 << 20;
+  gpu::MultiGpuSystem system(cfg);
+  auto spec = tinyLayerSpec();
+  spec.min_pooling = spec.max_pooling = 3;  // exactly 3 indices per bag
+  ShardedEmbeddingLayer layer(system, spec, ShardingScheme::kRowWise);
+  Rng rng(1);
+  const auto batch = SparseBatch::generateUniform(spec.batchSpec(), rng);
+  InputPartitionParams params;
+  params.host_fixed = SimTime::zero();
+  const auto cost = inputPartitionCost(layer, batch, false, params);
+  const std::int64_t indices = spec.total_tables * spec.batch_size * 3;
+  EXPECT_EQ(cost.host_time, params.host_per_index * indices);
+}
+
+}  // namespace
+}  // namespace pgasemb::emb

@@ -1,0 +1,290 @@
+// Unit tests for the PGAS runtime: symmetric heap, message plans,
+// in-kernel injection with quiet semantics, the communication counter,
+// and the async aggregator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fabric/fabric.hpp"
+#include "gpu/system.hpp"
+#include "pgas/aggregator.hpp"
+#include "pgas/comm_counter.hpp"
+#include "pgas/message_plan.hpp"
+#include "pgas/runtime.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::pgas {
+namespace {
+
+struct Rig {
+  gpu::MultiGpuSystem system;
+  fabric::Fabric fabric;
+  PgasRuntime runtime;
+
+  explicit Rig(int gpus,
+               gpu::ExecutionMode mode = gpu::ExecutionMode::kTimingOnly,
+               fabric::LinkParams link = {})
+      : system(makeConfig(gpus, mode)),
+        fabric(system.simulator(),
+               std::make_unique<fabric::NvlinkAllToAllTopology>(gpus, link)),
+        runtime(system, fabric) {}
+
+  static gpu::SystemConfig makeConfig(int gpus, gpu::ExecutionMode mode) {
+    gpu::SystemConfig cfg;
+    cfg.num_gpus = gpus;
+    cfg.memory_capacity_bytes = 1 << 30;
+    cfg.mode = mode;
+    return cfg;
+  }
+};
+
+// --- Symmetric heap ----------------------------------------------------------
+
+TEST(SymmetricHeapTest, AllocatesOnEveryPe) {
+  Rig rig(4, gpu::ExecutionMode::kFunctional);
+  auto buf = rig.runtime.heap().alloc(256);
+  EXPECT_EQ(buf.numPes(), 4);
+  EXPECT_EQ(buf.sizePerPe(), 256);
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(buf.on(pe).size(), 256);
+    EXPECT_EQ(rig.system.device(pe).memoryUsedBytes(), 256 * 4);
+  }
+  rig.runtime.heap().free(buf);
+  EXPECT_FALSE(buf.valid());
+  EXPECT_EQ(rig.system.device(0).memoryUsedBytes(), 0);
+}
+
+TEST(SymmetricHeapTest, PartitionsAreIndependentStorage) {
+  Rig rig(2, gpu::ExecutionMode::kFunctional);
+  auto buf = rig.runtime.heap().alloc(8);
+  buf.span(0)[3] = 1.0f;
+  EXPECT_EQ(buf.span(1)[3], 0.0f);
+  rig.runtime.heap().free(buf);
+}
+
+TEST(SymmetricHeapTest, BadPeThrows) {
+  Rig rig(2);
+  auto buf = rig.runtime.heap().alloc(8);
+  EXPECT_THROW(buf.on(5), InvalidArgumentError);
+  rig.runtime.heap().free(buf);
+}
+
+// --- Message plans -----------------------------------------------------------
+
+TEST(MessagePlanTest, UniformPlanConservesBytes) {
+  const auto plan = makeUniformPlan({0, 1000, 2000, 3000}, 0, 7, 256);
+  EXPECT_EQ(plan.slices, 7);
+  EXPECT_EQ(plan.totalPayloadBytes(), 6000);
+  // ceil(per-slice bytes / 256) summed >= 6000/256.
+  EXPECT_GE(plan.totalMessages(), 24);
+}
+
+TEST(MessagePlanTest, SelfTrafficExcluded) {
+  const auto plan = makeUniformPlan({500, 500}, 1, 4, 256);
+  EXPECT_EQ(plan.totalPayloadBytes(), 500);
+  for (const auto& slice : plan.flows) {
+    for (const auto& f : slice) EXPECT_EQ(f.dst, 0);
+  }
+}
+
+TEST(MessagePlanTest, SpreadIsEven) {
+  const auto plan = makeUniformPlan({0, 100000}, 0, 10, 256);
+  std::int64_t total = 0;
+  for (const auto& slice : plan.flows) {
+    ASSERT_EQ(slice.size(), 1u);
+    // Whole-message granularity: each slice within one message of even.
+    EXPECT_NEAR(static_cast<double>(slice[0].payload_bytes), 10000.0, 256.0);
+    total += slice[0].payload_bytes;
+  }
+  EXPECT_EQ(total, 100000);
+}
+
+TEST(MessagePlanTest, TinyPayloadStillDelivered) {
+  const auto plan = makeUniformPlan({0, 3}, 0, 8, 256);
+  EXPECT_EQ(plan.totalPayloadBytes(), 3);
+  EXPECT_EQ(plan.totalMessages(), 1);
+}
+
+// --- In-kernel injection + quiet ---------------------------------------------
+
+TEST(PgasRuntimeTest, AttachedPlanInjectsDuringKernel) {
+  Rig rig(2);
+  gpu::KernelDesc desc;
+  desc.name = "fused";
+  desc.duration = SimTime::ms(1);
+  auto plan = makeUniformPlan({0, 1 << 20}, 0, 16, 256);
+  rig.runtime.attachMessagePlan(desc, 0, std::move(plan));
+  rig.system.launchKernel(0, desc);
+  rig.system.syncAll();
+  EXPECT_EQ(rig.fabric.totalPayloadBytes(), 1 << 20);
+  // Injections spread across the kernel: several non-empty buckets.
+  int nonzero = 0;
+  const auto& c = rig.fabric.injectionCounter();
+  for (std::size_t i = 0; i < c.numBuckets(); ++i) {
+    if (c.bucket(i) > 0) ++nonzero;
+  }
+  EXPECT_GE(nonzero, 8);
+}
+
+TEST(PgasRuntimeTest, QuietExtendsKernelWhenCommDominates) {
+  // Tiny compute, huge communication: the kernel must end at delivery.
+  Rig rig(2);
+  gpu::KernelDesc desc;
+  desc.name = "comm_bound";
+  desc.duration = SimTime::us(10);
+  auto plan = makeUniformPlan({0, 256 << 20}, 0, 4, 256);
+  rig.runtime.attachMessagePlan(desc, 0, std::move(plan));
+  rig.system.launchKernel(0, desc);
+  rig.system.syncAll();
+  // 256 MiB at ~42 GB/s effective >> 10 us of compute.
+  EXPECT_GT(rig.system.stream(0).lastCompletion(), SimTime::ms(5));
+}
+
+TEST(PgasRuntimeTest, QuietIsFreeWhenCommHidden) {
+  Rig rig(2);
+  gpu::KernelDesc desc;
+  desc.name = "hidden";
+  desc.duration = SimTime::ms(10);
+  auto plan = makeUniformPlan({0, 1 << 20}, 0, 64, 256);
+  rig.runtime.attachMessagePlan(desc, 0, std::move(plan));
+  rig.system.launchKernel(0, desc);
+  rig.system.syncAll();
+  const SimTime end = rig.system.stream(0).lastCompletion();
+  // Completion within a tight bound of compute end (last slice drain).
+  EXPECT_LT(end, SimTime::ms(10.2) +
+                     rig.system.costModel().kernel_launch_overhead);
+}
+
+TEST(PgasRuntimeTest, CounterRecordsPaperUnits) {
+  Rig rig(2);
+  CommCounter counter(SimTime::us(50));
+  gpu::KernelDesc desc;
+  desc.name = "counted";
+  desc.duration = SimTime::ms(1);
+  auto plan = makeUniformPlan({0, 1 << 20}, 0, 16, 256);
+  rig.runtime.attachMessagePlan(desc, 0, std::move(plan), &counter);
+  rig.system.launchKernel(0, desc);
+  rig.system.syncAll();
+  EXPECT_DOUBLE_EQ(counter.totalUnits(), (1 << 20) / 256.0);
+}
+
+TEST(PgasRuntimeTest, HostPutDelivers) {
+  Rig rig(2);
+  const SimTime t = rig.runtime.put(0, 1, 4096, 16);
+  EXPECT_GT(t, rig.system.hostNow());
+}
+
+TEST(PgasRuntimeTest, BadSourcePeThrows) {
+  Rig rig(2);
+  gpu::KernelDesc desc;
+  desc.duration = SimTime::us(1);
+  EXPECT_THROW(
+      rig.runtime.attachMessagePlan(desc, 7, makeUniformPlan({0, 1}, 0, 1,
+                                                             256)),
+      InvalidArgumentError);
+}
+
+// --- Aggregator ----------------------------------------------------------------
+
+TEST(AggregatorTest, ConservesBytesAndReducesMessages) {
+  const auto plan = makeUniformPlan({0, 1 << 20}, 0, 64, 256);
+  AggregatorParams params;
+  params.aggregation_bytes = 64 * 1024;
+  const auto agg = aggregatePlan(plan, SimTime::ms(1), params);
+  EXPECT_EQ(agg.totalPayloadBytes(), plan.totalPayloadBytes());
+  EXPECT_LT(agg.totalMessages(), plan.totalMessages() / 10);
+}
+
+TEST(AggregatorTest, SizeTriggeredFlushesAreFullBuffers) {
+  const auto plan = makeUniformPlan({0, 1 << 20}, 0, 64, 256);
+  AggregatorParams params;
+  params.aggregation_bytes = 64 * 1024;
+  params.max_wait = SimTime::sec(1);  // effectively never by time
+  const auto agg = aggregatePlan(plan, SimTime::ms(1), params);
+  // All but the final quiet flush are exactly aggregation_bytes.
+  std::int64_t full = 0, partial = 0;
+  for (const auto& slice : agg.flows) {
+    for (const auto& f : slice) {
+      if (f.payload_bytes == params.aggregation_bytes) {
+        ++full;
+      } else {
+        ++partial;
+      }
+    }
+  }
+  EXPECT_EQ(full, (1 << 20) / params.aggregation_bytes);
+  EXPECT_EQ(partial, 0);  // 1 MiB divides evenly into 16 KiB buffers
+}
+
+TEST(AggregatorTest, MaxWaitFlushesPartialBuffers) {
+  // Slow trickle to one destination: without the wait trigger everything
+  // would flush only at the end.
+  MessagePlan plan;
+  plan.slices = 100;
+  plan.flows.resize(100);
+  for (int s = 0; s < 100; ++s) {
+    plan.flows[static_cast<std::size_t>(s)].push_back(
+        SliceFlow{1, 128, 1});
+  }
+  AggregatorParams params;
+  params.aggregation_bytes = 1 << 20;      // never by size
+  params.max_wait = SimTime::us(100);      // 10 slices of a 1 ms kernel
+  const auto agg = aggregatePlan(plan, SimTime::ms(1), params);
+  std::int64_t flushes = agg.totalMessages();
+  EXPECT_GT(flushes, 5);
+  EXPECT_LT(flushes, 20);
+  EXPECT_EQ(agg.totalPayloadBytes(), 100 * 128);
+}
+
+TEST(AggregatorTest, QuietDrainsRemainder) {
+  MessagePlan plan;
+  plan.slices = 4;
+  plan.flows.resize(4);
+  plan.flows[0].push_back(SliceFlow{1, 100, 1});
+  AggregatorParams params;  // defaults: large threshold, long wait
+  params.aggregation_bytes = 1 << 20;
+  params.max_wait = SimTime::sec(10);
+  const auto agg = aggregatePlan(plan, SimTime::ms(1), params);
+  EXPECT_EQ(agg.totalPayloadBytes(), 100);
+  // Drained at the last slice.
+  EXPECT_FALSE(agg.flows[3].empty());
+}
+
+TEST(AggregatorTest, AggregatedKernelFasterOnMessageRateLimitedLink) {
+  fabric::LinkParams nic;
+  nic.bandwidth_bytes_per_sec = 25e9;
+  nic.latency = SimTime::us(5);
+  nic.header_bytes = 64;
+  nic.max_messages_per_sec = 10e6;  // IB-like message-rate ceiling
+
+  auto run = [&](const AggregatorParams* agg) {
+    Rig rig(2, gpu::ExecutionMode::kTimingOnly, nic);
+    gpu::KernelDesc desc;
+    desc.name = "k";
+    desc.duration = SimTime::ms(1);
+    auto plan = makeUniformPlan({0, 64 << 20}, 0, 64, 256);
+    rig.runtime.attachMessagePlan(desc, 0, std::move(plan), nullptr, agg);
+    rig.system.launchKernel(0, desc);
+    rig.system.syncAll();
+    return rig.system.stream(0).lastCompletion();
+  };
+
+  AggregatorParams params;
+  params.aggregation_bytes = 128 * 1024;
+  const SimTime raw = run(nullptr);
+  const SimTime aggregated = run(&params);
+  // 256 K messages at 10 M msg/s = 26 ms un-aggregated; aggregation
+  // collapses that to ~bandwidth time.
+  EXPECT_LT(aggregated, raw / 4);
+}
+
+TEST(AggregatorTest, InvalidParamsThrow) {
+  const auto plan = makeUniformPlan({0, 100}, 0, 2, 256);
+  AggregatorParams params;
+  params.aggregation_bytes = 0;
+  EXPECT_THROW(aggregatePlan(plan, SimTime::ms(1), params),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace pgasemb::pgas

@@ -1,0 +1,158 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// resource FIFO semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fifo_resource.hpp"
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::us(3), [&] { order.push_back(3); });
+  q.push(SimTime::us(1), [&] { order.push_back(1); });
+  q.push(SimTime::us(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime::us(5), [&, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReflectsHead) {
+  EventQueue q;
+  EXPECT_EQ(q.nextTime(), SimTime::max());
+  q.push(SimTime::us(7), [] {});
+  EXPECT_EQ(q.nextTime(), SimTime::us(7));
+}
+
+TEST(EventQueueTest, SlotRecyclingSurvivesManyEvents) {
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      q.push(SimTime::us(round), [&] { ++fired; });
+    }
+    while (!q.empty()) q.pop().fn();
+  }
+  EXPECT_EQ(fired, 800);
+}
+
+TEST(SimulatorTest, RunAdvancesClock) {
+  Simulator sim;
+  SimTime seen = SimTime::zero();
+  sim.scheduleAt(SimTime::us(10), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::us(10));
+  EXPECT_EQ(sim.now(), SimTime::us(10));
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.scheduleAt(SimTime::us(1), [&] {
+    times.push_back(sim.now().toUs());
+    sim.scheduleAfter(SimTime::us(2), [&] {
+      times.push_back(sim.now().toUs());
+    });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.scheduleAt(SimTime::us(5), [&] {
+    EXPECT_THROW(sim.scheduleAt(SimTime::us(1), [] {}), Error);
+  });
+  sim.run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(SimTime::us(1), [&] { ++fired; });
+  sim.scheduleAt(SimTime::us(10), [&] { ++fired; });
+  sim.runUntil(SimTime::us(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::us(5));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) sim.scheduleAt(SimTime::us(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.eventsProcessed(), 17u);
+}
+
+TEST(SimulatorTest, AdvanceClockMovesForwardOnly) {
+  Simulator sim;
+  sim.advanceClock(SimTime::us(4));
+  EXPECT_EQ(sim.now(), SimTime::us(4));
+  sim.advanceClock(SimTime::us(2));  // no-op backwards
+  EXPECT_EQ(sim.now(), SimTime::us(4));
+}
+
+TEST(FifoResourceTest, BackToBackRequestsQueue) {
+  FifoResource r("r");
+  const auto g1 = r.acquire(SimTime::us(0), SimTime::us(10));
+  EXPECT_EQ(g1.start, SimTime::us(0));
+  EXPECT_EQ(g1.end, SimTime::us(10));
+  // Arrives while busy: queued behind g1.
+  const auto g2 = r.acquire(SimTime::us(3), SimTime::us(5));
+  EXPECT_EQ(g2.start, SimTime::us(10));
+  EXPECT_EQ(g2.end, SimTime::us(15));
+  // Arrives after idle: starts immediately.
+  const auto g3 = r.acquire(SimTime::us(20), SimTime::us(1));
+  EXPECT_EQ(g3.start, SimTime::us(20));
+}
+
+TEST(FifoResourceTest, TracksBusyTimeAndUtilization) {
+  FifoResource r("r");
+  r.acquire(SimTime::us(0), SimTime::us(10));
+  r.acquire(SimTime::us(30), SimTime::us(10));
+  EXPECT_EQ(r.busyTime(), SimTime::us(20));
+  EXPECT_DOUBLE_EQ(r.utilization(SimTime::us(40)), 0.5);
+}
+
+TEST(FifoResourceTest, BacklogMeasuresPendingWork) {
+  FifoResource r("r");
+  r.acquire(SimTime::us(0), SimTime::us(10));
+  EXPECT_EQ(r.backlog(SimTime::us(4)), SimTime::us(6));
+  EXPECT_EQ(r.backlog(SimTime::us(11)), SimTime::zero());
+}
+
+TEST(FifoResourceTest, ResetClearsState) {
+  FifoResource r("r");
+  r.acquire(SimTime::us(0), SimTime::us(10));
+  r.reset();
+  EXPECT_EQ(r.busyTime(), SimTime::zero());
+  EXPECT_EQ(r.freeAt(), SimTime::zero());
+}
+
+TEST(FifoResourceTest, ZeroDurationGrantIsInstant) {
+  FifoResource r("r");
+  const auto g = r.acquire(SimTime::us(5), SimTime::zero());
+  EXPECT_EQ(g.start, g.end);
+}
+
+}  // namespace
+}  // namespace pgasemb::sim
