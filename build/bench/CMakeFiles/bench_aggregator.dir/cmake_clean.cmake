@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregator.dir/bench_aggregator.cpp.o"
+  "CMakeFiles/bench_aggregator.dir/bench_aggregator.cpp.o.d"
+  "bench_aggregator"
+  "bench_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backward.dir/bench_backward.cpp.o"
+  "CMakeFiles/bench_backward.dir/bench_backward.cpp.o.d"
+  "bench_backward"
+  "bench_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_input_partition.dir/bench_input_partition.cpp.o"
+  "CMakeFiles/bench_input_partition.dir/bench_input_partition.cpp.o.d"
+  "bench_input_partition"
+  "bench_input_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

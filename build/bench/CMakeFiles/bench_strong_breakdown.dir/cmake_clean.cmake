@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strong_breakdown.dir/bench_strong_breakdown.cpp.o"
+  "CMakeFiles/bench_strong_breakdown.dir/bench_strong_breakdown.cpp.o.d"
+  "bench_strong_breakdown"
+  "bench_strong_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strong_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

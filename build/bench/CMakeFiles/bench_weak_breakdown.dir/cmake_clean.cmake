@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weak_breakdown.dir/bench_weak_breakdown.cpp.o"
+  "CMakeFiles/bench_weak_breakdown.dir/bench_weak_breakdown.cpp.o.d"
+  "bench_weak_breakdown"
+  "bench_weak_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weak_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

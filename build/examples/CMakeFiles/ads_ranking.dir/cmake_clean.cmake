@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_ranking.dir/ads_ranking.cpp.o"
+  "CMakeFiles/ads_ranking.dir/ads_ranking.cpp.o.d"
+  "ads_ranking"
+  "ads_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backward_training_step.dir/backward_training_step.cpp.o"
+  "CMakeFiles/backward_training_step.dir/backward_training_step.cpp.o.d"
+  "backward_training_step"
+  "backward_training_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backward_training_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

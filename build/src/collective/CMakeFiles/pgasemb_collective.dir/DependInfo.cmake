@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/communicator.cpp" "src/collective/CMakeFiles/pgasemb_collective.dir/communicator.cpp.o" "gcc" "src/collective/CMakeFiles/pgasemb_collective.dir/communicator.cpp.o.d"
+  "/root/repo/src/collective/request.cpp" "src/collective/CMakeFiles/pgasemb_collective.dir/request.cpp.o" "gcc" "src/collective/CMakeFiles/pgasemb_collective.dir/request.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/pgasemb_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pgasemb_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasemb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasemb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_collective.dir/communicator.cpp.o"
+  "CMakeFiles/pgasemb_collective.dir/communicator.cpp.o.d"
+  "CMakeFiles/pgasemb_collective.dir/request.cpp.o"
+  "CMakeFiles/pgasemb_collective.dir/request.cpp.o.d"
+  "libpgasemb_collective.a"
+  "libpgasemb_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_core.dir/collective_retriever.cpp.o"
+  "CMakeFiles/pgasemb_core.dir/collective_retriever.cpp.o.d"
+  "CMakeFiles/pgasemb_core.dir/pgas_retriever.cpp.o"
+  "CMakeFiles/pgasemb_core.dir/pgas_retriever.cpp.o.d"
+  "CMakeFiles/pgasemb_core.dir/pipelined_retriever.cpp.o"
+  "CMakeFiles/pgasemb_core.dir/pipelined_retriever.cpp.o.d"
+  "CMakeFiles/pgasemb_core.dir/retriever.cpp.o"
+  "CMakeFiles/pgasemb_core.dir/retriever.cpp.o.d"
+  "libpgasemb_core.a"
+  "libpgasemb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_dlrm.dir/backward.cpp.o"
+  "CMakeFiles/pgasemb_dlrm.dir/backward.cpp.o.d"
+  "CMakeFiles/pgasemb_dlrm.dir/interaction.cpp.o"
+  "CMakeFiles/pgasemb_dlrm.dir/interaction.cpp.o.d"
+  "CMakeFiles/pgasemb_dlrm.dir/mlp.cpp.o"
+  "CMakeFiles/pgasemb_dlrm.dir/mlp.cpp.o.d"
+  "CMakeFiles/pgasemb_dlrm.dir/model.cpp.o"
+  "CMakeFiles/pgasemb_dlrm.dir/model.cpp.o.d"
+  "CMakeFiles/pgasemb_dlrm.dir/pipeline.cpp.o"
+  "CMakeFiles/pgasemb_dlrm.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pgasemb_dlrm.dir/trainer.cpp.o"
+  "CMakeFiles/pgasemb_dlrm.dir/trainer.cpp.o.d"
+  "libpgasemb_dlrm.a"
+  "libpgasemb_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pgasemb_dlrm.
+# This may be replaced when dependencies are built.

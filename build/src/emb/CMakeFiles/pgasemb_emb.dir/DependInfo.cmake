@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emb/hashing.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/hashing.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/hashing.cpp.o.d"
+  "/root/repo/src/emb/input_partition.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/input_partition.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/input_partition.cpp.o.d"
+  "/root/repo/src/emb/layer.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/layer.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/layer.cpp.o.d"
+  "/root/repo/src/emb/lookup_kernel.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/lookup_kernel.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/lookup_kernel.cpp.o.d"
+  "/root/repo/src/emb/sharding.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/sharding.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/sharding.cpp.o.d"
+  "/root/repo/src/emb/sparse_batch.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/sparse_batch.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/sparse_batch.cpp.o.d"
+  "/root/repo/src/emb/table.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/table.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/table.cpp.o.d"
+  "/root/repo/src/emb/unpack_kernel.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/unpack_kernel.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/unpack_kernel.cpp.o.d"
+  "/root/repo/src/emb/workload.cpp" "src/emb/CMakeFiles/pgasemb_emb.dir/workload.cpp.o" "gcc" "src/emb/CMakeFiles/pgasemb_emb.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/pgasemb_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/pgasemb_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pgasemb_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasemb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasemb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_emb.dir/hashing.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/hashing.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/input_partition.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/input_partition.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/layer.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/layer.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/lookup_kernel.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/lookup_kernel.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/sharding.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/sharding.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/sparse_batch.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/sparse_batch.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/table.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/table.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/unpack_kernel.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/unpack_kernel.cpp.o.d"
+  "CMakeFiles/pgasemb_emb.dir/workload.cpp.o"
+  "CMakeFiles/pgasemb_emb.dir/workload.cpp.o.d"
+  "libpgasemb_emb.a"
+  "libpgasemb_emb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_emb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pgasemb_emb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cpp" "src/fabric/CMakeFiles/pgasemb_fabric.dir/fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/pgasemb_fabric.dir/fabric.cpp.o.d"
+  "/root/repo/src/fabric/link.cpp" "src/fabric/CMakeFiles/pgasemb_fabric.dir/link.cpp.o" "gcc" "src/fabric/CMakeFiles/pgasemb_fabric.dir/link.cpp.o.d"
+  "/root/repo/src/fabric/time_series_counter.cpp" "src/fabric/CMakeFiles/pgasemb_fabric.dir/time_series_counter.cpp.o" "gcc" "src/fabric/CMakeFiles/pgasemb_fabric.dir/time_series_counter.cpp.o.d"
+  "/root/repo/src/fabric/topology.cpp" "src/fabric/CMakeFiles/pgasemb_fabric.dir/topology.cpp.o" "gcc" "src/fabric/CMakeFiles/pgasemb_fabric.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pgasemb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasemb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

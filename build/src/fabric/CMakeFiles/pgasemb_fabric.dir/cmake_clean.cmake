@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/pgasemb_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/pgasemb_fabric.dir/link.cpp.o"
+  "CMakeFiles/pgasemb_fabric.dir/link.cpp.o.d"
+  "CMakeFiles/pgasemb_fabric.dir/time_series_counter.cpp.o"
+  "CMakeFiles/pgasemb_fabric.dir/time_series_counter.cpp.o.d"
+  "CMakeFiles/pgasemb_fabric.dir/topology.cpp.o"
+  "CMakeFiles/pgasemb_fabric.dir/topology.cpp.o.d"
+  "libpgasemb_fabric.a"
+  "libpgasemb_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cost_model.cpp" "src/gpu/CMakeFiles/pgasemb_gpu.dir/cost_model.cpp.o" "gcc" "src/gpu/CMakeFiles/pgasemb_gpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/pgasemb_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/pgasemb_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/gpu_event.cpp" "src/gpu/CMakeFiles/pgasemb_gpu.dir/gpu_event.cpp.o" "gcc" "src/gpu/CMakeFiles/pgasemb_gpu.dir/gpu_event.cpp.o.d"
+  "/root/repo/src/gpu/stream.cpp" "src/gpu/CMakeFiles/pgasemb_gpu.dir/stream.cpp.o" "gcc" "src/gpu/CMakeFiles/pgasemb_gpu.dir/stream.cpp.o.d"
+  "/root/repo/src/gpu/system.cpp" "src/gpu/CMakeFiles/pgasemb_gpu.dir/system.cpp.o" "gcc" "src/gpu/CMakeFiles/pgasemb_gpu.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pgasemb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasemb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_gpu.dir/cost_model.cpp.o"
+  "CMakeFiles/pgasemb_gpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pgasemb_gpu.dir/device.cpp.o"
+  "CMakeFiles/pgasemb_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/pgasemb_gpu.dir/gpu_event.cpp.o"
+  "CMakeFiles/pgasemb_gpu.dir/gpu_event.cpp.o.d"
+  "CMakeFiles/pgasemb_gpu.dir/stream.cpp.o"
+  "CMakeFiles/pgasemb_gpu.dir/stream.cpp.o.d"
+  "CMakeFiles/pgasemb_gpu.dir/system.cpp.o"
+  "CMakeFiles/pgasemb_gpu.dir/system.cpp.o.d"
+  "libpgasemb_gpu.a"
+  "libpgasemb_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pgas/aggregator.cpp" "src/pgas/CMakeFiles/pgasemb_pgas.dir/aggregator.cpp.o" "gcc" "src/pgas/CMakeFiles/pgasemb_pgas.dir/aggregator.cpp.o.d"
+  "/root/repo/src/pgas/comm_counter.cpp" "src/pgas/CMakeFiles/pgasemb_pgas.dir/comm_counter.cpp.o" "gcc" "src/pgas/CMakeFiles/pgasemb_pgas.dir/comm_counter.cpp.o.d"
+  "/root/repo/src/pgas/message_plan.cpp" "src/pgas/CMakeFiles/pgasemb_pgas.dir/message_plan.cpp.o" "gcc" "src/pgas/CMakeFiles/pgasemb_pgas.dir/message_plan.cpp.o.d"
+  "/root/repo/src/pgas/runtime.cpp" "src/pgas/CMakeFiles/pgasemb_pgas.dir/runtime.cpp.o" "gcc" "src/pgas/CMakeFiles/pgasemb_pgas.dir/runtime.cpp.o.d"
+  "/root/repo/src/pgas/symmetric_heap.cpp" "src/pgas/CMakeFiles/pgasemb_pgas.dir/symmetric_heap.cpp.o" "gcc" "src/pgas/CMakeFiles/pgasemb_pgas.dir/symmetric_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/pgasemb_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pgasemb_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasemb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasemb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

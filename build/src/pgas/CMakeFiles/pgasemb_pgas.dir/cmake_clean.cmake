@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_pgas.dir/aggregator.cpp.o"
+  "CMakeFiles/pgasemb_pgas.dir/aggregator.cpp.o.d"
+  "CMakeFiles/pgasemb_pgas.dir/comm_counter.cpp.o"
+  "CMakeFiles/pgasemb_pgas.dir/comm_counter.cpp.o.d"
+  "CMakeFiles/pgasemb_pgas.dir/message_plan.cpp.o"
+  "CMakeFiles/pgasemb_pgas.dir/message_plan.cpp.o.d"
+  "CMakeFiles/pgasemb_pgas.dir/runtime.cpp.o"
+  "CMakeFiles/pgasemb_pgas.dir/runtime.cpp.o.d"
+  "CMakeFiles/pgasemb_pgas.dir/symmetric_heap.cpp.o"
+  "CMakeFiles/pgasemb_pgas.dir/symmetric_heap.cpp.o.d"
+  "libpgasemb_pgas.a"
+  "libpgasemb_pgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

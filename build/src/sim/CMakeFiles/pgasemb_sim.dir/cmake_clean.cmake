@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pgasemb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pgasemb_sim.dir/fifo_resource.cpp.o"
+  "CMakeFiles/pgasemb_sim.dir/fifo_resource.cpp.o.d"
+  "CMakeFiles/pgasemb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pgasemb_sim.dir/simulator.cpp.o.d"
+  "libpgasemb_sim.a"
+  "libpgasemb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

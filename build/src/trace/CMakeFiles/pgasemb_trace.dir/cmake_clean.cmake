@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_trace.dir/chrome_trace.cpp.o"
+  "CMakeFiles/pgasemb_trace.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/pgasemb_trace.dir/experiment.cpp.o"
+  "CMakeFiles/pgasemb_trace.dir/experiment.cpp.o.d"
+  "CMakeFiles/pgasemb_trace.dir/report.cpp.o"
+  "CMakeFiles/pgasemb_trace.dir/report.cpp.o.d"
+  "libpgasemb_trace.a"
+  "libpgasemb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasemb_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/pgasemb_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/pgasemb_util.dir/cli.cpp.o"
+  "CMakeFiles/pgasemb_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pgasemb_util.dir/csv.cpp.o"
+  "CMakeFiles/pgasemb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pgasemb_util.dir/log.cpp.o"
+  "CMakeFiles/pgasemb_util.dir/log.cpp.o.d"
+  "CMakeFiles/pgasemb_util.dir/rng.cpp.o"
+  "CMakeFiles/pgasemb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pgasemb_util.dir/stats.cpp.o"
+  "CMakeFiles/pgasemb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pgasemb_util.dir/table.cpp.o"
+  "CMakeFiles/pgasemb_util.dir/table.cpp.o.d"
+  "libpgasemb_util.a"
+  "libpgasemb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasemb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

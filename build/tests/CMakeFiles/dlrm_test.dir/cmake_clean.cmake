@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_test.dir/dlrm_test.cpp.o"
+  "CMakeFiles/dlrm_test.dir/dlrm_test.cpp.o.d"
+  "dlrm_test"
+  "dlrm_test.pdb"
+  "dlrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

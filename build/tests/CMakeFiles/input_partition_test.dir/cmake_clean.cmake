@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_partition_test.dir/input_partition_test.cpp.o"
+  "CMakeFiles/input_partition_test.dir/input_partition_test.cpp.o.d"
+  "input_partition_test"
+  "input_partition_test.pdb"
+  "input_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_test.dir/skew_test.cpp.o"
+  "CMakeFiles/skew_test.dir/skew_test.cpp.o.d"
+  "skew_test"
+  "skew_test.pdb"
+  "skew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

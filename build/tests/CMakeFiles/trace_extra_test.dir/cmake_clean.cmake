@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_extra_test.dir/trace_extra_test.cpp.o"
+  "CMakeFiles/trace_extra_test.dir/trace_extra_test.cpp.o.d"
+  "trace_extra_test"
+  "trace_extra_test.pdb"
+  "trace_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

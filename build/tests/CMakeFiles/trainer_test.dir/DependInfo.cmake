@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trainer_test.cpp" "tests/CMakeFiles/trainer_test.dir/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/trainer_test.dir/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pgasemb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasemb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pgasemb_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pgasemb_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/pgasemb_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/pgasemb_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/emb/CMakeFiles/pgasemb_emb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pgasemb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlrm/CMakeFiles/pgasemb_dlrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pgasemb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
