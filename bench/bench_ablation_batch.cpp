@@ -14,24 +14,28 @@ int main(int argc, char** argv) {
   using namespace pgasemb;
   CliParser cli("Batch-size ablation (4 GPUs, weak-style config).");
   cli.addInt("batches", 20, "batches per configuration");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const auto retrievers = bench::retrieverList(cli);
 
   bench::printHeader("Ablation: batch size vs latency-limited overheads");
 
-  ConsoleTable table({"batch", "baseline ms", "pgas ms", "speedup",
-                      "baseline sync+unpack share"});
+  const std::string ref_key = trace::runKey(retrievers.front());
+  const std::string treat_key = trace::runKey(retrievers.back());
+  ConsoleTable table({"batch", ref_key + " ms", treat_key + " ms", "speedup",
+                      ref_key + " sync+unpack share"});
   for (const std::int64_t batch : {64, 256, 1024, 4096, 16384, 65536}) {
-    auto cfg = trace::weakScalingConfig(4);
+    auto cfg = engine::weakScalingConfig(4);
     cfg.num_batches = static_cast<int>(cli.getInt("batches"));
     cfg.layer.batch_size = batch;
-    const auto base =
-        trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
-    const auto pgas =
-        trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    engine::ScenarioRunner runner(cfg);
+    const auto runs = runner.runAll(retrievers);
+    const auto& base = runs.front().result;
+    const auto& treat = runs.back().result;
     table.addRow(
         {std::to_string(batch), ConsoleTable::num(base.avgBatchMs(), 3),
-         ConsoleTable::num(pgas.avgBatchMs(), 3),
-         ConsoleTable::num(base.avgBatchMs() / pgas.avgBatchMs(), 2) + "x",
+         ConsoleTable::num(treat.avgBatchMs(), 3),
+         ConsoleTable::num(base.avgBatchMs() / treat.avgBatchMs(), 2) + "x",
          ConsoleTable::num(base.avgSyncUnpackMs() / base.avgBatchMs(),
                            2)});
   }

@@ -25,11 +25,10 @@ int main(int argc, char** argv) {
                       "slowdown vs 0 B"});
   double base_ms = 0.0;
   for (const int header : {0, 16, 32, 64, 128, 256, 1024}) {
-    auto cfg = trace::weakScalingConfig(4);
+    auto cfg = engine::weakScalingConfig(4);
     cfg.num_batches = static_cast<int>(cli.getInt("batches"));
     cfg.link.header_bytes = header;
-    const auto r =
-        trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    const auto r = engine::ScenarioRunner(cfg).run("pgas_fused");
     if (header == 0) base_ms = r.avgBatchMs();
     const double eff = 256.0 / (256.0 + header);
     table.addRow({std::to_string(header), ConsoleTable::num(eff, 3),

@@ -13,20 +13,24 @@ int main(int argc, char** argv) {
   CliParser cli("Pooling-factor ablation (4 GPUs, weak config).");
   cli.addInt("batches", 20, "batches per configuration");
   cli.addInt("gpus", 4, "GPU count");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const auto retrievers = bench::retrieverList(cli);
 
   bench::printHeader("Ablation: pooling factor vs overlap headroom");
 
-  ConsoleTable table({"max pooling", "baseline ms", "pgas ms", "speedup",
-                      "pgas comm/compute"});
+  const std::string ref_key = trace::runKey(retrievers.front());
+  const std::string treat_key = trace::runKey(retrievers.back());
+  ConsoleTable table({"max pooling", ref_key + " ms", treat_key + " ms",
+                      "speedup", treat_key + " comm/compute"});
   for (const int pool : {2, 8, 32, 128, 512}) {
-    auto cfg = trace::weakScalingConfig(static_cast<int>(cli.getInt("gpus")));
+    auto cfg = engine::weakScalingConfig(static_cast<int>(cli.getInt("gpus")));
     cfg.num_batches = static_cast<int>(cli.getInt("batches"));
     cfg.layer.max_pooling = pool;
-    const auto base =
-        trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
-    const auto pgas =
-        trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    engine::ScenarioRunner runner(cfg);
+    const auto runs = runner.runAll(retrievers);
+    const auto& base = runs.front().result;
+    const auto& pgas = runs.back().result;
     // Ratio of wire drain time to fused kernel time (per batch, approx):
     // wire bytes per GPU pair / raw link bw vs pgas batch time.
     const double wire_ms =

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   auto make_cfg = [&](bool use_agg, std::int64_t agg_bytes,
                       SimTime max_wait) {
-    trace::ExperimentConfig cfg;
+    engine::ExperimentConfig cfg;
     cfg.layer = emb::weakScalingLayerSpec(4);
     cfg.layer.total_tables = 64;  // moderate size for the sweep
     cfg.num_gpus = 4;
@@ -41,17 +41,17 @@ int main(int argc, char** argv) {
     return cfg;
   };
 
-  const auto raw = trace::runExperiment(
-      make_cfg(false, 0, SimTime::zero()), trace::RetrieverKind::kPgasFused);
+  const auto raw = engine::ScenarioRunner(make_cfg(false, 0, SimTime::zero()))
+                       .run("pgas_fused");
   printf("\nun-aggregated 256 B stores: %.3f ms/batch, %lld messages\n",
          raw.avgBatchMs(), static_cast<long long>(raw.total_wire_messages));
 
   ConsoleTable table({"agg size", "max wait", "ms/batch", "speedup",
                       "messages", "msg reduction"});
   for (const std::int64_t kb : {4, 16, 64, 256, 1024}) {
-    const auto r = trace::runExperiment(
-        make_cfg(true, kb * 1024, SimTime::us(50.0)),
-        trace::RetrieverKind::kPgasFused);
+    const auto r =
+        engine::ScenarioRunner(make_cfg(true, kb * 1024, SimTime::us(50.0)))
+            .run("pgas_fused");
     table.addRow(
         {std::to_string(kb) + " KiB", "50 us",
          ConsoleTable::num(r.avgBatchMs(), 3),
@@ -65,9 +65,9 @@ int main(int argc, char** argv) {
   }
   // Max-wait sweep at a fixed 64 KiB aggregation size.
   for (const double wait_us : {5.0, 500.0}) {
-    const auto r = trace::runExperiment(
-        make_cfg(true, 64 * 1024, SimTime::us(wait_us)),
-        trace::RetrieverKind::kPgasFused);
+    const auto r =
+        engine::ScenarioRunner(make_cfg(true, 64 * 1024, SimTime::us(wait_us)))
+            .run("pgas_fused");
     table.addRow(
         {"64 KiB", ConsoleTable::num(wait_us, 0) + " us",
          ConsoleTable::num(r.avgBatchMs(), 3),

@@ -14,48 +14,55 @@
 
 namespace {
 
-void runFigure(const char* title, pgasemb::trace::ExperimentConfig cfg,
+void runFigure(const char* title, pgasemb::engine::ExperimentConfig cfg,
+               const std::vector<std::string>& retrievers,
                const std::string& csv_path) {
   using namespace pgasemb;
   cfg.num_batches = 1;  // one batch shows the within-batch shape
-  // ~150 buckets across the PGAS batch for a smooth trace.
-  const auto probe = trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+  // ~150 buckets across the treatment's batch for a smooth trace.
+  const auto probe = engine::ScenarioRunner(cfg).run(retrievers.back());
   cfg.counter_bucket =
       SimTime(std::max<std::int64_t>(probe.stats.total.count() / 150, 1000));
 
-  const auto pgas =
-      trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
-  const auto base =
-      trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
+  engine::ScenarioRunner runner(cfg);
+  const auto runs = runner.runAll(retrievers);
 
   bench::printHeader(title);
-  printf("\n%s\n",
-         trace::renderCommVolumeChart(pgas, base, title).c_str());
-  printf("total volume: pgas %lld B in %lld messages, baseline %lld B in "
-         "%lld messages\n",
-         static_cast<long long>(pgas.total_wire_bytes),
-         static_cast<long long>(pgas.total_wire_messages),
-         static_cast<long long>(base.total_wire_bytes),
-         static_cast<long long>(base.total_wire_messages));
-  printf("batch time: pgas %.3f ms, baseline %.3f ms\n",
-         pgas.avgBatchMs(), base.avgBatchMs());
+  printf("\n%s\n", trace::renderCommVolumeChart(runs, title).c_str());
+  // Treatment-first, reference last (historical ordering).
+  printf("total volume:");
+  for (std::size_t r = runs.size(); r-- > 0;) {
+    printf(" %s %lld B in %lld messages%s",
+           trace::runKey(runs[r].retriever).c_str(),
+           static_cast<long long>(runs[r].result.total_wire_bytes),
+           static_cast<long long>(runs[r].result.total_wire_messages),
+           r == 0 ? "\n" : ",");
+  }
+  printf("batch time:");
+  for (std::size_t r = runs.size(); r-- > 0;) {
+    printf(" %s %.3f ms%s", trace::runKey(runs[r].retriever).c_str(),
+           runs[r].result.avgBatchMs(), r == 0 ? "\n" : ",");
+  }
 
   if (!csv_path.empty()) {
-    CsvWriter csv(csv_path, {"time_us", "pgas_units", "baseline_units"});
-    const std::size_t n = std::max(pgas.wire_bytes_over_time.size(),
-                                   base.wire_bytes_over_time.size());
+    std::vector<std::string> headers{"time_us"};
+    std::size_t n = 0;
+    for (std::size_t r = runs.size(); r-- > 0;) {
+      headers.push_back(trace::runKey(runs[r].retriever) + "_units");
+      n = std::max(n, runs[r].result.wire_bytes_over_time.size());
+    }
+    CsvWriter csv(csv_path, headers);
+    const auto& clock = runs.back().result;
     for (std::size_t i = 0; i < n; ++i) {
       const double t =
-          pgas.bucket_width.toUs() * (static_cast<double>(i) + 0.5);
-      const double pv = i < pgas.wire_bytes_over_time.size()
-                            ? pgas.wire_bytes_over_time[i] / 256.0
-                            : 0.0;
-      const double bv = i < base.wire_bytes_over_time.size()
-                            ? base.wire_bytes_over_time[i] / 256.0
-                            : 0.0;
-      csv.addRow({pgasemb::ConsoleTable::num(t, 2),
-                  pgasemb::ConsoleTable::num(pv, 1),
-                  pgasemb::ConsoleTable::num(bv, 1)});
+          clock.bucket_width.toUs() * (static_cast<double>(i) + 0.5);
+      std::vector<std::string> row{pgasemb::ConsoleTable::num(t, 2)};
+      for (std::size_t r = runs.size(); r-- > 0;) {
+        const auto& series = runs[r].result.wire_bytes_over_time;
+        row.push_back(pgasemb::ConsoleTable::num(
+            i < series.size() ? series[i] / 256.0 : 0.0, 1));
+      }
+      csv.addRow(row);
     }
     printf("wrote %s\n", csv_path.c_str());
   }
@@ -70,11 +77,15 @@ int main(int argc, char** argv) {
       "Communication volume over time (paper Figures 7 and 10).");
   cli.addString("csv-fig7", "comm_volume_fig7.csv", "Fig 7 CSV path");
   cli.addString("csv-fig10", "comm_volume_fig10.csv", "Fig 10 CSV path");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
+  const auto retrievers = bench::retrieverList(cli);
   runFigure("Figure 7: comm volume over time — weak scaling, 2 GPUs",
-            trace::weakScalingConfig(2), cli.getString("csv-fig7"));
+            engine::weakScalingConfig(2), retrievers,
+            cli.getString("csv-fig7"));
   runFigure("Figure 10: comm volume over time — strong scaling, 4 GPUs",
-            trace::strongScalingConfig(4), cli.getString("csv-fig10"));
+            engine::strongScalingConfig(4), retrievers,
+            cli.getString("csv-fig10"));
   return 0;
 }

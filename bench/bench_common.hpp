@@ -1,30 +1,77 @@
 // Shared scaffolding for the paper-reproduction benchmark binaries.
+//
+// All benches dispatch retrievers by registry name through
+// engine::ScenarioRunner; the shared --retrievers=a,b,c flag picks which
+// strategies a sweep compares (first name = reference/baseline).
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "trace/experiment.hpp"
+#include "core/registry.hpp"
 #include "trace/report.hpp"
 #include "util/cli.hpp"
+#include "util/expect.hpp"
 
 namespace pgasemb::bench {
 
-/// Run baseline + PGAS at 1..max_gpus for one scaling mode.
-inline std::vector<trace::ScalingPoint> sweepScaling(bool weak,
-                                                     int max_gpus,
-                                                     int num_batches) {
+/// The paper's comparison pair: NCCL collective baseline vs PGAS fused.
+inline constexpr const char* kDefaultRetrievers = "nccl_collective,pgas_fused";
+
+/// Registers the shared --retrievers flag (comma-separated registry
+/// names; first is the reference the others are compared against).
+inline std::string registeredRetrieverNames() {
+  std::string known;
+  for (const auto& name : core::RetrieverRegistry::instance().names()) {
+    known += (known.empty() ? "" : ",") + name;
+  }
+  return known;
+}
+
+inline void addRetrieversFlag(CliParser& cli,
+                              const char* defaults = kDefaultRetrievers) {
+  cli.addString("retrievers", defaults,
+                "comma-separated retriever names to compare (first = "
+                "reference); registered: " + registeredRetrieverNames());
+}
+
+/// Parses the --retrievers flag into a validated, non-empty name list.
+inline std::vector<std::string> retrieverList(const CliParser& cli) {
+  const std::string spec = cli.getString("retrievers");
+  std::vector<std::string> names;
+  std::string current;
+  for (const char c : spec) {
+    if (c == ',') {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+    } else if (c != ' ') {
+      current += c;
+    }
+  }
+  if (!current.empty()) names.push_back(current);
+  PGASEMB_CHECK(!names.empty(), "--retrievers needs at least one name");
+  for (const auto& name : names) {
+    PGASEMB_CHECK(core::RetrieverRegistry::instance().contains(name),
+                  "--retrievers: unknown retriever '" + name +
+                      "' (registered: " + registeredRetrieverNames() + ")");
+  }
+  return names;
+}
+
+/// Run every named retriever at 1..max_gpus for one scaling mode.
+inline std::vector<trace::ScalingPoint> sweepScaling(
+    bool weak, int max_gpus, int num_batches,
+    const std::vector<std::string>& retrievers) {
   std::vector<trace::ScalingPoint> points;
   for (int gpus = 1; gpus <= max_gpus; ++gpus) {
-    trace::ExperimentConfig cfg = weak ? trace::weakScalingConfig(gpus)
-                                       : trace::strongScalingConfig(gpus);
+    engine::ExperimentConfig cfg = weak ? engine::weakScalingConfig(gpus)
+                                        : engine::strongScalingConfig(gpus);
     cfg.num_batches = num_batches;
+    engine::ScenarioRunner runner(cfg);
     trace::ScalingPoint point;
     point.gpus = gpus;
-    point.baseline =
-        trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
-    point.pgas = trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    point.runs = runner.runAll(retrievers);
     points.push_back(std::move(point));
   }
   return points;
@@ -37,12 +84,19 @@ inline void printHeader(const std::string& title) {
 }
 
 inline void printPerGpuRuntimes(const std::vector<trace::ScalingPoint>& pts) {
+  if (pts.empty() || pts[0].runs.empty()) {
+    printf("\n(no scaling points to report — the sweep produced no runs)\n");
+    return;
+  }
   printf("\nPer-batch EMB-layer time (ms), accumulated over %d batches:\n",
-         pts.empty() ? 0 : pts[0].baseline.stats.batches);
+         pts[0].reference().result.stats.batches);
   for (const auto& p : pts) {
-    printf("  %d GPU(s): baseline %8.3f ms   pgas %8.3f ms   speedup %.2fx\n",
-           p.gpus, p.baseline.avgBatchMs(), p.pgas.avgBatchMs(),
-           p.speedup());
+    printf("  %d GPU(s):", p.gpus);
+    for (const auto& run : p.runs) {
+      printf(" %s %8.3f ms  ", trace::runKey(run.retriever).c_str(),
+             run.result.avgBatchMs());
+    }
+    printf(" speedup %.2fx\n", p.speedup());
   }
 }
 

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
       "Multi-node weak scaling (4 GPUs/node, IB-like inter-node links)");
 
   auto make_cfg = [&](int nodes, bool agg) {
-    trace::ExperimentConfig cfg =
-        trace::weakScalingConfig(nodes * per_node);
+    engine::ExperimentConfig cfg =
+        engine::weakScalingConfig(nodes * per_node);
     cfg.num_batches = static_cast<int>(cli.getInt("batches"));
     if (nodes > 1) {
       cfg.num_nodes = nodes;
@@ -41,12 +41,11 @@ int main(int argc, char** argv) {
   ConsoleTable table({"nodes", "GPUs", "baseline ms", "pgas ms",
                       "pgas+agg ms", "best speedup"});
   for (const int nodes : {1, 2, 4}) {
-    const auto base = trace::runExperiment(
-        make_cfg(nodes, false), trace::RetrieverKind::kCollectiveBaseline);
-    const auto pgas = trace::runExperiment(
-        make_cfg(nodes, false), trace::RetrieverKind::kPgasFused);
-    const auto agg = trace::runExperiment(
-        make_cfg(nodes, true), trace::RetrieverKind::kPgasFused);
+    engine::ScenarioRunner runner(make_cfg(nodes, false));
+    const auto base = runner.run("nccl_collective");
+    const auto pgas = runner.run("pgas_fused");
+    const auto agg =
+        engine::ScenarioRunner(make_cfg(nodes, true)).run("pgas_fused");
     const double best = std::min(pgas.avgBatchMs(), agg.avgBatchMs());
     table.addRow({std::to_string(nodes),
                   std::to_string(nodes * per_node),

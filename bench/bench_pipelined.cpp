@@ -6,97 +6,51 @@
 // pass, the per-batch control path, and the extra buffer memory remain.
 // PGAS hides communication *within* one batch — no added latency, no
 // extra copies of the activation buffers.
-#include <memory>
-
+//
+// All three schemes run through the shared ScenarioRunner — the pipelined
+// retriever's drain is folded into its run by finish(), so no bespoke
+// rig or host-clock bookkeeping is needed here.
 #include "bench_common.hpp"
-#include "collective/communicator.hpp"
-#include "core/collective_retriever.hpp"
-#include "core/pgas_retriever.hpp"
-#include "core/pipelined_retriever.hpp"
-#include "fabric/fabric.hpp"
-#include "pgas/runtime.hpp"
 #include "util/table.hpp"
 
 using namespace pgasemb;
-
-namespace {
-
-struct Rig {
-  gpu::MultiGpuSystem system;
-  fabric::Fabric fabric;
-  collective::Communicator comm;
-  pgas::PgasRuntime runtime;
-  emb::ShardedEmbeddingLayer layer;
-
-  Rig(int gpus, const emb::EmbLayerSpec& spec)
-      : system(config(gpus)),
-        fabric(system.simulator(),
-               std::make_unique<fabric::NvlinkAllToAllTopology>(
-                   gpus, fabric::LinkParams{})),
-        comm(system, fabric),
-        runtime(system, fabric),
-        layer(system, spec) {}
-
-  static gpu::SystemConfig config(int gpus) {
-    gpu::SystemConfig cfg;
-    cfg.num_gpus = gpus;
-    cfg.mode = gpu::ExecutionMode::kTimingOnly;
-    return cfg;
-  }
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("Inter-batch pipelined baseline vs PGAS fused (weak "
                 "config).");
   cli.addInt("batches", 50, "batches per configuration");
   cli.addInt("gpus", 4, "GPU count");
+  cli.addInt("depth", 2, "pipeline depth (in-flight batches)");
+  bench::addRetrieversFlag(cli,
+                           "nccl_collective,nccl_pipelined,pgas_fused");
   if (!cli.parse(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
-  const int batches = static_cast<int>(cli.getInt("batches"));
+  const int depth = static_cast<int>(cli.getInt("depth"));
 
   bench::printHeader(
       "Ablation: double-buffered baseline (inter-batch pipelining)");
 
-  auto spec = emb::weakScalingLayerSpec(gpus);
-  // Leave room for the pipeline's second buffer set.
-  spec.total_tables = 48LL * gpus;
-  const auto batch = emb::SparseBatch::statistical(spec.batchSpec());
+  engine::ExperimentConfig cfg = engine::weakScalingConfig(gpus);
+  // Leave room for the pipeline's extra buffer sets.
+  cfg.layer.total_tables = 48LL * gpus;
+  cfg.num_batches = static_cast<int>(cli.getInt("batches"));
+  cfg.pipeline_depth = depth;
 
+  engine::ScenarioRunner runner(cfg);
+  const auto runs = runner.runAll(bench::retrieverList(cli));
+
+  const std::string ref_key = trace::runKey(runs.front().retriever);
   ConsoleTable table(
-      {"scheme", "ms/batch", "speedup vs baseline", "extra buffers"});
-  double base_ms = 0.0;
-  {
-    Rig rig(gpus, spec);
-    core::CollectiveRetriever retriever(rig.layer, rig.comm);
-    SimTime total = SimTime::zero();
-    for (int b = 0; b < batches; ++b) total += retriever.runBatch(batch).total;
-    base_ms = total.toMs() / batches;
-    table.addRow({"baseline (bulk-sync)", ConsoleTable::num(base_ms, 3),
-                  "1.00x", "1x"});
-  }
-  for (const int depth : {2, 3}) {
-    Rig rig(gpus, spec);
-    core::PipelinedCollectiveRetriever retriever(rig.layer, rig.comm,
-                                                 depth);
-    const SimTime t0 = rig.system.hostNow();
-    for (int b = 0; b < batches; ++b) retriever.runBatch(batch);
-    const SimTime t1 = retriever.drain();
-    const double ms = (t1 - t0).toMs() / batches;
-    table.addRow({"baseline pipelined d=" + std::to_string(depth),
-                  ConsoleTable::num(ms, 3),
-                  ConsoleTable::num(base_ms / ms, 2) + "x",
-                  std::to_string(depth) + "x"});
-  }
-  {
-    Rig rig(gpus, spec);
-    core::PgasFusedRetriever retriever(rig.layer, rig.runtime, {});
-    SimTime total = SimTime::zero();
-    for (int b = 0; b < batches; ++b) total += retriever.runBatch(batch).total;
-    const double ms = total.toMs() / batches;
-    table.addRow({"pgas fused", ConsoleTable::num(ms, 3),
-                  ConsoleTable::num(base_ms / ms, 2) + "x", "1x"});
+      {"scheme", "ms/batch", "speedup vs " + ref_key, "extra buffers"});
+  const double ref_ms = runs.front().result.avgBatchMs();
+  for (const auto& run : runs) {
+    const bool pipelined = run.retriever == "nccl_pipelined";
+    std::string scheme = trace::runStyle(run.retriever).display;
+    if (pipelined) scheme += " d=" + std::to_string(depth);
+    const double ms = run.result.avgBatchMs();
+    table.addRow({scheme, ConsoleTable::num(ms, 3),
+                  ms > 0.0 ? ConsoleTable::num(ref_ms / ms, 2) + "x" : "-",
+                  (pipelined ? std::to_string(depth) : "1") + "x"});
   }
   printf("\n%s\n", table.render().c_str());
   printf("(pipelining hides the wire time behind the next batch's compute "

@@ -20,14 +20,12 @@ int main(int argc, char** argv) {
   ConsoleTable table({"GPUs", "table-wise ms", "row-wise ms",
                       "row-wise volume factor"});
   for (int gpus = 2; gpus <= 4; ++gpus) {
-    auto cfg = trace::weakScalingConfig(gpus);
+    auto cfg = engine::weakScalingConfig(gpus);
     cfg.num_batches = static_cast<int>(cli.getInt("batches"));
-    const auto tw =
-        trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    const auto tw = engine::ScenarioRunner(cfg).run("pgas_fused");
     auto rw_cfg = cfg;
     rw_cfg.sharding = emb::ShardingScheme::kRowWise;
-    const auto rw =
-        trace::runExperiment(rw_cfg, trace::RetrieverKind::kPgasFused);
+    const auto rw = engine::ScenarioRunner(rw_cfg).run("pgas_fused");
     table.addRow(
         {std::to_string(gpus), ConsoleTable::num(tw.avgBatchMs(), 3),
          ConsoleTable::num(rw.avgBatchMs(), 3),

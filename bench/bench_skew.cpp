@@ -15,13 +15,15 @@ int main(int argc, char** argv) {
   CliParser cli("Skewed-pooling ablation: naive vs balanced table-wise "
                 "sharding (4 GPUs).");
   cli.addInt("batches", 10, "batches per configuration");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
   const int batches = static_cast<int>(cli.getInt("batches"));
+  const auto retrievers = bench::retrieverList(cli);
 
   bench::printHeader(
       "Ablation: power-law feature skew + RecShard-style balancing");
 
-  auto base_cfg = trace::weakScalingConfig(4);
+  auto base_cfg = engine::weakScalingConfig(4);
   base_cfg.num_batches = batches;
   // Smaller tables: balancing moves whole tables between GPUs, so the
   // cold-table GPUs hold several times more tables than the naive split.
@@ -38,10 +40,9 @@ int main(int argc, char** argv) {
   for (const bool balanced : {false, true}) {
     auto cfg = base_cfg;
     cfg.layer.balance_tables = balanced;
-    const auto base =
-        trace::runExperiment(cfg, trace::RetrieverKind::kCollectiveBaseline);
-    const auto pgas =
-        trace::runExperiment(cfg, trace::RetrieverKind::kPgasFused);
+    engine::ScenarioRunner runner(cfg);
+    const auto base = runner.run(retrievers.front());
+    const auto pgas = runner.run(retrievers.back());
 
     // Imbalance metric straight from the workload descriptors.
     gpu::SystemConfig sys_cfg;

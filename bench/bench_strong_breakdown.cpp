@@ -12,12 +12,13 @@ int main(int argc, char** argv) {
   cli.addInt("max-gpus", 4, "largest GPU count to sweep");
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "strong_breakdown.csv", "output CSV path");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader("Strong-scaling runtime breakdown (Figure 9)");
   const auto points = bench::sweepScaling(
       /*weak=*/false, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
 
   printf("\n%s\n",
          trace::renderBreakdownBars(points,
@@ -25,23 +26,26 @@ int main(int argc, char** argv) {
                                     "(ms)")
              .c_str());
 
+  const std::string total_col =
+      trace::runKey(points[0].treatment().retriever) + " total";
   printf("%-6s %-12s %-14s %-14s %-12s\n", "GPUs", "compute", "comm",
-         "sync+unpack", "pgas total");
+         "sync+unpack", total_col.c_str());
   for (const auto& p : points) {
+    const auto& ref = p.reference().result;
     printf("%-6d %-12.3f %-14.3f %-14.3f %-12.3f\n", p.gpus,
-           p.baseline.avgComputeMs(), p.baseline.avgCommunicationMs(),
-           p.baseline.avgSyncUnpackMs(), p.pgas.avgBatchMs());
+           ref.avgComputeMs(), ref.avgCommunicationMs(),
+           ref.avgSyncUnpackMs(), p.treatment().result.avgBatchMs());
   }
 
   double base1 = 0.0, base2 = 0.0, pgas1 = 0.0, pgas2 = 0.0;
   for (const auto& p : points) {
     if (p.gpus == 1) {
-      base1 = p.baseline.avgBatchMs();
-      pgas1 = p.pgas.avgBatchMs();
+      base1 = p.reference().result.avgBatchMs();
+      pgas1 = p.treatment().result.avgBatchMs();
     }
     if (p.gpus == 2) {
-      base2 = p.baseline.avgBatchMs();
-      pgas2 = p.pgas.avgBatchMs();
+      base2 = p.reference().result.avgBatchMs();
+      pgas2 = p.treatment().result.avgBatchMs();
     }
   }
   if (base1 > 0 && base2 > 0) {

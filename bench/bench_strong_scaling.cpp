@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   cli.addInt("max-gpus", 4, "largest GPU count to sweep");
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "strong_scaling.csv", "output CSV path (empty = none)");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader(
@@ -23,7 +24,7 @@ int main(int argc, char** argv) {
       "pooling U(1,32)");
   const auto points = bench::sweepScaling(
       /*weak=*/false, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.95x / 2.55x / 2.44x, geo-mean 2.63x)\n");
@@ -37,8 +38,8 @@ int main(int argc, char** argv) {
     if (p.gpus == 2) {
       printf("\nncu-style lookup-kernel throughput at 2 GPUs: compute "
              "%.0f%%, memory %.0f%% (paper §IV-B2a: 38%% / 57%%)\n",
-             p.pgas.lookup_compute_throughput * 100.0,
-             p.pgas.lookup_memory_throughput * 100.0);
+             p.treatment().result.lookup_compute_throughput * 100.0,
+             p.treatment().result.lookup_memory_throughput * 100.0);
     }
   }
 

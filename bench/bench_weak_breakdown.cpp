@@ -12,12 +12,13 @@ int main(int argc, char** argv) {
   cli.addInt("max-gpus", 4, "largest GPU count to sweep");
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "weak_breakdown.csv", "output CSV path");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader("Weak-scaling runtime breakdown (Figure 6)");
   const auto points = bench::sweepScaling(
       /*weak=*/true, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
 
   printf("\n%s\n",
          trace::renderBreakdownBars(points,
@@ -28,12 +29,15 @@ int main(int argc, char** argv) {
   printf("Expected paper shapes: computation flat; communication "
          "decreases\nwith more GPUs; sync+unpack increases; PGAS total "
          "~= baseline computation.\n\n");
+  const std::string total_col =
+      trace::runKey(points[0].treatment().retriever) + " total";
   printf("%-6s %-12s %-14s %-14s %-12s\n", "GPUs", "compute", "comm",
-         "sync+unpack", "pgas total");
+         "sync+unpack", total_col.c_str());
   for (const auto& p : points) {
+    const auto& ref = p.reference().result;
     printf("%-6d %-12.3f %-14.3f %-14.3f %-12.3f\n", p.gpus,
-           p.baseline.avgComputeMs(), p.baseline.avgCommunicationMs(),
-           p.baseline.avgSyncUnpackMs(), p.pgas.avgBatchMs());
+           ref.avgComputeMs(), ref.avgCommunicationMs(),
+           ref.avgSyncUnpackMs(), p.treatment().result.avgBatchMs());
   }
 
   // The paper's measurement method (§IV-A2a): the communication time is
@@ -44,9 +48,9 @@ int main(int argc, char** argv) {
          "comm-phase-minus-sync:\n");
   for (const auto& p : points) {
     if (p.gpus != 2) continue;
-    const double direct = p.baseline.avgCommunicationMs();
-    const double phase =
-        p.baseline.stats.comm_phase.toMs() / p.baseline.stats.batches;
+    const auto& ref = p.reference().result;
+    const double direct = ref.avgCommunicationMs();
+    const double phase = ref.stats.comm_phase.toMs() / ref.stats.batches;
     printf("  comm phase %.3f ms, wire (direct) %.3f ms, control-path "
            "overhead %.3f ms/batch\n",
            phase, direct, phase - direct);

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.addInt("max-gpus", 4, "largest GPU count to sweep");
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "weak_scaling.csv", "output CSV path (empty = none)");
+  bench::addRetrieversFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader(
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
       "pooling U(1,128)");
   const auto points = bench::sweepScaling(
       /*weak=*/true, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.10x / 1.95x / 1.87x, geo-mean 1.97x)\n");

@@ -6,14 +6,16 @@
 // TIMING-ONLY mode (the tables alone are 4 x 16 GB, far beyond host
 // memory; the cost model runs on workload descriptors).  Reports the
 // serving-oriented numbers an inference team would look at: per-batch
-// latency distribution and sustained throughput for both retrieval
-// backends.
+// latency distribution and sustained throughput for each retrieval
+// backend named in --retrievers.
 //
 //   $ ./ads_ranking [--gpus 4] [--batches 100]
+//                   [--retrievers nccl_collective,nccl_pipelined,pgas_fused]
 #include <cstdio>
 
-#include "trace/experiment.hpp"
+#include "engine/scenario_runner.hpp"
 #include "util/cli.hpp"
+#include "util/expect.hpp"
 #include "util/stats.hpp"
 
 using namespace pgasemb;
@@ -22,10 +24,24 @@ int main(int argc, char** argv) {
   CliParser cli("Paper-scale ads-ranking inference service simulation.");
   cli.addInt("gpus", 4, "number of simulated GPUs");
   cli.addInt("batches", 100, "request batches");
+  cli.addString("retrievers", "nccl_collective,pgas_fused",
+                "comma-separated retriever names to compare");
   if (!cli.parse(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
 
-  auto cfg = trace::weakScalingConfig(gpus);
+  std::vector<std::string> names;
+  std::string current;
+  for (const char c : cli.getString("retrievers") + ",") {
+    if (c == ',') {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+    } else if (c != ' ') {
+      current += c;
+    }
+  }
+  PGASEMB_CHECK(!names.empty(), "--retrievers needs at least one name");
+
+  auto cfg = engine::weakScalingConfig(gpus);
   cfg.num_batches = static_cast<int>(cli.getInt("batches"));
 
   printf("Ads ranking service: %d GPUs, %lld tables x 1M rows (%.1f GB "
@@ -34,17 +50,17 @@ int main(int argc, char** argv) {
          static_cast<double>(cfg.layer.tableBytesPerGpu(gpus)) / 1e9,
          static_cast<long long>(cfg.layer.batch_size));
 
-  for (const auto kind : {trace::RetrieverKind::kCollectiveBaseline,
-                          trace::RetrieverKind::kPgasFused}) {
-    const auto r = trace::runExperiment(cfg, kind);
+  engine::ScenarioRunner runner(cfg);
+  for (const auto& named : runner.runAll(names)) {
+    const auto& r = named.result;
     std::vector<double> lat_ms;
     for (const auto& t : r.per_batch) lat_ms.push_back(t.total.toMs());
-    const double avg = mean(lat_ms);
+    const double avg = r.avgBatchMs();  // includes any pipeline drain
     const double qps =
         static_cast<double>(cfg.layer.batch_size) / (avg / 1e3);
-    printf("%-14s  EMB-layer latency: avg %.3f ms, p50 %.3f ms, p99 %.3f "
+    printf("%-15s EMB-layer latency: avg %.3f ms, p50 %.3f ms, p99 %.3f "
            "ms   ->  %.2f M samples/s\n",
-           trace::retrieverName(kind).c_str(), avg, median(lat_ms),
+           named.retriever.c_str(), avg, median(lat_ms),
            percentile(lat_ms, 99.0), qps / 1e6);
   }
 

@@ -5,48 +5,41 @@
 //
 // Functional mode on a small model: shows the embedding weights actually
 // moving under SGD and that both schemes produce the same updated
-// tables.
+// tables. The forward retriever comes from the registry; the system is
+// assembled by engine::SystemBuilder.
 //
 //   $ ./backward_training_step
 #include <cstdio>
 #include <memory>
 
-#include "collective/communicator.hpp"
-#include "core/pgas_retriever.hpp"
 #include "dlrm/backward.hpp"
-#include "fabric/fabric.hpp"
-#include "pgas/runtime.hpp"
+#include "engine/system_builder.hpp"
 
 using namespace pgasemb;
 
 int main() {
-  emb::EmbLayerSpec spec;
-  spec.total_tables = 6;
-  spec.rows_per_table = 500;
-  spec.dim = 8;
-  spec.batch_size = 16;
-  spec.min_pooling = 1;
-  spec.max_pooling = 4;
-  spec.seed = 0x7ea;
+  engine::ExperimentConfig cfg;
+  cfg.num_gpus = 3;
+  cfg.device_memory_bytes = 256 << 20;
+  cfg.mode = gpu::ExecutionMode::kFunctional;
+  cfg.layer.total_tables = 6;
+  cfg.layer.rows_per_table = 500;
+  cfg.layer.dim = 8;
+  cfg.layer.batch_size = 16;
+  cfg.layer.min_pooling = 1;
+  cfg.layer.max_pooling = 4;
+  cfg.layer.seed = 0x7ea;
+  const auto& spec = cfg.layer;
 
   printf("Training step on 3 simulated GPUs: forward retrieval + EMB "
          "backward\n\n");
 
+  engine::SystemBuilder builder(cfg);
   float sample_weight[2] = {0.0f, 0.0f};
   SimTime backward_time[2];
   for (const bool use_pgas : {false, true}) {
-    gpu::SystemConfig sys_cfg;
-    sys_cfg.num_gpus = 3;
-    sys_cfg.memory_capacity_bytes = 256 << 20;
-    sys_cfg.mode = gpu::ExecutionMode::kFunctional;
-    gpu::MultiGpuSystem system(sys_cfg);
-    fabric::Fabric fabric(
-        system.simulator(),
-        std::make_unique<fabric::NvlinkAllToAllTopology>(
-            3, fabric::LinkParams{}));
-    collective::Communicator comm(system, fabric);
-    pgas::PgasRuntime runtime(system, fabric);
-    emb::ShardedEmbeddingLayer layer(system, spec);
+    builder.reset();
+    auto& layer = builder.layer();
 
     Rng rng(0x515);
     const auto batch =
@@ -54,11 +47,13 @@ int main() {
 
     // Forward pass (PGAS fused retrieval either way — the comparison
     // here is the backward scheme).
-    core::PgasFusedRetriever forward(layer, runtime, {});
-    const auto fwd = forward.runBatch(batch);
+    auto forward = core::RetrieverRegistry::instance().create(
+        "pgas_fused", builder.context());
+    const auto fwd = forward->runBatch(batch);
+    forward->finish();
 
     const float before = layer.table(0).weight(0, 0);
-    dlrm::EmbBackwardEngine engine(layer, comm, runtime,
+    dlrm::EmbBackwardEngine engine(layer, builder.comm(), builder.runtime(),
                                    /*learning_rate=*/0.05f);
     const auto bwd = engine.runBatch(
         batch, use_pgas ? dlrm::BackwardScheme::kPgasAtomics

@@ -4,50 +4,19 @@
 // the data-parallel MLP overlapping the model-parallel EMB retrieval.
 //
 // Functional mode: the actual click-probability predictions are computed
-// and shown to be identical under both retrieval schemes.
+// and shown to be identical under both retrieval schemes. The system is
+// assembled by engine::SystemBuilder and the retrieval backends come
+// from the registry by name.
 //
 //   $ ./dlrm_inference [--gpus 4] [--batches 5]
 #include <cstdio>
 #include <memory>
 
-#include "collective/communicator.hpp"
-#include "core/collective_retriever.hpp"
-#include "core/pgas_retriever.hpp"
 #include "dlrm/pipeline.hpp"
-#include "fabric/fabric.hpp"
-#include "pgas/runtime.hpp"
+#include "engine/system_builder.hpp"
 #include "util/cli.hpp"
 
 using namespace pgasemb;
-
-namespace {
-
-struct Stack {
-  gpu::MultiGpuSystem system;
-  fabric::Fabric fabric;
-  collective::Communicator comm;
-  pgas::PgasRuntime runtime;
-  emb::ShardedEmbeddingLayer layer;
-
-  Stack(int gpus, const emb::EmbLayerSpec& spec)
-      : system(config(gpus)),
-        fabric(system.simulator(),
-               std::make_unique<fabric::NvlinkAllToAllTopology>(
-                   gpus, fabric::LinkParams{})),
-        comm(system, fabric),
-        runtime(system, fabric),
-        layer(system, spec) {}
-
-  static gpu::SystemConfig config(int gpus) {
-    gpu::SystemConfig cfg;
-    cfg.num_gpus = gpus;
-    cfg.memory_capacity_bytes = 1 << 30;
-    cfg.mode = gpu::ExecutionMode::kFunctional;
-    return cfg;
-  }
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("Full DLRM inference on a simulated multi-GPU machine.");
@@ -57,14 +26,18 @@ int main(int argc, char** argv) {
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int batches = static_cast<int>(cli.getInt("batches"));
 
-  emb::EmbLayerSpec spec;
-  spec.total_tables = 8;
-  spec.rows_per_table = 5000;
-  spec.dim = 16;
-  spec.batch_size = 32;
-  spec.min_pooling = 0;  // some samples have NULL sparse inputs
-  spec.max_pooling = 8;
-  spec.seed = 0x90;
+  engine::ExperimentConfig cfg;
+  cfg.num_gpus = gpus;
+  cfg.device_memory_bytes = 1 << 30;
+  cfg.mode = gpu::ExecutionMode::kFunctional;
+  cfg.layer.total_tables = 8;
+  cfg.layer.rows_per_table = 5000;
+  cfg.layer.dim = 16;
+  cfg.layer.batch_size = 32;
+  cfg.layer.min_pooling = 0;  // some samples have NULL sparse inputs
+  cfg.layer.max_pooling = 8;
+  cfg.layer.seed = 0x90;
+  const auto& spec = cfg.layer;
 
   dlrm::DlrmConfig model_cfg;
   model_cfg.dense_dim = 13;
@@ -77,19 +50,14 @@ int main(int argc, char** argv) {
          static_cast<long long>(spec.rows_per_table), spec.dim,
          static_cast<long long>(spec.batch_size));
 
+  const std::vector<std::string> schemes{"nccl_collective", "pgas_fused"};
   std::vector<float> first_preds[2];
   SimTime emb_time[2], total_time[2];
-  for (const bool use_pgas : {false, true}) {
-    Stack stack(gpus, spec);
-    std::unique_ptr<core::EmbeddingRetriever> retriever;
-    if (use_pgas) {
-      retriever = std::make_unique<core::PgasFusedRetriever>(
-          stack.layer, stack.runtime, core::PgasRetrieverOptions{});
-    } else {
-      retriever = std::make_unique<core::CollectiveRetriever>(stack.layer,
-                                                              stack.comm);
-    }
-    dlrm::DlrmModel model(model_cfg, stack.layer);
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    engine::SystemBuilder builder(cfg);
+    auto retriever = core::RetrieverRegistry::instance().create(
+        schemes[s], builder.context());
+    dlrm::DlrmModel model(model_cfg, builder.layer());
     dlrm::InferencePipeline pipeline(model, *retriever);
 
     Rng rng(0x2024);
@@ -104,13 +72,14 @@ int main(int argc, char** argv) {
       total_sum += r.batch_total;
       if (b == 0) {
         for (const auto& per_gpu : pipeline.predictions()) {
-          auto& dst = first_preds[use_pgas ? 1 : 0];
+          auto& dst = first_preds[s];
           dst.insert(dst.end(), per_gpu.begin(), per_gpu.end());
         }
       }
     }
-    emb_time[use_pgas ? 1 : 0] = emb_sum;
-    total_time[use_pgas ? 1 : 0] = total_sum;
+    emb_sum += retriever->finish();
+    emb_time[s] = emb_sum;
+    total_time[s] = total_sum;
     printf("%-14s EMB layer %s / batch, end-to-end %s / batch\n",
            retriever->name().c_str(),
            (emb_sum / batches).toString().c_str(),

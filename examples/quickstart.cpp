@@ -1,58 +1,54 @@
 // Quickstart: the smallest end-to-end use of the library.
 //
-// Builds a simulated 2-GPU NVLink system in FUNCTIONAL mode, creates a
-// sharded embedding layer, runs one batch through both retrieval
-// schemes, and shows (a) that the outputs are identical and (b) the
-// simulated-time difference between them.
+// Describes a simulated 2-GPU NVLink system in FUNCTIONAL mode with an
+// ExperimentConfig, lets engine::SystemBuilder assemble it, creates both
+// retrieval schemes by name through the retriever registry, runs one
+// batch through each, and shows (a) that the outputs are identical and
+// (b) the simulated-time difference between them.
 //
 //   $ ./quickstart
 #include <cstdio>
 #include <memory>
 
-#include "collective/communicator.hpp"
-#include "core/collective_retriever.hpp"
-#include "core/pgas_retriever.hpp"
-#include "fabric/fabric.hpp"
-#include "pgas/runtime.hpp"
+#include "engine/system_builder.hpp"
 
 using namespace pgasemb;
 
 int main() {
-  // 1. A simulated machine: 2 GPUs, fully connected by NVLink.
-  gpu::SystemConfig sys_cfg;
-  sys_cfg.num_gpus = 2;
-  sys_cfg.memory_capacity_bytes = 1 << 30;
-  sys_cfg.mode = gpu::ExecutionMode::kFunctional;  // real data plane
-  gpu::MultiGpuSystem system(sys_cfg);
-
-  fabric::Fabric fabric(system.simulator(),
-                        std::make_unique<fabric::NvlinkAllToAllTopology>(
-                            2, fabric::LinkParams{}));
-  collective::Communicator comm(system, fabric);
-  pgas::PgasRuntime runtime(system, fabric);
-
-  // 2. An embedding layer: 4 tables x 1000 rows x dim 8, table-wise
+  // 1. A simulated machine: 2 GPUs, fully connected by NVLink, plus an
+  //    embedding layer of 4 tables x 1000 rows x dim 8, table-wise
   //    sharded (tables 0-1 on GPU 0, tables 2-3 on GPU 1).
-  emb::EmbLayerSpec spec;
-  spec.total_tables = 4;
-  spec.rows_per_table = 1000;
-  spec.dim = 8;
-  spec.batch_size = 6;
-  spec.min_pooling = 1;
-  spec.max_pooling = 4;
-  spec.seed = 42;
-  emb::ShardedEmbeddingLayer layer(system, spec);
+  engine::ExperimentConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.device_memory_bytes = 1 << 30;
+  cfg.mode = gpu::ExecutionMode::kFunctional;  // real data plane
+  cfg.layer.total_tables = 4;
+  cfg.layer.rows_per_table = 1000;
+  cfg.layer.dim = 8;
+  cfg.layer.batch_size = 6;
+  cfg.layer.min_pooling = 1;
+  cfg.layer.max_pooling = 4;
+  cfg.layer.seed = 42;
 
-  // 3. A batch of sparse inputs (bags of raw indices per table/sample).
+  engine::SystemBuilder builder(cfg);
+  auto& layer = builder.layer();
+  const auto& spec = cfg.layer;
+
+  // 2. A batch of sparse inputs (bags of raw indices per table/sample).
   Rng rng(7);
   const auto batch = emb::SparseBatch::generateUniform(spec.batchSpec(), rng);
 
-  // 4. Run both retrieval schemes.
-  core::CollectiveRetriever baseline(layer, comm);
-  core::PgasFusedRetriever pgas(layer, runtime, {});
+  // 3. Both retrieval schemes, instantiated by registry name — any
+  //    strategy registered with RetrieverRegistry works here.
+  auto& registry = core::RetrieverRegistry::instance();
+  const auto ctx = builder.context();
+  auto baseline = registry.create("nccl_collective", ctx);
+  auto pgas = registry.create("pgas_fused", ctx);
 
-  const auto t_base = baseline.runBatch(batch);
-  const auto t_pgas = pgas.runBatch(batch);
+  const auto t_base = baseline->runBatch(batch);
+  const auto t_pgas = pgas->runBatch(batch);
+  baseline->finish();
+  pgas->finish();
 
   printf("NCCL-style baseline: %s  (compute %s + comm %s + sync/unpack %s)\n",
          t_base.total.toString().c_str(),
@@ -62,12 +58,12 @@ int main() {
   printf("PGAS fused:          %s  (single fused phase)\n",
          t_pgas.total.toString().c_str());
 
-  // 5. The outputs are identical — the schemes differ only in when and
+  // 4. The outputs are identical — the schemes differ only in when and
   //    how the bytes move.
   bool identical = true;
-  for (int g = 0; g < system.numGpus(); ++g) {
-    const auto a = baseline.output(g).span();
-    const auto b = pgas.output(g).span();
+  for (int g = 0; g < builder.system().numGpus(); ++g) {
+    const auto a = baseline->output(g).span();
+    const auto b = pgas->output(g).span();
     const auto n = layer.sharding().outputElements(g, spec.dim);
     for (std::int64_t i = 0; i < n; ++i) {
       identical &= (a[static_cast<std::size_t>(i)] ==
@@ -79,7 +75,7 @@ int main() {
 
   // Peek at one pooled embedding: sample 0, table 2 lives in GPU 0's
   // mini-batch output.
-  const auto out = pgas.output(0).span();
+  const auto out = pgas->output(0).span();
   printf("embedding(sample 0, table 2) = [");
   for (int c = 0; c < spec.dim; ++c) {
     printf("%s%.4f", c ? ", " : "",

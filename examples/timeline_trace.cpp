@@ -6,64 +6,46 @@
 // flows tiling the whole kernel span with a short quiet tail.
 //
 //   $ ./timeline_trace
-//   wrote trace_baseline.json, trace_pgas.json
+//   wrote trace_nccl_collective.json, trace_pgas_fused.json
 #include <cstdio>
 #include <memory>
 
-#include "collective/communicator.hpp"
-#include "core/collective_retriever.hpp"
-#include "core/pgas_retriever.hpp"
-#include "fabric/fabric.hpp"
-#include "pgas/runtime.hpp"
+#include "engine/system_builder.hpp"
 #include "trace/chrome_trace.hpp"
 
 using namespace pgasemb;
 
 int main() {
-  emb::EmbLayerSpec spec;  // moderate timing-only workload, 4 GPUs
-  spec.total_tables = 32;
-  spec.rows_per_table = 1'000'000;
-  spec.dim = 64;
-  spec.batch_size = 16384;
-  spec.min_pooling = 1;
-  spec.max_pooling = 64;
-  spec.seed = 0x7717;
+  engine::ExperimentConfig cfg;  // moderate timing-only workload, 4 GPUs
+  cfg.num_gpus = 4;
+  cfg.layer.total_tables = 32;
+  cfg.layer.rows_per_table = 1'000'000;
+  cfg.layer.dim = 64;
+  cfg.layer.batch_size = 16384;
+  cfg.layer.min_pooling = 1;
+  cfg.layer.max_pooling = 64;
+  cfg.layer.seed = 0x7717;
+  cfg.pgas_slices = 64;  // keep the trace readable
 
-  for (const bool use_pgas : {false, true}) {
-    gpu::SystemConfig sys_cfg;
-    sys_cfg.num_gpus = 4;
-    sys_cfg.mode = gpu::ExecutionMode::kTimingOnly;
-    gpu::MultiGpuSystem system(sys_cfg);
-    fabric::Fabric fabric(
-        system.simulator(),
-        std::make_unique<fabric::NvlinkAllToAllTopology>(
-            4, fabric::LinkParams{}));
-    collective::Communicator comm(system, fabric);
-    pgas::PgasRuntime runtime(system, fabric);
-    emb::ShardedEmbeddingLayer layer(system, spec);
+  engine::SystemBuilder builder(cfg);
+  for (const std::string scheme : {"nccl_collective", "pgas_fused"}) {
+    builder.reset();
 
     trace::ChromeTraceRecorder recorder;
-    recorder.attach(system, fabric);
+    recorder.attach(builder.system(), builder.fabric());
 
-    const auto batch = emb::SparseBatch::statistical(spec.batchSpec());
-    SimTime total;
-    if (use_pgas) {
-      core::PgasRetrieverOptions opts;
-      opts.slices = 64;  // keep the trace readable
-      core::PgasFusedRetriever retriever(layer, runtime, opts);
-      total = retriever.runBatch(batch).total;
-    } else {
-      core::CollectiveRetriever retriever(layer, comm);
-      total = retriever.runBatch(batch).total;
-    }
+    auto retriever = core::RetrieverRegistry::instance().create(
+        scheme, builder.context());
+    const auto batch =
+        emb::SparseBatch::statistical(cfg.layer.batchSpec());
+    SimTime total = retriever->runBatch(batch).total;
+    total += retriever->finish();
 
-    const std::string path =
-        use_pgas ? "trace_pgas.json" : "trace_baseline.json";
+    const std::string path = "trace_" + scheme + ".json";
     recorder.writeFile(path);
     printf("%-22s batch %s, %zu kernel spans, %zu wire flows -> %s\n",
-           use_pgas ? "pgas_fused:" : "nccl_baseline:",
-           total.toString().c_str(), recorder.kernelSpanCount(),
-           recorder.flowCount(), path.c_str());
+           (scheme + ":").c_str(), total.toString().c_str(),
+           recorder.kernelSpanCount(), recorder.flowCount(), path.c_str());
     recorder.detach();
   }
   printf("\nopen the JSON files in chrome://tracing or ui.perfetto.dev\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/registry.hpp"
 #include "emb/lookup_kernel.hpp"
 #include "emb/unpack_kernel.hpp"
 #include "util/expect.hpp"
@@ -133,4 +134,19 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
   return timing;
 }
 
+namespace {
+// Self-registration: the NCCL-collective baseline is created by name
+// through the registry ("nccl_baseline" kept as a legacy alias).
+const RetrieverRegistrar kRegistrar{
+    "nccl_collective",
+    [](const SystemContext& ctx) -> std::unique_ptr<EmbeddingRetriever> {
+      return std::make_unique<CollectiveRetriever>(ctx.layer, ctx.comm);
+    },
+    /*aliases=*/{"nccl_baseline"}};
+}  // namespace
+
 }  // namespace pgasemb::core
+
+// Linker anchor referenced by registry.cpp so this self-registering
+// object survives static-archive selection (see registry.hpp).
+extern "C" int pgasemb_retriever_link_nccl_collective() { return 0; }

@@ -23,7 +23,7 @@ class CollectiveRetriever final : public EmbeddingRetriever {
                       collective::Communicator& comm);
   ~CollectiveRetriever() override;
 
-  std::string name() const override { return "nccl_baseline"; }
+  std::string name() const override { return "nccl_collective"; }
   BatchTiming runBatch(const emb::SparseBatch& batch) override;
   gpu::DeviceBuffer& output(int gpu) override;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/registry.hpp"
 #include "emb/lookup_kernel.hpp"
 #include "util/expect.hpp"
 
@@ -86,4 +87,20 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
   return timing;
 }
 
+namespace {
+const RetrieverRegistrar kRegistrar{
+    "pgas_fused",
+    [](const SystemContext& ctx) -> std::unique_ptr<EmbeddingRetriever> {
+      PgasRetrieverOptions opts;
+      opts.slices = ctx.pgas_slices;
+      opts.aggregator = ctx.aggregator;
+      return std::make_unique<PgasFusedRetriever>(ctx.layer, ctx.runtime,
+                                                  opts);
+    }};
+}  // namespace
+
 }  // namespace pgasemb::core
+
+// Linker anchor referenced by registry.cpp so this self-registering
+// object survives static-archive selection (see registry.hpp).
+extern "C" int pgasemb_retriever_link_pgas_fused() { return 0; }

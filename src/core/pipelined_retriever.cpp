@@ -1,5 +1,6 @@
 #include "core/pipelined_retriever.hpp"
 
+#include "core/registry.hpp"
 #include "emb/lookup_kernel.hpp"
 #include "emb/unpack_kernel.hpp"
 #include "util/expect.hpp"
@@ -151,7 +152,27 @@ SimTime PipelinedCollectiveRetriever::drain() {
   enqueuePendingUnpack();
   const SimTime t = layer_.system().syncAll();
   last_host_ = t;
+  drained_through_ = submitted_;
   return t;
 }
 
+SimTime PipelinedCollectiveRetriever::finish() {
+  if (submitted_ == drained_through_) return SimTime::zero();
+  const SimTime before = last_host_;
+  return drain() - before;
+}
+
+namespace {
+const RetrieverRegistrar kRegistrar{
+    "nccl_pipelined",
+    [](const SystemContext& ctx) -> std::unique_ptr<EmbeddingRetriever> {
+      return std::make_unique<PipelinedCollectiveRetriever>(
+          ctx.layer, ctx.comm, ctx.pipeline_depth);
+    }};
+}  // namespace
+
 }  // namespace pgasemb::core
+
+// Linker anchor referenced by registry.cpp so this self-registering
+// object survives static-archive selection (see registry.hpp).
+extern "C" int pgasemb_retriever_link_nccl_pipelined() { return 0; }

@@ -41,6 +41,12 @@ class PipelinedCollectiveRetriever final : public EmbeddingRetriever {
   /// Waits for all in-flight batches; returns the final host time.
   SimTime drain();
 
+  /// Shared-lifecycle epilogue: drains the pipeline and returns the
+  /// host time the drain consumed beyond the last runBatch(). A no-op
+  /// (zero, no sync charged) when nothing is in flight, so calling it
+  /// twice is safe.
+  SimTime finish() override;
+
   gpu::DeviceBuffer& output(int gpu) override;
 
  private:
@@ -58,6 +64,7 @@ class PipelinedCollectiveRetriever final : public EmbeddingRetriever {
   // Events live until drain (the simulator may still reference them).
   std::vector<std::unique_ptr<gpu::GpuEvent>> events_;
   std::int64_t submitted_ = 0;
+  std::int64_t drained_through_ = 0;  // submitted_ at the last drain()
   SimTime last_host_ = SimTime::zero();
   // Event-table base of the batch whose unpack is still pending (it is
   // enqueued only after the NEXT batch's lookup, so that lookup overlaps

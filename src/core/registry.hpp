@@ -1,0 +1,98 @@
+// RetrieverRegistry: string-keyed factories that make retrieval
+// strategies pluggable end-to-end.
+//
+// Every strategy registers a factory under a stable name
+// ("nccl_collective", "pgas_fused", "nccl_pipelined", ...).  The factory
+// receives a SystemContext — the fully assembled simulated system — so a
+// new strategy is one self-registering .cpp file; no enum, no harness
+// switch, no bench edits.  ScenarioRunner (src/engine) and the bench
+// `--retrievers=a,b,c` flag resolve names through this registry.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/retriever.hpp"
+#include "pgas/aggregator.hpp"
+
+namespace pgasemb {
+namespace collective {
+class Communicator;
+}
+namespace fabric {
+class Fabric;
+}
+namespace pgas {
+class PgasRuntime;
+}
+}  // namespace pgasemb
+
+namespace pgasemb::core {
+
+/// Everything a retriever factory may wire against: the assembled
+/// simulated system plus the strategy knobs from ExperimentConfig.
+/// Built by engine::SystemBuilder; references outlive the retriever.
+struct SystemContext {
+  gpu::MultiGpuSystem& system;
+  fabric::Fabric& fabric;
+  collective::Communicator& comm;
+  pgas::PgasRuntime& runtime;
+  emb::ShardedEmbeddingLayer& layer;
+
+  /// PGAS fused: kernel-timeline subdivisions for message injection.
+  int pgas_slices = 128;
+  /// PGAS fused: optional async aggregator (multi-node, paper §V).
+  const pgas::AggregatorParams* aggregator = nullptr;
+  /// Pipelined collective: in-flight batches (2 = double buffering).
+  int pipeline_depth = 2;
+};
+
+class RetrieverRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<EmbeddingRetriever>(const SystemContext&)>;
+
+  /// The process-wide registry (builtins are registered on first use).
+  static RetrieverRegistry& instance();
+
+  /// Registers `factory` under `name`; `aliases` resolve to the same
+  /// factory but are not listed by names(). Re-registering a name
+  /// replaces the previous factory (last registration wins).
+  void add(const std::string& name, Factory factory,
+           const std::vector<std::string>& aliases = {});
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiates the named strategy against `ctx`. Throws
+  /// InvalidArgumentError listing the known names if `name` (or an
+  /// alias) is not registered.
+  std::unique_ptr<EmbeddingRetriever> create(const std::string& name,
+                                             const SystemContext& ctx) const;
+
+  /// Sorted canonical (non-alias) names.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, std::string> aliases_;
+};
+
+/// Self-registration helper: a namespace-scope
+///   static const RetrieverRegistrar reg{"my_scheme", factory};
+/// in the strategy's own .cpp registers it before main() runs.  Builtin
+/// strategies living in this static library additionally export a
+/// `pgasemb_retriever_link_<name>` anchor that registry.cpp references,
+/// so the linker cannot drop their objects from binaries that only ever
+/// name them as strings.
+struct RetrieverRegistrar {
+  RetrieverRegistrar(const std::string& name,
+                     RetrieverRegistry::Factory factory,
+                     const std::vector<std::string>& aliases = {}) {
+    RetrieverRegistry::instance().add(name, std::move(factory), aliases);
+  }
+};
+
+}  // namespace pgasemb::core

@@ -22,6 +22,20 @@
 
 namespace pgasemb::core {
 
+/// Paper-style three-way split, shared by `BatchTiming` and
+/// `RetrieverStats`: "Communication" is the pure wire time, and
+/// "Sync + Unpack" is everything else in the comm and unpack phases.
+/// The comm-phase residual is clamped at zero so a retriever whose wire
+/// time exceeds its comm phase (e.g. communication fully hidden behind
+/// compute) can never report a negative component.
+inline SimTime communicationSplit(SimTime wire_time) { return wire_time; }
+inline SimTime syncUnpackSplit(SimTime comm_phase, SimTime wire_time,
+                               SimTime unpack_phase) {
+  const SimTime residual = comm_phase - wire_time;
+  return (residual > SimTime::zero() ? residual : SimTime::zero()) +
+         unpack_phase;
+}
+
 /// Timing of one EMB-layer forward pass (simulated host wall clock).
 struct BatchTiming {
   SimTime total = SimTime::zero();
@@ -41,9 +55,9 @@ struct BatchTiming {
   SimTime wire_time = SimTime::zero();
 
   /// Paper-style three-way split (baseline).
-  SimTime communication() const { return wire_time; }
+  SimTime communication() const { return communicationSplit(wire_time); }
   SimTime syncUnpack() const {
-    return comm_phase - wire_time + unpack_phase;
+    return syncUnpackSplit(comm_phase, wire_time, unpack_phase);
   }
 };
 
@@ -57,9 +71,9 @@ struct RetrieverStats {
   SimTime wire_time = SimTime::zero();
 
   void add(const BatchTiming& t);
-  SimTime communication() const { return wire_time; }
+  SimTime communication() const { return communicationSplit(wire_time); }
   SimTime syncUnpack() const {
-    return comm_phase - wire_time + unpack_phase;
+    return syncUnpackSplit(comm_phase, wire_time, unpack_phase);
   }
 };
 
@@ -73,6 +87,14 @@ class EmbeddingRetriever {
   /// per-GPU output tensors are filled; in timing mode only the clock
   /// advances.
   virtual BatchTiming runBatch(const emb::SparseBatch& batch) = 0;
+
+  /// Completes any work still in flight after the last runBatch() and
+  /// returns the extra host time it consumed.  Bulk-synchronous
+  /// strategies finish inside runBatch() and return zero (the default);
+  /// pipelined strategies drain here.  Every driver (ScenarioRunner,
+  /// benches) calls this once after the batch loop so all strategies
+  /// share one lifecycle: N x runBatch(), then finish().
+  virtual SimTime finish() { return SimTime::zero(); }
 
   /// GPU `gpu`'s final output tensor ([mini-batch sample][table][col]).
   virtual gpu::DeviceBuffer& output(int gpu) = 0;

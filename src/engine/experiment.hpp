@@ -1,0 +1,76 @@
+// Experiment description and result types for the engine layer.
+//
+// ExperimentConfig describes one simulated system + workload (devices,
+// fabric, sharded EMB layer, batch schedule); ExperimentResult collects
+// everything the paper's tables and figures report — phase breakdowns,
+// wire traffic over time, and ncu-style kernel throughput fractions.
+// SystemBuilder assembles the system; ScenarioRunner runs any registered
+// retriever strategy on it by name.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/retriever.hpp"
+#include "emb/workload.hpp"
+#include "fabric/link.hpp"
+#include "gpu/cost_model.hpp"
+#include "pgas/aggregator.hpp"
+
+namespace pgasemb::engine {
+
+struct ExperimentConfig {
+  emb::EmbLayerSpec layer;
+  int num_gpus = 4;
+  int num_batches = emb::kPaperNumBatches;
+  gpu::ExecutionMode mode = gpu::ExecutionMode::kTimingOnly;
+  std::int64_t device_memory_bytes = 32LL * 1024 * 1024 * 1024;
+  gpu::CostModel cost_model;
+  fabric::LinkParams link;  ///< defaults = V100 NVLink
+  emb::ShardingScheme sharding = emb::ShardingScheme::kTableWise;
+  int pgas_slices = 128;
+  bool use_aggregator = false;
+  pgas::AggregatorParams aggregator;
+  /// In-flight batches for the pipelined collective strategy.
+  int pipeline_depth = 2;
+  /// Multi-node layout: 0 = single node (paper testbed). When > 0,
+  /// `num_gpus` must be divisible by it and `inter_node_link` applies to
+  /// cross-node traffic.
+  int num_nodes = 0;
+  fabric::LinkParams inter_node_link;
+  /// Time-series bucket width for the comm-volume traces.
+  SimTime counter_bucket = SimTime::us(20.0);
+  std::uint64_t batch_seed = 0xbeef;
+};
+
+struct ExperimentResult {
+  core::RetrieverStats stats;
+  std::vector<core::BatchTiming> per_batch;
+
+  /// Payload bytes injected into the fabric per time bucket over the full
+  /// run (paper Figs 7/10 series, in bytes; divide by 256 for the
+  /// paper's units).
+  std::vector<double> wire_bytes_over_time;
+  SimTime bucket_width = SimTime::zero();
+
+  std::int64_t total_wire_bytes = 0;
+  std::int64_t total_wire_messages = 0;
+
+  /// ncu-style sustained throughput fractions of the lookup kernel
+  /// (paper §IV-B2a reports 38% compute / 57% memory at 2 GPUs).
+  double lookup_compute_throughput = 0.0;
+  double lookup_memory_throughput = 0.0;
+
+  double avgBatchMs() const;
+  double avgComputeMs() const;
+  double avgCommunicationMs() const;
+  double avgSyncUnpackMs() const;
+};
+
+/// Convenience: paper weak-scaling config at `num_gpus`.
+ExperimentConfig weakScalingConfig(int num_gpus);
+
+/// Convenience: paper strong-scaling config at `num_gpus`.
+ExperimentConfig strongScalingConfig(int num_gpus);
+
+}  // namespace pgasemb::engine

@@ -1,0 +1,121 @@
+#include "engine/scenario_runner.hpp"
+
+#include <memory>
+
+#include "emb/lookup_kernel.hpp"
+#include "fabric/fabric.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::engine {
+
+double ExperimentResult::avgBatchMs() const {
+  return stats.batches ? stats.total.toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgComputeMs() const {
+  return stats.batches ? stats.compute_phase.toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgCommunicationMs() const {
+  return stats.batches ? stats.communication().toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgSyncUnpackMs() const {
+  return stats.batches ? stats.syncUnpack().toMs() / stats.batches : 0.0;
+}
+
+ExperimentConfig weakScalingConfig(int num_gpus) {
+  ExperimentConfig cfg;
+  cfg.num_gpus = num_gpus;
+  cfg.layer = emb::weakScalingLayerSpec(num_gpus);
+  return cfg;
+}
+
+ExperimentConfig strongScalingConfig(int num_gpus) {
+  ExperimentConfig cfg;
+  cfg.num_gpus = num_gpus;
+  cfg.layer = emb::strongScalingLayerSpec();
+  return cfg;
+}
+
+ScenarioRunner::ScenarioRunner(const ExperimentConfig& config)
+    : builder_(config) {}
+
+ExperimentResult ScenarioRunner::run(const std::string& retriever_name) {
+  const ExperimentConfig& config = builder_.config();
+  PGASEMB_CHECK(config.num_batches >= 1, "need at least one batch");
+
+  builder_.reset();
+  std::unique_ptr<core::EmbeddingRetriever> retriever =
+      core::RetrieverRegistry::instance().create(retriever_name,
+                                                 builder_.context());
+
+  ExperimentResult result;
+  Rng rng(config.batch_seed);
+  const bool functional = config.mode == gpu::ExecutionMode::kFunctional;
+  // Timing-only runs reuse one statistical batch: the workload is the
+  // distribution's expectation every batch, as in the paper's uniform
+  // synthetic inputs.
+  emb::SparseBatch statistical =
+      emb::SparseBatch::statistical(config.layer.batchSpec());
+  for (int b = 0; b < config.num_batches; ++b) {
+    if (functional) {
+      const auto batch =
+          emb::SparseBatch::generateUniform(config.layer.batchSpec(), rng);
+      const auto t = retriever->runBatch(batch);
+      result.stats.add(t);
+      result.per_batch.push_back(t);
+    } else {
+      const auto t = retriever->runBatch(statistical);
+      result.stats.add(t);
+      result.per_batch.push_back(t);
+    }
+  }
+  // Epilogue: pipelined strategies still have batches in flight; their
+  // drain time belongs to the run total. No-op (zero) for the rest.
+  result.stats.total += retriever->finish();
+
+  // Delivery (wire-occupancy) counter: for PGAS this matches the paper's
+  // in-kernel issue counter; for the baseline it spreads each chunk over
+  // its serialization window, exactly the paper's "linearly interpolated
+  // over the communication time" dashed line.
+  const auto& counter = builder_.fabric().deliveryCounter();
+  result.bucket_width = counter.bucketWidth();
+  result.wire_bytes_over_time.resize(counter.numBuckets());
+  for (std::size_t i = 0; i < counter.numBuckets(); ++i) {
+    result.wire_bytes_over_time[i] = counter.bucket(i);
+  }
+  result.total_wire_bytes = builder_.fabric().totalPayloadBytes();
+  result.total_wire_messages = builder_.fabric().totalMessages();
+
+  // ncu-style throughput of the lookup kernel on GPU 0.
+  {
+    auto& layer = builder_.layer();
+    const auto work = layer.lookupWork(statistical, 0);
+    const double dim = static_cast<double>(config.layer.dim);
+    const double outputs = static_cast<double>(work.totalOutputs());
+    const double bytes = outputs * 8.0 + work.gathered_rows * 8.0 +
+                         work.gathered_rows * dim * 4.0 +
+                         outputs * dim * 4.0;
+    // ncu's SM throughput counts all scalar instructions (index math,
+    // addressing), not just the pooling adds.
+    const double instructions =
+        work.gathered_rows * dim *
+        config.cost_model.compute_instructions_per_element;
+    const SimTime duration = emb::lookupComputeTime(layer, work);
+    const auto tp =
+        config.cost_model.kernelThroughput(instructions, bytes, duration);
+    result.lookup_compute_throughput = tp.compute;
+    result.lookup_memory_throughput = tp.memory;
+  }
+  return result;
+}
+
+std::vector<NamedResult> ScenarioRunner::runAll(
+    const std::vector<std::string>& names) {
+  std::vector<NamedResult> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    out.push_back({name, run(name)});
+  }
+  return out;
+}
+
+}  // namespace pgasemb::engine

@@ -1,0 +1,43 @@
+// ScenarioRunner: runs any registered retrieval strategy — by string
+// name, through core::RetrieverRegistry — against the system a
+// SystemBuilder assembles, and collects the full ExperimentResult.
+//
+// Each run() resets the builder onto a fresh clock, so results are
+// independent and bit-reproducible regardless of run order; runAll()
+// sweeps a list of strategies over the same config (the engine behind
+// the benches' --retrievers=a,b,c flag).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/system_builder.hpp"
+
+namespace pgasemb::engine {
+
+/// One strategy's result, tagged with its registry name.
+struct NamedResult {
+  std::string retriever;
+  ExperimentResult result;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return builder_.config(); }
+  SystemBuilder& builder() { return builder_; }
+
+  /// Rebuilds the system and runs `retriever_name`'s full batch schedule
+  /// (runBatch() per batch, then finish()). Throws InvalidArgumentError
+  /// for unregistered names.
+  ExperimentResult run(const std::string& retriever_name);
+
+  /// run() for each name, in order.
+  std::vector<NamedResult> runAll(const std::vector<std::string>& names);
+
+ private:
+  SystemBuilder builder_;
+};
+
+}  // namespace pgasemb::engine

@@ -1,0 +1,64 @@
+#include "engine/system_builder.hpp"
+
+#include "collective/communicator.hpp"
+#include "fabric/fabric.hpp"
+#include "pgas/runtime.hpp"
+#include "util/expect.hpp"
+
+namespace pgasemb::engine {
+
+SystemBuilder::SystemBuilder(const ExperimentConfig& config)
+    : config_(config) {
+  build();
+}
+
+SystemBuilder::~SystemBuilder() = default;
+
+void SystemBuilder::reset() {
+  // Reverse construction order: the layer holds device allocations, the
+  // runtime/communicator hold fabric endpoints.
+  layer_.reset();
+  runtime_.reset();
+  comm_.reset();
+  fabric_.reset();
+  system_.reset();
+  build();
+}
+
+void SystemBuilder::build() {
+  gpu::SystemConfig sys_cfg;
+  sys_cfg.num_gpus = config_.num_gpus;
+  sys_cfg.memory_capacity_bytes = config_.device_memory_bytes;
+  sys_cfg.mode = config_.mode;
+  sys_cfg.cost_model = config_.cost_model;
+  system_ = std::make_unique<gpu::MultiGpuSystem>(sys_cfg);
+
+  std::unique_ptr<fabric::Topology> topo;
+  if (config_.num_nodes > 0) {
+    PGASEMB_CHECK(config_.num_gpus % config_.num_nodes == 0,
+                  "num_gpus must divide evenly across nodes");
+    topo = std::make_unique<fabric::MultiNodeTopology>(
+        config_.num_nodes, config_.num_gpus / config_.num_nodes, config_.link,
+        config_.inter_node_link);
+  } else {
+    topo = std::make_unique<fabric::NvlinkAllToAllTopology>(config_.num_gpus,
+                                                            config_.link);
+  }
+  fabric_ = std::make_unique<fabric::Fabric>(
+      system_->simulator(), std::move(topo), config_.counter_bucket);
+
+  comm_ = std::make_unique<collective::Communicator>(*system_, *fabric_);
+  runtime_ = std::make_unique<pgas::PgasRuntime>(*system_, *fabric_);
+  layer_ = std::make_unique<emb::ShardedEmbeddingLayer>(
+      *system_, config_.layer, config_.sharding);
+}
+
+core::SystemContext SystemBuilder::context() {
+  core::SystemContext ctx{*system_, *fabric_, *comm_, *runtime_, *layer_};
+  ctx.pgas_slices = config_.pgas_slices;
+  ctx.aggregator = config_.use_aggregator ? &config_.aggregator : nullptr;
+  ctx.pipeline_depth = config_.pipeline_depth;
+  return ctx;
+}
+
+}  // namespace pgasemb::engine

@@ -1,0 +1,69 @@
+// SystemBuilder: assembles the simulated system an ExperimentConfig
+// describes — devices, interconnect fabric, collective communicator,
+// PGAS runtime, and the sharded embedding layer — and hands it to
+// retriever factories as a core::SystemContext.
+//
+// The builder owns the assembly and can reset() it onto a fresh clock,
+// so one builder serves any number of retriever runs (ScenarioRunner
+// resets before each run; the simulation is deterministic, so a rebuilt
+// system reproduces the seed harness bit-for-bit).
+#pragma once
+
+#include <memory>
+
+#include "core/registry.hpp"
+#include "engine/experiment.hpp"
+
+namespace pgasemb {
+namespace collective {
+class Communicator;
+}
+namespace fabric {
+class Fabric;
+}
+namespace pgas {
+class PgasRuntime;
+}
+}  // namespace pgasemb
+
+namespace pgasemb::engine {
+
+class SystemBuilder {
+ public:
+  /// Copies `config`; the stored copy backs the aggregator pointer in
+  /// context(), so it must not be mutated between reset() and the last
+  /// use of a retriever built from that context.
+  explicit SystemBuilder(const ExperimentConfig& config);
+  ~SystemBuilder();
+
+  SystemBuilder(const SystemBuilder&) = delete;
+  SystemBuilder& operator=(const SystemBuilder&) = delete;
+
+  /// Tears the assembly down (reverse construction order) and rebuilds
+  /// it from the stored config on a fresh simulation clock.
+  void reset();
+
+  const ExperimentConfig& config() const { return config_; }
+
+  gpu::MultiGpuSystem& system() { return *system_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  collective::Communicator& comm() { return *comm_; }
+  pgas::PgasRuntime& runtime() { return *runtime_; }
+  emb::ShardedEmbeddingLayer& layer() { return *layer_; }
+
+  /// The retriever-factory view of the current assembly. Invalidated by
+  /// reset(); any retriever built from it must be destroyed first.
+  core::SystemContext context();
+
+ private:
+  void build();
+
+  ExperimentConfig config_;
+  std::unique_ptr<gpu::MultiGpuSystem> system_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<collective::Communicator> comm_;
+  std::unique_ptr<pgas::PgasRuntime> runtime_;
+  std::unique_ptr<emb::ShardedEmbeddingLayer> layer_;
+};
+
+}  // namespace pgasemb::engine

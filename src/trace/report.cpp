@@ -1,5 +1,7 @@
 #include "trace/report.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <sstream>
 
 #include "util/ascii_chart.hpp"
@@ -9,6 +11,57 @@
 #include "util/table.hpp"
 
 namespace pgasemb::trace {
+
+RunStyle runStyle(const std::string& retriever) {
+  if (retriever == "nccl_collective") return {"baseline", "baseline", 'b'};
+  if (retriever == "pgas_fused") return {"PGAS fused", "PGAS", 'p'};
+  if (retriever == "nccl_pipelined") return {"pipelined", "pipelined", 'l'};
+  return {retriever, retriever, retriever.empty() ? '?' : retriever[0]};
+}
+
+std::string runKey(const std::string& retriever) {
+  std::string key = runStyle(retriever).short_name;
+  std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return key;
+}
+
+namespace {
+
+/// True when the run's phase timings separate into the paper's three
+/// bars; fused (PGAS) and pipelined runs report a single amortized
+/// phase.
+bool hasSeparablePhases(const engine::ExperimentResult& r) {
+  return r.stats.communication() > SimTime::zero() ||
+         r.stats.syncUnpack() > SimTime::zero();
+}
+
+}  // namespace
+
+const engine::NamedResult& ScalingPoint::reference() const {
+  PGASEMB_CHECK(!runs.empty(), "scaling point has no runs");
+  return runs.front();
+}
+
+const engine::NamedResult& ScalingPoint::treatment() const {
+  PGASEMB_CHECK(!runs.empty(), "scaling point has no runs");
+  return runs.back();
+}
+
+const engine::NamedResult* ScalingPoint::find(
+    const std::string& retriever) const {
+  for (const auto& run : runs) {
+    if (run.retriever == retriever) return &run;
+  }
+  return nullptr;
+}
+
+double ScalingPoint::speedup() const {
+  if (runs.empty()) return 0.0;
+  const double treat = treatment().result.avgBatchMs();
+  return treat > 0.0 ? reference().result.avgBatchMs() / treat : 0.0;
+}
 
 double geomeanSpeedup(const std::vector<ScalingPoint>& points) {
   std::vector<double> speedups;
@@ -20,58 +73,84 @@ double geomeanSpeedup(const std::vector<ScalingPoint>& points) {
 
 std::string renderSpeedupTable(const std::vector<ScalingPoint>& points) {
   std::vector<std::string> headers{"Speedup"};
-  std::vector<std::string> row{"PGAS over baseline"};
   for (const auto& p : points) {
     if (p.gpus < 2) continue;
     headers.push_back(std::to_string(p.gpus) + " GPUs");
-    row.push_back(ConsoleTable::num(p.speedup(), 2) + "x");
   }
   headers.push_back("geo-mean");
-  row.push_back(ConsoleTable::num(geomeanSpeedup(points), 2) + "x");
   ConsoleTable table(headers);
-  table.addRow(row);
+
+  // One row per non-reference retriever, in first-point run order.
+  const std::size_t num_runs = points.empty() ? 0 : points.front().runs.size();
+  for (std::size_t r = 1; r < num_runs; ++r) {
+    std::vector<std::string> row;
+    std::vector<double> speedups;
+    for (const auto& p : points) {
+      if (p.gpus < 2 || r >= p.runs.size()) continue;
+      if (row.empty()) {
+        row.push_back(runStyle(p.runs[r].retriever).short_name + " over " +
+                      runStyle(p.reference().retriever).short_name);
+      }
+      const double run_ms = p.runs[r].result.avgBatchMs();
+      const double s =
+          run_ms > 0.0 ? p.reference().result.avgBatchMs() / run_ms : 0.0;
+      speedups.push_back(s);
+      row.push_back(ConsoleTable::num(s, 2) + "x");
+    }
+    if (row.empty()) continue;
+    row.push_back(
+        ConsoleTable::num(speedups.empty() ? 0.0 : geomean(speedups), 2) +
+        "x");
+    table.addRow(row);
+  }
   return table.render();
 }
 
 std::string renderScalingChart(const std::vector<ScalingPoint>& points,
                                bool weak) {
   PGASEMB_CHECK(!points.empty(), "no scaling points");
-  double base_baseline = 0.0, base_pgas = 0.0;
+  const auto& run_names = points.front().runs;
+  PGASEMB_CHECK(!run_names.empty(), "scaling points carry no runs");
+
+  const ScalingPoint* one_gpu = nullptr;
   for (const auto& p : points) {
-    if (p.gpus == 1) {
-      base_baseline = p.baseline.avgBatchMs();
-      base_pgas = p.pgas.avgBatchMs();
-    }
+    if (p.gpus == 1) one_gpu = &p;
   }
-  PGASEMB_CHECK(base_baseline > 0.0 && base_pgas > 0.0,
+  PGASEMB_CHECK(one_gpu != nullptr,
                 "scaling chart needs a 1-GPU reference point");
 
-  ChartSeries sb{"baseline", {}, {}, 'b'};
-  ChartSeries sp{"PGAS fused", {}, {}, 'p'};
-  ChartSeries ideal{"ideal", {}, {}, '.'};
-  for (const auto& p : points) {
-    const double x = p.gpus;
-    sb.x.push_back(x);
-    sp.x.push_back(x);
-    ideal.x.push_back(x);
-    if (weak) {
-      // Weak-scaling factor: 1-GPU runtime / runtime (ideal flat 1.0).
-      sb.y.push_back(base_baseline / p.baseline.avgBatchMs());
-      sp.y.push_back(base_pgas / p.pgas.avgBatchMs());
-      ideal.y.push_back(1.0);
-    } else {
-      // Strong-scaling factor: 1-GPU runtime / runtime (ideal = p).
-      sb.y.push_back(base_baseline / p.baseline.avgBatchMs());
-      sp.y.push_back(base_pgas / p.pgas.avgBatchMs());
-      ideal.y.push_back(x);
-    }
-  }
   AsciiLineChart chart(weak ? "Weak scaling factor (ideal = 1.0)"
                             : "Strong scaling factor (ideal = #GPUs)");
   chart.setAxisLabels("GPUs", "scaling factor");
+
+  ChartSeries ideal{"ideal", {}, {}, '.'};
+  for (const auto& p : points) {
+    ideal.x.push_back(p.gpus);
+    ideal.y.push_back(weak ? 1.0 : static_cast<double>(p.gpus));
+  }
   chart.addSeries(ideal);
-  chart.addSeries(sb);
-  chart.addSeries(sp);
+
+  for (const auto& named : run_names) {
+    const auto* base_run = one_gpu->find(named.retriever);
+    PGASEMB_CHECK(base_run != nullptr,
+                  "1-GPU point is missing retriever '" + named.retriever +
+                      "'");
+    const double base = base_run->result.avgBatchMs();
+    PGASEMB_CHECK(base > 0.0,
+                  "scaling chart needs a positive 1-GPU runtime for '" +
+                      named.retriever + "'");
+    const RunStyle style = runStyle(named.retriever);
+    ChartSeries series{style.display, {}, {}, style.marker};
+    for (const auto& p : points) {
+      const auto* run = p.find(named.retriever);
+      if (run == nullptr || run->result.avgBatchMs() <= 0.0) continue;
+      series.x.push_back(p.gpus);
+      // Scaling factor: 1-GPU runtime / runtime (ideal flat 1.0 for
+      // weak scaling, ideal = p for strong scaling).
+      series.y.push_back(base / run->result.avgBatchMs());
+    }
+    chart.addSeries(series);
+  }
   return chart.render();
 }
 
@@ -79,55 +158,97 @@ std::string renderBreakdownBars(const std::vector<ScalingPoint>& points,
                                 const std::string& title) {
   AsciiStackedBars bars(title,
                         {"computation", "communication", "sync+unpack"});
+  std::size_t label_width = 0;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      label_width =
+          std::max(label_width, runStyle(run.retriever).short_name.size());
+    }
+  }
+  bool any_fused = false;
   for (const auto& p : points) {
     const std::string g = std::to_string(p.gpus) + "gpu";
-    bars.addBar("baseline " + g,
-                {p.baseline.avgComputeMs(), p.baseline.avgCommunicationMs(),
-                 p.baseline.avgSyncUnpackMs()});
-    bars.addBar("pgas     " + g, {p.pgas.avgBatchMs(), 0.0, 0.0});
+    for (const auto& run : p.runs) {
+      std::string label = runStyle(run.retriever).short_name;
+      // CSV keys stay as-is; bar labels keep the historical casing.
+      std::transform(label.begin(), label.end(), label.begin(),
+                     [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                     });
+      label.resize(label_width, ' ');
+      const auto& r = run.result;
+      if (hasSeparablePhases(r)) {
+        bars.addBar(label + " " + g,
+                    {r.avgComputeMs(), r.avgCommunicationMs(),
+                     r.avgSyncUnpackMs()});
+      } else {
+        any_fused = true;
+        bars.addBar(label + " " + g, {r.avgBatchMs(), 0.0, 0.0});
+      }
+    }
   }
-  return bars.render() + "  (bars in ms per batch; PGAS is one fused "
-                         "phase — no separable comm/unpack)\n";
+  std::string out = bars.render();
+  if (any_fused) {
+    out += "  (bars in ms per batch; PGAS is one fused "
+           "phase — no separable comm/unpack)\n";
+  }
+  return out;
 }
 
-std::string renderCommVolumeChart(const ExperimentResult& pgas,
-                                  const ExperimentResult& baseline,
+std::string renderCommVolumeChart(const std::vector<engine::NamedResult>& runs,
                                   const std::string& title) {
-  ChartSeries sp{"PGAS fused", {}, {}, 'p'};
-  for (std::size_t i = 0; i < pgas.wire_bytes_over_time.size(); ++i) {
-    sp.x.push_back(pgas.bucket_width.toUs() * (static_cast<double>(i) + 0.5));
-    sp.y.push_back(pgas.wire_bytes_over_time[i] / 256.0);
-  }
-  ChartSeries sb{"baseline", {}, {}, 'b'};
-  for (std::size_t i = 0; i < baseline.wire_bytes_over_time.size(); ++i) {
-    sb.x.push_back(baseline.bucket_width.toUs() *
-                   (static_cast<double>(i) + 0.5));
-    sb.y.push_back(baseline.wire_bytes_over_time[i] / 256.0);
-  }
   AsciiLineChart chart(title);
   chart.setAxisLabels("time (us)", "comm volume (256 B units per bucket)");
-  if (!sb.x.empty()) chart.addSeries(sb);
-  if (!sp.x.empty()) chart.addSeries(sp);
+  for (const auto& named : runs) {
+    const RunStyle style = runStyle(named.retriever);
+    ChartSeries series{style.display, {}, {}, style.marker};
+    const auto& r = named.result;
+    for (std::size_t i = 0; i < r.wire_bytes_over_time.size(); ++i) {
+      series.x.push_back(r.bucket_width.toUs() *
+                         (static_cast<double>(i) + 0.5));
+      series.y.push_back(r.wire_bytes_over_time[i] / 256.0);
+    }
+    if (!series.x.empty()) chart.addSeries(series);
+  }
   return chart.render();
 }
 
 void writeScalingCsv(const std::string& path,
                      const std::vector<ScalingPoint>& points) {
-  CsvWriter csv(path,
-                {"gpus", "baseline_ms", "pgas_ms", "speedup",
-                 "baseline_compute_ms", "baseline_comm_ms",
-                 "baseline_sync_unpack_ms", "pgas_wire_bytes",
-                 "baseline_wire_bytes"});
+  PGASEMB_CHECK(!points.empty() && !points.front().runs.empty(),
+                "no scaling points to write");
+  // Column layout mirrors the historical baseline-vs-PGAS schema:
+  // per-run avg times, the headline speedup, the reference run's phase
+  // breakdown, then wire bytes (non-reference runs first).
+  const auto& runs = points.front().runs;
+  const std::string ref_key = runKey(runs.front().retriever);
+  std::vector<std::string> headers{"gpus"};
+  for (const auto& run : runs) headers.push_back(runKey(run.retriever) + "_ms");
+  headers.push_back("speedup");
+  headers.push_back(ref_key + "_compute_ms");
+  headers.push_back(ref_key + "_comm_ms");
+  headers.push_back(ref_key + "_sync_unpack_ms");
+  for (std::size_t r = runs.size(); r-- > 1;) {
+    headers.push_back(runKey(runs[r].retriever) + "_wire_bytes");
+  }
+  headers.push_back(ref_key + "_wire_bytes");
+
+  CsvWriter csv(path, headers);
   for (const auto& p : points) {
-    csv.addRow({std::to_string(p.gpus),
-                ConsoleTable::num(p.baseline.avgBatchMs(), 4),
-                ConsoleTable::num(p.pgas.avgBatchMs(), 4),
-                ConsoleTable::num(p.speedup(), 3),
-                ConsoleTable::num(p.baseline.avgComputeMs(), 4),
-                ConsoleTable::num(p.baseline.avgCommunicationMs(), 4),
-                ConsoleTable::num(p.baseline.avgSyncUnpackMs(), 4),
-                std::to_string(p.pgas.total_wire_bytes),
-                std::to_string(p.baseline.total_wire_bytes)});
+    const auto& ref = p.reference().result;
+    std::vector<std::string> row{std::to_string(p.gpus)};
+    for (const auto& run : p.runs) {
+      row.push_back(ConsoleTable::num(run.result.avgBatchMs(), 4));
+    }
+    row.push_back(ConsoleTable::num(p.speedup(), 3));
+    row.push_back(ConsoleTable::num(ref.avgComputeMs(), 4));
+    row.push_back(ConsoleTable::num(ref.avgCommunicationMs(), 4));
+    row.push_back(ConsoleTable::num(ref.avgSyncUnpackMs(), 4));
+    for (std::size_t r = p.runs.size(); r-- > 1;) {
+      row.push_back(std::to_string(p.runs[r].result.total_wire_bytes));
+    }
+    row.push_back(std::to_string(ref.total_wire_bytes));
+    csv.addRow(row);
   }
 }
 

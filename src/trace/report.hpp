@@ -1,51 +1,79 @@
 // Reporters shared by the benchmark binaries: paper-style speedup
 // tables, scaling-factor charts, breakdown bars, and comm-volume traces.
+//
+// All reporters consume engine::NamedResult runs keyed by registry name,
+// so they render any subset of retrievers the benches sweep. The first
+// run in a point is the reference (the paper's NCCL baseline in the
+// default sweeps); speedups are reference over the last run.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "trace/experiment.hpp"
+#include "engine/scenario_runner.hpp"
 
 namespace pgasemb::trace {
 
-/// One (gpus, baseline, pgas) scaling data point.
+/// Presentation metadata for a registry name: chart legend label, short
+/// table/CSV key, and plot marker. Unknown names fall back to the raw
+/// registry name and its first character.
+struct RunStyle {
+  std::string display;
+  std::string short_name;
+  char marker;
+};
+RunStyle runStyle(const std::string& retriever);
+
+/// Lowercase short key for CSV columns and compact console rows
+/// ("baseline", "pgas", "pipelined", ...).
+std::string runKey(const std::string& retriever);
+
+/// One scaling data point: every retriever's result at `gpus`.
 struct ScalingPoint {
   int gpus = 0;
-  ExperimentResult baseline;
-  ExperimentResult pgas;
+  std::vector<engine::NamedResult> runs;
 
-  double speedup() const {
-    return pgas.avgBatchMs() > 0.0
-               ? baseline.avgBatchMs() / pgas.avgBatchMs()
-               : 0.0;
-  }
+  /// Reference run (first; the baseline in the default sweeps).
+  const engine::NamedResult& reference() const;
+  /// Treatment run (last; PGAS fused in the default sweeps).
+  const engine::NamedResult& treatment() const;
+  const engine::NamedResult* find(const std::string& retriever) const;
+
+  /// reference avg-batch time / treatment avg-batch time. Returns 0.0
+  /// (no crash, no inf) when the point is empty or the treatment time
+  /// is not positive.
+  double speedup() const;
 };
 
 /// Renders the paper's speedup table ("Speedup | 2 GPUs | 3 GPUs | 4
-/// GPUs") plus the geometric mean, from multi-GPU points.
+/// GPUs") plus the geometric mean, from multi-GPU points: one row per
+/// non-reference retriever.
 std::string renderSpeedupTable(const std::vector<ScalingPoint>& points);
 
-/// Geometric mean of the multi-GPU speedups (the paper's headline
-/// 1.97x / 2.63x numbers).
+/// Geometric mean of the multi-GPU reference/treatment speedups (the
+/// paper's headline 1.97x / 2.63x numbers).
 double geomeanSpeedup(const std::vector<ScalingPoint>& points);
 
 /// Weak-scaling factor chart (runtime / 1-GPU runtime; ideal = 1.0,
 /// paper Fig 5) or strong-scaling chart (1-GPU runtime / runtime; ideal
-/// = p, paper Fig 8).
+/// = p, paper Fig 8), one series per retriever.
 std::string renderScalingChart(const std::vector<ScalingPoint>& points,
                                bool weak);
 
-/// Runtime-breakdown stacked bars (paper Figs 6 / 9).
+/// Runtime-breakdown stacked bars (paper Figs 6 / 9). Runs with a
+/// separable communication or sync+unpack phase get three components;
+/// fused/pipelined runs render as one bar segment.
 std::string renderBreakdownBars(const std::vector<ScalingPoint>& points,
                                 const std::string& title);
 
-/// Comm-volume-over-time chart in 256-byte units (paper Figs 7 / 10).
-std::string renderCommVolumeChart(const ExperimentResult& pgas,
-                                  const ExperimentResult& baseline,
+/// Comm-volume-over-time chart in 256-byte units (paper Figs 7 / 10),
+/// one series per run.
+std::string renderCommVolumeChart(const std::vector<engine::NamedResult>& runs,
                                   const std::string& title);
 
-/// Write a scaling sweep as CSV rows for offline plotting.
+/// Write a scaling sweep as CSV rows for offline plotting. Column names
+/// derive from each run's short name; the default baseline-vs-PGAS sweep
+/// reproduces the historical schema (gpus, baseline_ms, pgas_ms, ...).
 void writeScalingCsv(const std::string& path,
                      const std::vector<ScalingPoint>& points);
 
