@@ -59,15 +59,23 @@ inline std::vector<std::string> retrieverList(const CliParser& cli) {
   return names;
 }
 
+/// Registers the shared --simsan flag (opt-in dynamic checking).
+inline void addSimsanFlag(CliParser& cli) {
+  cli.addBool("simsan", false,
+              "attach the simsan happens-before race / bounds / lifetime "
+              "checker and print its per-run report (timings unchanged)");
+}
+
 /// Run every named retriever at 1..max_gpus for one scaling mode.
 inline std::vector<trace::ScalingPoint> sweepScaling(
     bool weak, int max_gpus, int num_batches,
-    const std::vector<std::string>& retrievers) {
+    const std::vector<std::string>& retrievers, bool simsan = false) {
   std::vector<trace::ScalingPoint> points;
   for (int gpus = 1; gpus <= max_gpus; ++gpus) {
     engine::ExperimentConfig cfg = weak ? engine::weakScalingConfig(gpus)
                                         : engine::strongScalingConfig(gpus);
     cfg.num_batches = num_batches;
+    cfg.simsan = simsan;
     engine::ScenarioRunner runner(cfg);
     trace::ScalingPoint point;
     point.gpus = gpus;
@@ -75,6 +83,21 @@ inline std::vector<trace::ScalingPoint> sweepScaling(
     points.push_back(std::move(point));
   }
   return points;
+}
+
+/// Prints one simsan verdict line per run (only when reports exist, so
+/// output without --simsan is unchanged).
+inline void printSimsanReports(const std::vector<trace::ScalingPoint>& pts) {
+  bool any = false;
+  for (const auto& p : pts) {
+    for (const auto& run : p.runs) {
+      if (!run.result.sanitizer) continue;
+      if (!any) printf("\nsimsan:\n");
+      any = true;
+      printf("  %d GPU(s) %-16s %s\n", p.gpus, run.retriever.c_str(),
+             run.result.sanitizer->report().c_str());
+    }
+  }
 }
 
 inline void printHeader(const std::string& title) {

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.addInt("depth", 2, "pipeline depth (in-flight batches)");
   bench::addRetrieversFlag(cli,
                            "nccl_collective,nccl_pipelined,pgas_fused");
+  bench::addSimsanFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int depth = static_cast<int>(cli.getInt("depth"));
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   cfg.layer.total_tables = 48LL * gpus;
   cfg.num_batches = static_cast<int>(cli.getInt("batches"));
   cfg.pipeline_depth = depth;
+  cfg.simsan = cli.getBool("simsan");
 
   engine::ScenarioRunner runner(cfg);
   const auto runs = runner.runAll(bench::retrieverList(cli));
@@ -53,6 +55,11 @@ int main(int argc, char** argv) {
                   (pipelined ? std::to_string(depth) : "1") + "x"});
   }
   printf("\n%s\n", table.render().c_str());
+  for (const auto& run : runs) {
+    if (!run.result.sanitizer) continue;
+    printf("simsan %-16s %s\n", run.retriever.c_str(),
+           run.result.sanitizer->report().c_str());
+  }
   printf("(pipelining hides the wire time behind the next batch's compute "
          "but\n keeps the unpack pass and multiplies activation buffers; "
          "PGAS hides\n communication inside the same batch and has no "

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "strong_scaling.csv", "output CSV path (empty = none)");
   bench::addRetrieversFlag(cli);
+  bench::addSimsanFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader(
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
       "pooling U(1,32)");
   const auto points = bench::sweepScaling(
       /*weak=*/false, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
+      cli.getBool("simsan"));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.95x / 2.55x / 2.44x, geo-mean 2.63x)\n");
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
          trace::renderScalingChart(points, /*weak=*/false).c_str());
   printf("(paper Fig 8: baseline < 1.0 for 2-4 GPUs; PGAS ~1.6 at 2 GPUs, "
          "declining beyond)\n");
+  bench::printSimsanReports(points);
 
   for (const auto& p : points) {
     if (p.gpus == 2) {

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "weak_scaling.csv", "output CSV path (empty = none)");
   bench::addRetrieversFlag(cli);
+  bench::addSimsanFlag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader(
@@ -23,7 +24,8 @@ int main(int argc, char** argv) {
       "pooling U(1,128)");
   const auto points = bench::sweepScaling(
       /*weak=*/true, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
+      cli.getBool("simsan"));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.10x / 1.95x / 1.87x, geo-mean 1.97x)\n");
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
          trace::renderScalingChart(points, /*weak=*/true).c_str());
   printf("(paper Fig 5: baseline drops to ~0.46 at 2 GPUs then stays "
          "flat; PGAS stays near 1.0)\n");
+  bench::printSimsanReports(points);
 
   const std::string csv = cli.getString("csv");
   if (!csv.empty()) {

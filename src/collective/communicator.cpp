@@ -18,7 +18,8 @@ Request Communicator::launch(
     const std::string& label,
     std::function<SimTime(int src, SimTime start)> inject,
     std::function<void()> on_complete,
-    const std::vector<gpu::Stream*>* streams) {
+    const std::vector<gpu::Stream*>* streams,
+    const CollectiveMemory* memory) {
   PGASEMB_CHECK(streams == nullptr ||
                     static_cast<int>(streams->size()) == system_.numGpus(),
                 "need one stream per GPU");
@@ -27,6 +28,12 @@ Request Communicator::launch(
   state->devices_pending = n;
   state->on_complete = std::move(on_complete);
   state->done_callbacks.resize(static_cast<std::size_t>(n));
+  if (system_.sanitizer() != nullptr) {
+    state->label = label;
+    if (memory != nullptr) state->memory = *memory;
+    state->actors.assign(static_cast<std::size_t>(n), -1);
+    state->op_start.assign(static_cast<std::size_t>(n), SimTime::zero());
+  }
 
   // The CPU triggers the collective once per device (proxy enqueue).
   for (int src = 0; src < n; ++src) {
@@ -36,19 +43,25 @@ Request Communicator::launch(
                               : system_.stream(src);
     stream.enqueue(
         system_.hostNow(), label,
-        [this, src, state, inject](SimTime start,
-                                   std::function<void(SimTime)> done) {
+        [this, src, state, inject, stream_ptr = &stream](
+            SimTime start, std::function<void(SimTime)> done) {
           const SimTime local_end = inject(src, start);
           state->first_start = std::min(state->first_start, start);
           state->completion = std::max(state->completion, local_end);
           state->done_callbacks[static_cast<std::size_t>(src)] =
               std::move(done);
+          if (!state->actors.empty()) {
+            state->actors[static_cast<std::size_t>(src)] =
+                stream_ptr->sanitizerActor();
+            state->op_start[static_cast<std::size_t>(src)] = start;
+          }
           if (--state->devices_pending == 0) {
             // Everything on the wire; delivery times are known. Release
             // all device ops at the global completion time (a collective
             // retires together, like an NCCL kernel waiting on its peers).
-            system_.simulator().scheduleAt(state->completion, [state] {
+            system_.simulator().scheduleAt(state->completion, [this, state] {
               state->completed = true;
+              sanitizeCompletion(*state);
               for (auto& cb : state->done_callbacks) cb(state->completion);
             });
           }
@@ -57,10 +70,39 @@ Request Communicator::launch(
   return Request(state);
 }
 
+void Communicator::sanitizeCompletion(detail::CollectiveState& state) {
+  auto* san = system_.sanitizer();
+  if (san == nullptr || state.actors.empty()) return;
+  // Each rank's op reads its send buffer and writes its recv buffer over
+  // its [op start, collective completion] window.
+  for (std::size_t r = 0; r < state.memory.ranks.size(); ++r) {
+    if (r >= state.actors.size() || state.actors[r] < 0) continue;
+    const auto& mem = state.memory.ranks[r];
+    if (mem.device < 0) continue;
+    san->access(state.actors[r], mem.device, mem.send,
+                simsan::AccessKind::kRead, state.op_start[r],
+                state.completion,
+                state.label + ".send.gpu" + std::to_string(r));
+    san->access(state.actors[r], mem.device, mem.recv,
+                simsan::AccessKind::kWrite, state.op_start[r],
+                state.completion,
+                state.label + ".recv.gpu" + std::to_string(r));
+  }
+  // Retire-together barrier: every participant has observed every other
+  // participant's op once the collective completes.
+  for (const auto actor : state.actors) {
+    if (actor >= 0) san->release(actor, &state);
+  }
+  for (const auto actor : state.actors) {
+    if (actor >= 0) san->acquire(actor, &state);
+  }
+}
+
 Request Communicator::allToAllSingle(
     const std::vector<std::vector<std::int64_t>>& send_bytes,
     std::function<void()> on_complete, const ChunkingParams& chunking,
-    const std::vector<gpu::Stream*>* streams) {
+    const std::vector<gpu::Stream*>* streams,
+    const CollectiveMemory* memory) {
   const int n = system_.numGpus();
   PGASEMB_CHECK(static_cast<int>(send_bytes.size()) == n,
                 "send_bytes must have one row per GPU");
@@ -96,7 +138,7 @@ Request Communicator::allToAllSingle(
         }
         return last;
       },
-      std::move(on_complete), streams);
+      std::move(on_complete), streams, memory);
 }
 
 Request Communicator::allGather(std::int64_t bytes_per_rank,

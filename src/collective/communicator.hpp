@@ -37,11 +37,14 @@ class Communicator {
   /// streams the collective enqueues on — side comm streams let a
   /// pipelined caller overlap the next batch's compute with this
   /// collective; default = each device's default stream.
+  /// `memory` (optional) declares each rank's staging buffers for simsan
+  /// access logging; ignored when no checker is attached.
   Request allToAllSingle(
       const std::vector<std::vector<std::int64_t>>& send_bytes,
       std::function<void()> on_complete = nullptr,
       const ChunkingParams& chunking = {},
-      const std::vector<gpu::Stream*>* streams = nullptr);
+      const std::vector<gpu::Stream*>* streams = nullptr,
+      const CollectiveMemory* memory = nullptr);
 
   /// Each GPU contributes `bytes_per_rank`; all GPUs end with all
   /// contributions (ring algorithm, p-1 steps).
@@ -87,7 +90,13 @@ class Communicator {
   Request launch(const std::string& label,
                  std::function<SimTime(int src, SimTime start)> inject,
                  std::function<void()> on_complete,
-                 const std::vector<gpu::Stream*>* streams = nullptr);
+                 const std::vector<gpu::Stream*>* streams = nullptr,
+                 const CollectiveMemory* memory = nullptr);
+
+  /// simsan hook run at a collective's completion event: logs each
+  /// rank's declared send-read/recv-write and applies the retire-together
+  /// barrier between all participating rank ops. No-op without a checker.
+  void sanitizeCompletion(detail::CollectiveState& state);
 
   /// NCCL protocol efficiency applied to all collective wire traffic
   /// (staging copies, handshakes) — see CostModel.

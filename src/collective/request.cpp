@@ -27,6 +27,10 @@ SimTime Request::wait(gpu::MultiGpuSystem& system) {
   PGASEMB_CHECK(valid(), "wait() on an empty request");
   system.simulator().run();
   PGASEMB_ASSERT(state_->completed, "collective did not complete on drain");
+  if (auto* san = system.sanitizer()) {
+    // request.wait() edge: the host has observed the whole collective.
+    san->acquire(simsan::Checker::kHost, state_.get());
+  }
   system.hostAdvance(SimTime::zero());  // no-op; keeps intent explicit
   const SimTime host = std::max(system.hostNow(), state_->completion) +
                        system.costModel().stream_sync_overhead;

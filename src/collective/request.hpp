@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "simsan/access.hpp"
+#include "simsan/checker.hpp"
 #include "util/time.hpp"
 
 namespace pgasemb::gpu {
@@ -17,6 +19,19 @@ class MultiGpuSystem;
 }
 
 namespace pgasemb::collective {
+
+/// Per-rank staging buffers of one collective, declared by the caller so
+/// simsan can log what each rank's op reads and writes (NCCL semantics:
+/// every rank's kernel reads its own send buffer and writes its own recv
+/// buffer; cross-rank visibility comes from the collective's barrier).
+struct CollectiveMemory {
+  struct PerRank {
+    int device = -1;  ///< -1 = no declared buffers for this rank
+    simsan::StridedRange send;  ///< read by the rank's op
+    simsan::StridedRange recv;  ///< written by the rank's op
+  };
+  std::vector<PerRank> ranks;
+};
 
 namespace detail {
 
@@ -28,6 +43,12 @@ struct CollectiveState {
   bool completed = false;
   std::vector<std::function<void(SimTime)>> done_callbacks;
   std::function<void()> on_complete;  ///< functional data landing
+
+  // --- simsan bookkeeping (unused when the checker is off) ---------------
+  std::string label;
+  CollectiveMemory memory;
+  std::vector<simsan::ActorId> actors;  ///< per-rank op (stream) actor
+  std::vector<SimTime> op_start;        ///< per-rank op start time
 };
 
 }  // namespace detail

@@ -79,12 +79,20 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
       batch.materialized();
   BatchTiming timing;
   const SimTime t0 = system.hostNow();
+  auto* san = system.sanitizer();
+  const auto wholeBuffer = [](const gpu::DeviceBuffer& buf) {
+    return simsan::StridedRange::contiguous(buf.offset(), buf.size());
+  };
 
   if (p == 1) {
     // Single GPU: no layout conversion — the lookup writes the final
     // tensor directly (as PyTorch does without a process group).
     auto fused = emb::buildFusedLookupKernel(
         layer_, batch, 0, functional ? &outputs_ : nullptr, /*slices=*/1);
+    if (san != nullptr) {
+      fused.desc.mem_effects.push_back(
+          {0, wholeBuffer(outputs_[0]), simsan::AccessKind::kWrite, ""});
+    }
     system.launchKernel(0, std::move(fused.desc));
     const SimTime t1 = system.syncAll();
     timing.compute_phase = t1 - t0;
@@ -106,15 +114,31 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
             kernel.send_bytes[static_cast<std::size_t>(d)];
       }
     }
+    if (san != nullptr) {
+      kernel.desc.mem_effects.push_back(
+          {g, wholeBuffer(send_buffers_[static_cast<std::size_t>(g)]),
+           simsan::AccessKind::kWrite, ""});
+    }
     system.launchKernel(g, std::move(kernel.desc));
   }
   const SimTime t1 = system.syncAll();
   timing.compute_phase = t1 - t0;
 
   // Phase 2: all_to_all_single(async_op=True) + wait().
+  collective::CollectiveMemory a2a_memory;
+  if (san != nullptr) {
+    a2a_memory.ranks.resize(static_cast<std::size_t>(p));
+    for (int g = 0; g < p; ++g) {
+      auto& rank = a2a_memory.ranks[static_cast<std::size_t>(g)];
+      rank.device = g;
+      rank.send = wholeBuffer(send_buffers_[static_cast<std::size_t>(g)]);
+      rank.recv = wholeBuffer(recv_buffers_[static_cast<std::size_t>(g)]);
+    }
+  }
   auto request = comm_.allToAllSingle(
       matrix, functional ? [this] { copyAllToAllPayload(); }
-                         : std::function<void()>());
+                         : std::function<void()>(),
+      {}, nullptr, san != nullptr ? &a2a_memory : nullptr);
   const SimTime t2 = request.wait(system);
   timing.comm_phase = t2 - t1;
   timing.wire_time = request.completionTime() - request.startTime();
@@ -125,6 +149,14 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
         layer_, g,
         functional ? &recv_buffers_[static_cast<std::size_t>(g)] : nullptr,
         functional ? &outputs_[static_cast<std::size_t>(g)] : nullptr);
+    if (san != nullptr) {
+      desc.mem_effects.push_back(
+          {g, wholeBuffer(recv_buffers_[static_cast<std::size_t>(g)]),
+           simsan::AccessKind::kRead, ""});
+      desc.mem_effects.push_back(
+          {g, wholeBuffer(outputs_[static_cast<std::size_t>(g)]),
+           simsan::AccessKind::kWrite, ""});
+    }
     system.launchKernel(g, std::move(desc));
   }
   const SimTime t3 = system.syncAll();

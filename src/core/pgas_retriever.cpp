@@ -49,6 +49,15 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
       layer_.sharding().scheme() == emb::ShardingScheme::kRowWise;
   BatchTiming timing;
   const SimTime t0 = system.hostNow();
+  auto* san = system.sanitizer();
+  // Footprint of src's writes into dst's output, shifted from
+  // tensor-relative to device-address elements (symmetric-heap offset).
+  const auto footprint = [this](int src, int dst) {
+    auto range = emb::fusedWriteFootprint(layer_.sharding(), src, dst,
+                                          layer_.dim());
+    range.begin += outputs_view_[static_cast<std::size_t>(dst)].offset();
+    return range;
+  };
 
   if (row_wise) {
     // Row-wise partial sums accumulate: outputs must start at zero. A
@@ -65,6 +74,12 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
           std::fill(buf.span().begin(), buf.span().end(), 0.0f);
         };
       }
+      if (san != nullptr) {
+        const auto& buf = outputs_view_[static_cast<std::size_t>(g)];
+        zero.mem_effects.push_back(
+            {g, simsan::StridedRange::contiguous(buf.offset(), buf.size()),
+             simsan::AccessKind::kWrite, ""});
+      }
       system.launchKernel(g, std::move(zero));
     }
   }
@@ -75,8 +90,28 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
     auto fused = emb::buildFusedLookupKernel(
         layer_, batch, g, functional ? &outputs_view_ : nullptr,
         options_.slices);
+    std::vector<simsan::MemEffect> remote_writes;
+    if (san != nullptr) {
+      // Local slice of the fused write runs under the stream actor; the
+      // one-sided remote writes run under the kernel's put actor until
+      // quiet joins them back (PgasRuntime::attachMessagePlan).
+      fused.desc.mem_effects.push_back(
+          {g, footprint(g, g),
+           row_wise ? simsan::AccessKind::kAtomicAdd
+                    : simsan::AccessKind::kWrite,
+           ""});
+      for (int d = 0; d < p; ++d) {
+        if (d == g) continue;
+        remote_writes.push_back(
+            {d, footprint(g, d),
+             row_wise ? simsan::AccessKind::kAtomicAdd
+                      : simsan::AccessKind::kRemoteWrite,
+             fused.desc.name + ".put"});
+      }
+    }
     runtime_.attachMessagePlan(fused.desc, g, std::move(fused.plan),
-                               options_.counter, options_.aggregator);
+                               options_.counter, options_.aggregator,
+                               std::move(remote_writes));
     system.launchKernel(g, std::move(fused.desc));
   }
 

@@ -86,6 +86,12 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
     }
   }
 
+  auto* san = system.sanitizer();
+  const Slot& slot = slots_[static_cast<std::size_t>(submitted_ % depth_)];
+  const auto wholeBuffer = [](const gpu::DeviceBuffer& buf) {
+    return simsan::StridedRange::contiguous(buf.offset(), buf.size());
+  };
+
   std::vector<std::vector<std::int64_t>> matrix(
       static_cast<std::size_t>(p),
       std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
@@ -97,6 +103,11 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
         matrix[static_cast<std::size_t>(g)][static_cast<std::size_t>(d)] =
             kernel.send_bytes[static_cast<std::size_t>(d)];
       }
+    }
+    if (san != nullptr) {
+      kernel.desc.mem_effects.push_back(
+          {g, wholeBuffer(slot.send[static_cast<std::size_t>(g)]),
+           simsan::AccessKind::kWrite, ""});
     }
     auto& stream = system.stream(g);
     if (slot_free[g] != nullptr) {
@@ -110,7 +121,18 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
         system.hostNow(), kernel_done(g));
   }
 
-  comm_.allToAllSingle(matrix, nullptr, {}, &comm_streams_);
+  collective::CollectiveMemory a2a_memory;
+  if (san != nullptr) {
+    a2a_memory.ranks.resize(static_cast<std::size_t>(p));
+    for (int g = 0; g < p; ++g) {
+      auto& rank = a2a_memory.ranks[static_cast<std::size_t>(g)];
+      rank.device = g;
+      rank.send = wholeBuffer(slot.send[static_cast<std::size_t>(g)]);
+      rank.recv = wholeBuffer(slot.recv[static_cast<std::size_t>(g)]);
+    }
+  }
+  comm_.allToAllSingle(matrix, nullptr, {}, &comm_streams_,
+                       san != nullptr ? &a2a_memory : nullptr);
   for (int g = 0; g < p; ++g) {
     comm_streams_[static_cast<std::size_t>(g)]->enqueueRecord(
         system.hostNow(), a2a_done(g));
@@ -121,6 +143,7 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
   // previous batch's unpack behind it.
   enqueuePendingUnpack();
   pending_unpack_ev_base_ = static_cast<std::int64_t>(ev_base);
+  pending_slot_ = submitted_ % depth_;
 
   ++submitted_;
   // Host side only enqueues; the amortized batch time is (drain time -
@@ -135,15 +158,31 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
 void PipelinedCollectiveRetriever::enqueuePendingUnpack() {
   if (pending_unpack_ev_base_ < 0) return;
   auto& system = layer_.system();
+  auto* san = system.sanitizer();
   const int p = system.numGpus();
   const std::size_t base =
       static_cast<std::size_t>(pending_unpack_ev_base_);
+  const Slot& slot = slots_[static_cast<std::size_t>(pending_slot_)];
   for (int g = 0; g < p; ++g) {
     system.stream(g).enqueueWaitEvent(
         system.hostNow(),
         *events_[base + static_cast<std::size_t>(p + g)]);
-    system.launchKernel(g,
-                        emb::buildUnpackKernel(layer_, g, nullptr, nullptr));
+    auto desc = emb::buildUnpackKernel(layer_, g, nullptr, nullptr);
+    if (san != nullptr) {
+      desc.mem_effects.push_back(
+          {g,
+           simsan::StridedRange::contiguous(
+               slot.recv[static_cast<std::size_t>(g)].offset(),
+               slot.recv[static_cast<std::size_t>(g)].size()),
+           simsan::AccessKind::kRead, ""});
+      desc.mem_effects.push_back(
+          {g,
+           simsan::StridedRange::contiguous(
+               slot.out[static_cast<std::size_t>(g)].offset(),
+               slot.out[static_cast<std::size_t>(g)].size()),
+           simsan::AccessKind::kWrite, ""});
+    }
+    system.launchKernel(g, std::move(desc));
   }
   pending_unpack_ev_base_ = -1;
 }

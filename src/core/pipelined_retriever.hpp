@@ -70,6 +70,8 @@ class PipelinedCollectiveRetriever final : public EmbeddingRetriever {
   // enqueued only after the NEXT batch's lookup, so that lookup overlaps
   // this batch's all-to-all on the comm streams). -1 = none.
   std::int64_t pending_unpack_ev_base_ = -1;
+  // Slot index of that pending batch (for simsan buffer attribution).
+  std::int64_t pending_slot_ = -1;
 
   void enqueuePendingUnpack();
 };

@@ -138,4 +138,20 @@ FusedLookupKernel buildFusedLookupKernel(
   return out;
 }
 
+simsan::StridedRange fusedWriteFootprint(const Sharding& sharding, int src,
+                                         int dst, int dim) {
+  if (sharding.scheme() == ShardingScheme::kRowWise) {
+    // Row-wise partial sums touch every (sample, table) cell of dst.
+    return simsan::StridedRange::contiguous(
+        0, sharding.outputElements(dst, dim));
+  }
+  // Table-wise: dst's output is [mini-batch sample][global table][col];
+  // src owns one contiguous table block, hit once per dst-local sample.
+  return simsan::StridedRange{
+      /*begin=*/sharding.firstTableOn(src) * dim,
+      /*len=*/sharding.tablesOn(src) * dim,
+      /*stride=*/sharding.totalTables() * dim,
+      /*count=*/sharding.miniBatchSize(dst)};
+}
+
 }  // namespace pgasemb::emb

@@ -15,6 +15,7 @@
 #include "emb/layer.hpp"
 #include "gpu/kernel.hpp"
 #include "pgas/message_plan.hpp"
+#include "simsan/access.hpp"
 
 namespace pgasemb::emb {
 
@@ -61,5 +62,13 @@ std::int64_t sendBufferIndex(const Sharding& sharding, int gpu,
 
 /// Elements in GPU `gpu`'s baseline send buffer.
 std::int64_t sendBufferElements(const Sharding& sharding, int gpu, int dim);
+
+/// simsan footprint of GPU `src`'s fused-kernel writes into GPU `dst`'s
+/// output tensor, in elements relative to the output buffer start.
+/// Table-wise: one run per dst-local sample covering src's table block
+/// ([sample][global table][col] layout).  Row-wise: every source
+/// accumulates partial sums over the whole tensor.
+simsan::StridedRange fusedWriteFootprint(const Sharding& sharding, int src,
+                                         int dst, int dim);
 
 }  // namespace pgasemb::emb

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/retriever.hpp"
@@ -16,6 +17,7 @@
 #include "fabric/link.hpp"
 #include "gpu/cost_model.hpp"
 #include "pgas/aggregator.hpp"
+#include "simsan/checker.hpp"
 
 namespace pgasemb::engine {
 
@@ -41,6 +43,9 @@ struct ExperimentConfig {
   /// Time-series bucket width for the comm-volume traces.
   SimTime counter_bucket = SimTime::us(20.0);
   std::uint64_t batch_seed = 0xbeef;
+  /// Attach the simsan happens-before/bounds/lifetime checker to the
+  /// run. Purely observational: timings and outputs are unchanged.
+  bool simsan = false;
 };
 
 struct ExperimentResult {
@@ -60,6 +65,9 @@ struct ExperimentResult {
   /// (paper §IV-B2a reports 38% compute / 57% memory at 2 GPUs).
   double lookup_compute_throughput = 0.0;
   double lookup_memory_throughput = 0.0;
+
+  /// simsan verdict; populated only when ExperimentConfig::simsan is on.
+  std::optional<simsan::Summary> sanitizer;
 
   double avgBatchMs() const;
   double avgComputeMs() const;

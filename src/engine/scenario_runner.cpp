@@ -72,6 +72,24 @@ ExperimentResult ScenarioRunner::run(const std::string& retriever_name) {
   // drain time belongs to the run total. No-op (zero) for the rest.
   result.stats.total += retriever->finish();
 
+  if (auto* san = builder_.sanitizer()) {
+    // The host consumes every GPU's final output tensor (standing in for
+    // the downstream interaction layer) — the reader the last batch's
+    // writes must be ordered against.
+    const SimTime now = builder_.system().hostNow();
+    for (int g = 0; g < config.num_gpus; ++g) {
+      const auto& out = retriever->output(g);
+      san->access(simsan::Checker::kHost, g,
+                  simsan::StridedRange::contiguous(out.offset(), out.size()),
+                  simsan::AccessKind::kRead, now, now,
+                  "host.consume_output.gpu" + std::to_string(g));
+    }
+    // Destroy the retriever (frees its working buffers), then audit.
+    retriever.reset();
+    san->leakCheck();
+    result.sanitizer = san->summary();
+  }
+
   // Delivery (wire-occupancy) counter: for PGAS this matches the paper's
   // in-kernel issue counter; for the baseline it spreads each chunk over
   // its serialization window, exactly the paper's "linearly interpolated

@@ -3,6 +3,7 @@
 #include "collective/communicator.hpp"
 #include "fabric/fabric.hpp"
 #include "pgas/runtime.hpp"
+#include "simsan/checker.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::engine {
@@ -16,21 +17,27 @@ SystemBuilder::~SystemBuilder() = default;
 
 void SystemBuilder::reset() {
   // Reverse construction order: the layer holds device allocations, the
-  // runtime/communicator hold fabric endpoints.
+  // runtime/communicator hold fabric endpoints. The checker outlives the
+  // system so teardown frees still report into it.
   layer_.reset();
   runtime_.reset();
   comm_.reset();
   fabric_.reset();
   system_.reset();
+  sanitizer_.reset();
   build();
 }
 
 void SystemBuilder::build() {
+  if (config_.simsan) {
+    sanitizer_ = std::make_unique<simsan::Checker>();
+  }
   gpu::SystemConfig sys_cfg;
   sys_cfg.num_gpus = config_.num_gpus;
   sys_cfg.memory_capacity_bytes = config_.device_memory_bytes;
   sys_cfg.mode = config_.mode;
   sys_cfg.cost_model = config_.cost_model;
+  sys_cfg.sanitizer = sanitizer_.get();
   system_ = std::make_unique<gpu::MultiGpuSystem>(sys_cfg);
 
   std::unique_ptr<fabric::Topology> topo;
@@ -51,6 +58,10 @@ void SystemBuilder::build() {
   runtime_ = std::make_unique<pgas::PgasRuntime>(*system_, *fabric_);
   layer_ = std::make_unique<emb::ShardedEmbeddingLayer>(
       *system_, config_.layer, config_.sharding);
+  if (sanitizer_ != nullptr) {
+    // Table shards and other assembly-lifetime allocations are not leaks.
+    sanitizer_->setBaseline();
+  }
 }
 
 core::SystemContext SystemBuilder::context() {

@@ -24,6 +24,9 @@ class Fabric;
 namespace pgas {
 class PgasRuntime;
 }
+namespace simsan {
+class Checker;
+}
 }  // namespace pgasemb
 
 namespace pgasemb::engine {
@@ -51,6 +54,10 @@ class SystemBuilder {
   pgas::PgasRuntime& runtime() { return *runtime_; }
   emb::ShardedEmbeddingLayer& layer() { return *layer_; }
 
+  /// The simsan checker attached to the current assembly, or nullptr
+  /// when ExperimentConfig::simsan is off. Invalidated by reset().
+  simsan::Checker* sanitizer() { return sanitizer_.get(); }
+
   /// The retriever-factory view of the current assembly. Invalidated by
   /// reset(); any retriever built from it must be destroyed first.
   core::SystemContext context();
@@ -59,6 +66,8 @@ class SystemBuilder {
   void build();
 
   ExperimentConfig config_;
+  // Destroyed after the system (teardown frees report into it).
+  std::unique_ptr<simsan::Checker> sanitizer_;
   std::unique_ptr<gpu::MultiGpuSystem> system_;
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<collective::Communicator> comm_;

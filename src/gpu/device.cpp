@@ -1,6 +1,9 @@
 #include "gpu/device.hpp"
 
+#include <algorithm>
 #include <sstream>
+
+#include "simsan/checker.hpp"
 
 namespace pgasemb::gpu {
 
@@ -18,12 +21,38 @@ std::span<const float> DeviceBuffer::span() const {
   return device_->storageSpan(offset_, size_);
 }
 
-Device::Device(int id, std::int64_t memory_capacity_bytes, ExecutionMode mode)
+Device::Device(int id, std::int64_t memory_capacity_bytes, ExecutionMode mode,
+               simsan::Checker* sanitizer)
     : id_(id),
       capacity_bytes_(memory_capacity_bytes),
       mode_(mode),
+      sanitizer_(sanitizer),
       compute_("gpu" + std::to_string(id) + ".compute") {
   PGASEMB_CHECK(memory_capacity_bytes > 0, "device needs positive capacity");
+}
+
+std::int64_t Device::takeOffset(std::int64_t n) {
+  // First-fit from the free list, carving from the block's front so the
+  // remainder stays sorted in place.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->size < n) continue;
+    const std::int64_t offset = it->offset;
+    if (it->size == n) {
+      free_list_.erase(it);
+    } else {
+      it->offset += n;
+      it->size -= n;
+    }
+    if (mode_ == ExecutionMode::kFunctional) {
+      // Reused backing storage must come up zeroed like a fresh block.
+      std::fill(storage_.begin() + offset, storage_.begin() + offset + n,
+                0.0f);
+    }
+    return offset;
+  }
+  const std::int64_t offset = next_offset_;
+  next_offset_ += n;
+  return offset;
 }
 
 DeviceBuffer Device::alloc(std::int64_t n) {
@@ -35,12 +64,16 @@ DeviceBuffer Device::alloc(std::int64_t n) {
         << " B, used " << used_bytes_ << " of " << capacity_bytes_ << " B";
     throw OutOfMemoryError(oss.str());
   }
-  const std::int64_t offset = next_offset_;
-  next_offset_ += n;
+  const std::int64_t offset = takeOffset(n);
   used_bytes_ += bytes;
   const bool backed = (mode_ == ExecutionMode::kFunctional);
-  if (backed) {
-    storage_.resize(static_cast<std::size_t>(next_offset_), 0.0f);
+  if (backed && offset + n > static_cast<std::int64_t>(storage_.size())) {
+    storage_.resize(static_cast<std::size_t>(offset + n), 0.0f);
+  }
+  if (sanitizer_ != nullptr) {
+    sanitizer_->onAlloc(id_, offset, n,
+                        "gpu" + std::to_string(id_) + ".alloc#" +
+                            std::to_string(alloc_seq_++));
   }
   return DeviceBuffer(this, offset, n, backed);
 }
@@ -54,9 +87,13 @@ DeviceBuffer Device::allocVirtual(std::int64_t n) {
         << " B, used " << used_bytes_ << " of " << capacity_bytes_ << " B";
     throw OutOfMemoryError(oss.str());
   }
-  const std::int64_t offset = next_offset_;
-  next_offset_ += n;
+  const std::int64_t offset = takeOffset(n);
   used_bytes_ += bytes;
+  if (sanitizer_ != nullptr) {
+    sanitizer_->onAlloc(id_, offset, n,
+                        "gpu" + std::to_string(id_) + ".valloc#" +
+                            std::to_string(alloc_seq_++));
+  }
   return DeviceBuffer(this, offset, n, /*backed=*/false);
 }
 
@@ -64,9 +101,34 @@ void Device::free(DeviceBuffer& buffer) {
   PGASEMB_CHECK(buffer.valid() && buffer.device() == this,
                 "free() of a foreign or invalid buffer");
   used_bytes_ -= buffer.sizeBytes();
-  if (buffer.offset() + buffer.size() == next_offset_) {
-    next_offset_ = buffer.offset();
-    if (buffer.backed()) {
+  if (sanitizer_ != nullptr) {
+    sanitizer_->onFree(id_, buffer.offset(), buffer.size());
+  }
+
+  // Insert the hole sorted by offset and coalesce with both neighbors.
+  FreeBlock block{buffer.offset(), buffer.size()};
+  auto it = std::lower_bound(
+      free_list_.begin(), free_list_.end(), block,
+      [](const FreeBlock& a, const FreeBlock& b) { return a.offset < b.offset; });
+  it = free_list_.insert(it, block);
+  if (it + 1 != free_list_.end() && it->offset + it->size == (it + 1)->offset) {
+    it->size += (it + 1)->size;
+    free_list_.erase(it + 1);
+  }
+  if (it != free_list_.begin() &&
+      (it - 1)->offset + (it - 1)->size == it->offset) {
+    (it - 1)->size += it->size;
+    it = free_list_.erase(it) - 1;
+  }
+  // Shrink the high-water mark past any free tail (this also reclaims
+  // blocks freed earlier out of LIFO order, fixing the old asymmetry
+  // where only the most recent allocation's space was ever recovered).
+  if (!free_list_.empty() &&
+      free_list_.back().offset + free_list_.back().size == next_offset_) {
+    next_offset_ = free_list_.back().offset;
+    free_list_.pop_back();
+    if (mode_ == ExecutionMode::kFunctional &&
+        static_cast<std::int64_t>(storage_.size()) > next_offset_) {
       storage_.resize(static_cast<std::size_t>(next_offset_));
     }
   }
@@ -74,9 +136,10 @@ void Device::free(DeviceBuffer& buffer) {
 }
 
 std::span<float> Device::storageSpan(std::int64_t offset, std::int64_t size) {
-  PGASEMB_ASSERT(offset >= 0 && offset + size <=
-                     static_cast<std::int64_t>(storage_.size()),
-                 "storage span out of range");
+  PGASEMB_EXPECT_GE(offset, 0, "storage span on device ", id_);
+  PGASEMB_EXPECT_GE(size, 0, "storage span on device ", id_);
+  PGASEMB_EXPECT_LE(offset + size, static_cast<std::int64_t>(storage_.size()),
+                    "storage span out of range on device ", id_);
   return std::span<float>(storage_.data() + offset,
                           static_cast<std::size_t>(size));
 }

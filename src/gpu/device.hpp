@@ -14,6 +14,10 @@
 #include "util/expect.hpp"
 #include "util/time.hpp"
 
+namespace pgasemb::simsan {
+class Checker;
+}
+
 namespace pgasemb::gpu {
 
 /// How kernels execute on this system.
@@ -61,7 +65,8 @@ class DeviceBuffer {
 
 class Device {
  public:
-  Device(int id, std::int64_t memory_capacity_bytes, ExecutionMode mode);
+  Device(int id, std::int64_t memory_capacity_bytes, ExecutionMode mode,
+         simsan::Checker* sanitizer = nullptr);
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -80,9 +85,17 @@ class Device {
   /// tables with procedural contents.
   DeviceBuffer allocVirtual(std::int64_t n);
 
-  /// Release a buffer's capacity (storage is reclaimed when it was the
-  /// most recent allocation; otherwise the space is simply uncharged).
+  /// Release a buffer: capacity is uncharged and the address range goes
+  /// onto a coalescing free list, so later allocations reuse it
+  /// (first-fit). Freeing the high-water allocation shrinks the address
+  /// space (and any backing storage) back past every free block that
+  /// touches the end.
   void free(DeviceBuffer& buffer);
+
+  /// Address-space high-water mark in elements (tests/diagnostics).
+  std::int64_t addressSpaceEnd() const { return next_offset_; }
+
+  simsan::Checker* sanitizer() const { return sanitizer_; }
 
   /// The FIFO resource kernels serialize on (one kernel in flight at a
   /// time per device, as with a single busy CUDA stream).
@@ -106,11 +119,23 @@ class Device {
   std::span<float> storageSpan(std::int64_t offset, std::int64_t size);
 
  private:
+  /// A reusable hole in the bump-allocated address space, kept sorted by
+  /// offset and coalesced with its neighbors.
+  struct FreeBlock {
+    std::int64_t offset;
+    std::int64_t size;
+  };
+
+  std::int64_t takeOffset(std::int64_t n);
+
   int id_;
   std::int64_t capacity_bytes_;
   ExecutionMode mode_;
+  simsan::Checker* sanitizer_ = nullptr;
   std::int64_t used_bytes_ = 0;
   std::int64_t next_offset_ = 0;
+  std::int64_t alloc_seq_ = 0;
+  std::vector<FreeBlock> free_list_;
   std::vector<float> storage_;
   sim::FifoResource compute_;
   KernelSpanFn kernel_span_observer_;

@@ -11,7 +11,9 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "simsan/access.hpp"
 #include "util/time.hpp"
 
 namespace pgasemb::gpu {
@@ -36,6 +38,12 @@ struct KernelDesc {
   /// Maps compute-end time to kernel completion time (>= compute end).
   /// Used for in-kernel communication quiet; null means identity.
   std::function<SimTime(SimTime compute_end)> finalize;
+
+  /// Declared memory footprint, logged under the launching stream's
+  /// actor when the kernel starts (simsan only; empty when the checker
+  /// is off). Remote one-sided writes are NOT listed here — the PGAS
+  /// runtime logs those under its own put actor as slices deliver.
+  std::vector<simsan::MemEffect> mem_effects;
 };
 
 }  // namespace pgasemb::gpu

@@ -13,7 +13,23 @@ namespace pgasemb::gpu {
 Stream::Stream(sim::Simulator& simulator, Device& device, std::string name)
     : simulator_(simulator), device_(device), name_(std::move(name)) {}
 
+void Stream::enableSanitizer(simsan::Checker& checker) {
+  sanitizer_ = &checker;
+  actor_ = checker.newActor(name_);
+}
+
 void Stream::enqueue(SimTime ready, std::string label, Op op) {
+  if (sanitizer_ != nullptr) {
+    // Host-order edge: everything the host observed before this enqueue
+    // happens-before the op's execution (cudaLaunch semantics — the op
+    // may consume host-prepared state).
+    op = [this, snap = sanitizer_->snapshot(simsan::Checker::kHost),
+          inner = std::move(op)](SimTime start,
+                                 std::function<void(SimTime)> done) mutable {
+      sanitizer_->joinClock(actor_, snap);
+      inner(start, std::move(done));
+    };
+  }
   queue_.push_back(Pending{ready, std::move(label), std::move(op)});
   if (!busy_) tryStartNext();
 }
@@ -55,6 +71,14 @@ void Stream::enqueueKernel(SimTime ready, KernelDesc desc) {
               SimTime start, std::function<void(SimTime)> done) {
             auto grant = device_.computeResource().acquire(start,
                                                            desc.duration);
+            if (sanitizer_ != nullptr) {
+              for (const auto& effect : desc.mem_effects) {
+                sanitizer_->access(actor_, effect.device, effect.range,
+                                   effect.kind, grant.start, grant.end,
+                                   effect.label.empty() ? desc.name
+                                                        : effect.label);
+              }
+            }
             if (desc.functional_body) desc.functional_body();
             if (desc.on_slice) {
               const std::int64_t dur = desc.duration.count();
@@ -94,7 +118,8 @@ void Stream::enqueueFixed(SimTime ready, std::string label, SimTime duration,
 
 void Stream::enqueueRecord(SimTime ready, GpuEvent& event) {
   enqueue(ready, "record",
-          [&event](SimTime start, std::function<void(SimTime)> done) {
+          [this, &event](SimTime start, std::function<void(SimTime)> done) {
+            if (sanitizer_ != nullptr) sanitizer_->release(actor_, &event);
             event.record(start);
             done(start);
           });
@@ -102,10 +127,14 @@ void Stream::enqueueRecord(SimTime ready, GpuEvent& event) {
 
 void Stream::enqueueWaitEvent(SimTime ready, GpuEvent& event) {
   enqueue(ready, "wait_event",
-          [&event](SimTime start, std::function<void(SimTime)> done) {
-            event.onRecorded([start, done = std::move(done)](SimTime at) {
-              done(std::max(start, at));
-            });
+          [this, &event](SimTime start, std::function<void(SimTime)> done) {
+            event.onRecorded(
+                [this, &event, start, done = std::move(done)](SimTime at) {
+                  if (sanitizer_ != nullptr) {
+                    sanitizer_->acquire(actor_, &event);
+                  }
+                  done(std::max(start, at));
+                });
           });
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "gpu/kernel.hpp"
+#include "simsan/checker.hpp"
 #include "util/time.hpp"
 
 namespace pgasemb::sim {
@@ -58,6 +59,14 @@ class Stream {
   Device& device() { return device_; }
   const std::string& name() const { return name_; }
 
+  /// Attach the simsan checker: creates this stream's actor and starts
+  /// recording happens-before edges (host-order at enqueue, event
+  /// release/acquire, kernel footprints). Call before any enqueue.
+  void enableSanitizer(simsan::Checker& checker);
+
+  simsan::Checker* sanitizer() const { return sanitizer_; }
+  simsan::ActorId sanitizerActor() const { return actor_; }
+
  private:
   struct Pending {
     SimTime ready;
@@ -71,6 +80,8 @@ class Stream {
   sim::Simulator& simulator_;
   Device& device_;
   std::string name_;
+  simsan::Checker* sanitizer_ = nullptr;
+  simsan::ActorId actor_ = -1;
   std::deque<Pending> queue_;
   bool busy_ = false;
   SimTime last_completion_ = SimTime::zero();

@@ -13,9 +13,12 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig& config) : config_(config) {
   default_streams_.reserve(static_cast<std::size_t>(config.num_gpus));
   for (int i = 0; i < config.num_gpus; ++i) {
     devices_.push_back(std::make_unique<Device>(
-        i, config.memory_capacity_bytes, config.mode));
+        i, config.memory_capacity_bytes, config.mode, config.sanitizer));
     default_streams_.push_back(std::make_unique<Stream>(
         simulator_, *devices_.back(), "gpu" + std::to_string(i) + ".default"));
+    if (config.sanitizer != nullptr) {
+      default_streams_.back()->enableSanitizer(*config.sanitizer);
+    }
   }
 }
 
@@ -32,6 +35,9 @@ Stream& MultiGpuSystem::stream(int id) {
 Stream& MultiGpuSystem::createStream(int id, const std::string& name) {
   extra_streams_.push_back(std::make_unique<Stream>(
       simulator_, device(id), "gpu" + std::to_string(id) + "." + name));
+  if (config_.sanitizer != nullptr) {
+    extra_streams_.back()->enableSanitizer(*config_.sanitizer);
+  }
   return *extra_streams_.back();
 }
 
@@ -62,6 +68,12 @@ SimTime MultiGpuSystem::launchKernelOn(Stream& stream, KernelDesc desc) {
 
 SimTime MultiGpuSystem::syncDevice(int id) {
   simulator_.run();
+  if (config_.sanitizer != nullptr) {
+    // cudaStreamSynchronize edge: the synced stream's history is now
+    // visible to the host.
+    config_.sanitizer->joinActor(simsan::Checker::kHost,
+                                 stream(id).sanitizerActor());
+  }
   host_now_ = std::max(host_now_, stream(id).lastCompletion()) +
               config_.cost_model.stream_sync_overhead;
   return host_now_;
@@ -69,6 +81,17 @@ SimTime MultiGpuSystem::syncDevice(int id) {
 
 SimTime MultiGpuSystem::syncAll() {
   simulator_.run();
+  if (config_.sanitizer != nullptr) {
+    // cudaDeviceSynchronize loop: every stream's history joins the host.
+    for (const auto& s : default_streams_) {
+      config_.sanitizer->joinActor(simsan::Checker::kHost,
+                                   s->sanitizerActor());
+    }
+    for (const auto& s : extra_streams_) {
+      config_.sanitizer->joinActor(simsan::Checker::kHost,
+                                   s->sanitizerActor());
+    }
+  }
   SimTime latest = host_now_;
   for (const auto& s : default_streams_) {
     latest = std::max(latest, s->lastCompletion());

@@ -23,6 +23,10 @@ struct SystemConfig {
   std::int64_t memory_capacity_bytes = 32LL * 1024 * 1024 * 1024;  // V100 32GB
   ExecutionMode mode = ExecutionMode::kTimingOnly;
   CostModel cost_model;
+  /// Optional happens-before/bounds/lifetime checker (simsan). Not
+  /// owned; must outlive the system. Null (the default) disables every
+  /// hook — the simulation is bit-identical either way.
+  simsan::Checker* sanitizer = nullptr;
 };
 
 class MultiGpuSystem {
@@ -36,6 +40,9 @@ class MultiGpuSystem {
   sim::Simulator& simulator() { return simulator_; }
   Device& device(int id);
   Stream& stream(int id);
+
+  /// The attached simsan checker, or null when checking is off.
+  simsan::Checker* sanitizer() const { return config_.sanitizer; }
 
   /// Create an extra stream on device `id` (e.g. a side stream for the
   /// data-parallel MLP so it time-shares with the EMB kernel).

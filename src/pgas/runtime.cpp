@@ -14,7 +14,8 @@ PgasRuntime::PgasRuntime(gpu::MultiGpuSystem& system, fabric::Fabric& fabric)
 
 void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
                                     MessagePlan plan, CommCounter* counter,
-                                    const AggregatorParams* aggregator) {
+                                    const AggregatorParams* aggregator,
+                                    std::vector<simsan::MemEffect> remote_writes) {
   PGASEMB_CHECK(src >= 0 && src < system_.numGpus(), "bad source PE ", src);
   if (aggregator != nullptr) {
     plan = aggregatePlan(plan, desc.duration, *aggregator);
@@ -29,22 +30,45 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
   // Tracks the last remote delivery of this kernel's writes for quiet.
   struct QuietState {
     SimTime last_delivery = SimTime::zero();
+    simsan::ActorId side_actor = -1;  ///< this kernel's put engine
   };
   auto quiet = std::make_shared<QuietState>();
 
   desc.on_slice = [this, src, counter, quiet,
+                   remote_writes = std::move(remote_writes),
                    plan = std::move(plan)](int slice, SimTime at) {
+    auto* san = system_.sanitizer();
+    if (san != nullptr && quiet->side_actor < 0) {
+      // The in-kernel put engine: inherits what the launching stream had
+      // observed, then runs concurrently with everything until quiet.
+      quiet->side_actor = san->forkActor(
+          "gpu" + std::to_string(src) + ".pgas_put",
+          system_.stream(src).sanitizerActor());
+    }
     for (const auto& f :
          plan.flows[static_cast<std::size_t>(slice)]) {
       const auto d =
           fabric_.transfer(src, f.dst, f.payload_bytes, f.n_messages, at);
       quiet->last_delivery = std::max(quiet->last_delivery, d.delivered);
       if (counter != nullptr) counter->record(at, f.payload_bytes);
+      if (san != nullptr) {
+        for (const auto& effect : remote_writes) {
+          if (effect.device != f.dst) continue;
+          san->access(quiet->side_actor, effect.device, effect.range,
+                      effect.kind, at, d.delivered, effect.label);
+        }
+      }
     }
   };
 
-  desc.finalize = [quiet](SimTime compute_end) {
-    // nvshmem_quiet: kernel completion waits for remote-write delivery.
+  desc.finalize = [this, src, quiet](SimTime compute_end) {
+    // nvshmem_quiet: kernel completion waits for remote-write delivery,
+    // and (for simsan) publishes the put engine's writes to the stream.
+    auto* san = system_.sanitizer();
+    if (san != nullptr && quiet->side_actor >= 0) {
+      san->joinActor(system_.stream(src).sanitizerActor(),
+                     quiet->side_actor);
+    }
     return std::max(compute_end, quiet->last_delivery);
   };
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "fabric/fabric.hpp"
 #include "gpu/kernel.hpp"
@@ -18,6 +19,7 @@
 #include "pgas/comm_counter.hpp"
 #include "pgas/message_plan.hpp"
 #include "pgas/symmetric_heap.hpp"
+#include "simsan/access.hpp"
 
 namespace pgasemb::pgas {
 
@@ -33,9 +35,19 @@ class PgasRuntime {
   /// `counter` is non-null every injection is recorded (paper Figs 7/10).
   /// If `aggregator` is non-null the plan is first rewritten through the
   /// async aggregator model.
+  ///
+  /// `remote_writes` declares the destination-memory footprint of the
+  /// kernel's one-sided puts for simsan (one effect per destination GPU;
+  /// `effect.device` selects which flows it covers).  When a checker is
+  /// attached, the puts run under a dedicated side actor forked from the
+  /// source GPU's default-stream actor, and the quiet in `finalize` joins
+  /// that side actor back — so stripping `finalize` loses both the timing
+  /// wait AND the happens-before edge, exactly like skipping
+  /// nvshmem_quiet on real hardware.
   void attachMessagePlan(gpu::KernelDesc& desc, int src, MessagePlan plan,
                          CommCounter* counter = nullptr,
-                         const AggregatorParams* aggregator = nullptr);
+                         const AggregatorParams* aggregator = nullptr,
+                         std::vector<simsan::MemEffect> remote_writes = {});
 
   /// Host-initiated blocking one-sided put (control-plane uses; the data
   /// plane goes through kernels). Returns the delivery time.

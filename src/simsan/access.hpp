@@ -1,0 +1,62 @@
+// simsan access primitives: what a simulated-memory access looks like.
+//
+// The simulator's data plane is declarative — kernels, collectives, and
+// PGAS deliveries *describe* the device-memory ranges they touch rather
+// than dereferencing pointers (timing-only mode has no backing storage at
+// all).  A `StridedRange` captures the footprints that actually occur in
+// the embedding pipeline: whole staging buffers (contiguous) and the
+// fused kernel's per-sample table slices of a remote output tensor
+// (fixed-stride runs).  `MemEffect` is the unit a kernel or transfer
+// attaches to itself so the checker can log the access under the right
+// actor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pgasemb::simsan {
+
+enum class AccessKind { kRead, kWrite, kRemoteWrite, kAtomicAdd };
+
+const char* accessKindName(AccessKind kind);
+
+/// Two accesses conflict unless both are reads or both are atomic
+/// accumulations (atomic adds commute; their order is unobservable).
+bool conflictingKinds(AccessKind a, AccessKind b);
+
+/// `count` runs of `len` elements, starting `stride` elements apart:
+/// {begin + k*stride .. begin + k*stride + len) for k in [0, count).
+/// count == 1 describes an ordinary contiguous range.
+struct StridedRange {
+  std::int64_t begin = 0;
+  std::int64_t len = 0;
+  std::int64_t stride = 0;
+  std::int64_t count = 1;
+
+  static StridedRange contiguous(std::int64_t begin, std::int64_t len) {
+    return StridedRange{begin, len, 0, 1};
+  }
+
+  bool empty() const { return len <= 0 || count <= 0; }
+
+  /// One past the last element of the last run.
+  std::int64_t envelopeEnd() const {
+    return begin + (count > 1 ? (count - 1) * stride : 0) + len;
+  }
+
+  std::string toString() const;
+};
+
+/// True iff some element belongs to both ranges.
+bool overlaps(const StridedRange& a, const StridedRange& b);
+
+/// One declared memory access of a kernel/transfer: `range` (in fp32
+/// elements within `device`'s address space) touched with `kind`.
+struct MemEffect {
+  int device = 0;
+  StridedRange range;
+  AccessKind kind = AccessKind::kWrite;
+  std::string label;
+};
+
+}  // namespace pgasemb::simsan

@@ -1,0 +1,372 @@
+#include "simsan/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::simsan {
+
+const char* accessKindName(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+    case AccessKind::kRemoteWrite:
+      return "remote_write";
+    case AccessKind::kAtomicAdd:
+      return "atomic_add";
+  }
+  return "?";
+}
+
+bool conflictingKinds(AccessKind a, AccessKind b) {
+  if (a == AccessKind::kRead && b == AccessKind::kRead) return false;
+  if (a == AccessKind::kAtomicAdd && b == AccessKind::kAtomicAdd) return false;
+  return true;
+}
+
+std::string StridedRange::toString() const {
+  std::ostringstream oss;
+  if (count <= 1) {
+    oss << "[" << begin << ", " << begin + len << ")";
+  } else {
+    oss << "[" << begin << ", " << envelopeEnd() << ") = " << count
+        << " runs of " << len << " every " << stride;
+  }
+  return oss.str();
+}
+
+namespace {
+
+/// Does the contiguous interval [lo, hi) intersect any run of `s`
+/// (count >= 2 callers only)?
+bool intervalOverlapsRuns(std::int64_t lo, std::int64_t hi,
+                          const StridedRange& s) {
+  if (hi <= s.begin || lo >= s.envelopeEnd()) return false;
+  // An interval at least one period long necessarily covers a full run.
+  if (hi - lo >= s.stride) return true;
+  const std::int64_t k = (lo - s.begin) / s.stride;
+  for (std::int64_t i = k - 1; i <= k + 1; ++i) {
+    if (i < 0 || i >= s.count) continue;
+    const std::int64_t run_lo = s.begin + i * s.stride;
+    if (lo < run_lo + s.len && run_lo < hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool overlaps(const StridedRange& a, const StridedRange& b) {
+  if (a.empty() || b.empty()) return false;
+  const bool a_contig = a.count <= 1;
+  const bool b_contig = b.count <= 1;
+  if (a_contig && b_contig) {
+    return a.begin < b.begin + b.len && b.begin < a.begin + a.len;
+  }
+  if (a_contig) return intervalOverlapsRuns(a.begin, a.begin + a.len, b);
+  if (b_contig) return intervalOverlapsRuns(b.begin, b.begin + b.len, a);
+  if (a.envelopeEnd() <= b.begin || b.envelopeEnd() <= a.begin) return false;
+  // Same-stride fast rejection: run positions repeat modulo the stride,
+  // so disjoint (non-wrapping) phase intervals can never meet.
+  if (a.stride == b.stride) {
+    // a's runs occupy [phase, phase + a.len) mod s relative to b's runs
+    // at [0, b.len); when neither interval wraps past s and they are
+    // disjoint, no run of a can ever meet a run of b.
+    const std::int64_t s = a.stride;
+    const std::int64_t phase = (((a.begin - b.begin) % s) + s) % s;
+    if (phase + a.len <= s && b.len <= s && phase >= b.len) return false;
+  }
+  // General case: walk the runs of the side with fewer runs.
+  const StridedRange& small = a.count <= b.count ? a : b;
+  const StridedRange& big = a.count <= b.count ? b : a;
+  for (std::int64_t k = 0; k < small.count; ++k) {
+    const std::int64_t lo = small.begin + k * small.stride;
+    if (intervalOverlapsRuns(lo, lo + small.len, big)) return true;
+  }
+  return false;
+}
+
+const char* violationKindName(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kRace:
+      return "race";
+    case Violation::Kind::kOutOfBounds:
+      return "out-of-bounds";
+    case Violation::Kind::kUseAfterFree:
+      return "use-after-free";
+    case Violation::Kind::kDoubleFree:
+      return "double-free";
+    case Violation::Kind::kLeak:
+      return "leak";
+  }
+  return "?";
+}
+
+std::string Summary::report() const {
+  std::ostringstream oss;
+  if (violations_total == 0) {
+    oss << "simsan: no violations (" << accesses_logged
+        << " accesses checked)";
+    return oss.str();
+  }
+  oss << "simsan: " << violations_total << " violation(s): " << races
+      << " race(s), " << out_of_bounds << " out-of-bounds, "
+      << lifetime_errors << " lifetime error(s), " << leaks << " leak(s) ("
+      << accesses_logged << " accesses checked)";
+  for (const auto& v : violations) {
+    oss << "\n  [" << violationKindName(v.kind) << "] " << v.message;
+  }
+  if (violations_total > violations.size()) {
+    oss << "\n  ... " << violations_total - violations.size()
+        << " further violation(s) elided";
+  }
+  return oss.str();
+}
+
+Checker::Checker() { newActor("host"); }
+
+ActorId Checker::newActor(std::string name) {
+  const ActorId id = static_cast<ActorId>(clocks_.size());
+  actor_names_.push_back(std::move(name));
+  clocks_.emplace_back();
+  return id;
+}
+
+ActorId Checker::forkActor(std::string name, ActorId parent) {
+  PGASEMB_CHECK(parent >= 0 && parent < numActors(), "bad parent actor ",
+                parent);
+  const ActorId id = newActor(std::move(name));
+  tick(parent);
+  clocks_[static_cast<std::size_t>(id)] =
+      clocks_[static_cast<std::size_t>(parent)];
+  return id;
+}
+
+const std::string& Checker::actorName(ActorId actor) const {
+  PGASEMB_CHECK(actor >= 0 && actor < numActors(), "bad actor id ", actor);
+  return actor_names_[static_cast<std::size_t>(actor)];
+}
+
+std::uint64_t Checker::tick(ActorId actor) {
+  auto& clock = clocks_[static_cast<std::size_t>(actor)];
+  if (clock.size() <= static_cast<std::size_t>(actor)) {
+    clock.resize(static_cast<std::size_t>(actor) + 1, 0);
+  }
+  return ++clock[static_cast<std::size_t>(actor)];
+}
+
+VectorClock Checker::snapshot(ActorId src) {
+  PGASEMB_CHECK(src >= 0 && src < numActors(), "bad actor id ", src);
+  tick(src);
+  return clocks_[static_cast<std::size_t>(src)];
+}
+
+void Checker::joinClock(ActorId dst, const VectorClock& clock) {
+  PGASEMB_CHECK(dst >= 0 && dst < numActors(), "bad actor id ", dst);
+  auto& mine = clocks_[static_cast<std::size_t>(dst)];
+  if (mine.size() < clock.size()) mine.resize(clock.size(), 0);
+  for (std::size_t i = 0; i < clock.size(); ++i) {
+    mine[i] = std::max(mine[i], clock[i]);
+  }
+}
+
+void Checker::joinActor(ActorId dst, ActorId src) {
+  PGASEMB_CHECK(src >= 0 && src < numActors(), "bad actor id ", src);
+  tick(src);
+  joinClock(dst, clocks_[static_cast<std::size_t>(src)]);
+}
+
+void Checker::release(ActorId src, const void* sync) {
+  PGASEMB_CHECK(src >= 0 && src < numActors(), "bad actor id ", src);
+  tick(src);
+  auto& clock = sync_clocks_[sync];
+  const auto& mine = clocks_[static_cast<std::size_t>(src)];
+  if (clock.size() < mine.size()) clock.resize(mine.size(), 0);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    clock[i] = std::max(clock[i], mine[i]);
+  }
+}
+
+void Checker::acquire(ActorId dst, const void* sync) {
+  const auto it = sync_clocks_.find(sync);
+  if (it == sync_clocks_.end()) return;
+  joinClock(dst, it->second);
+}
+
+void Checker::onAlloc(int device, std::int64_t offset, std::int64_t size,
+                      std::string label) {
+  if (device >= static_cast<int>(allocations_.size())) {
+    allocations_.resize(static_cast<std::size_t>(device) + 1);
+  }
+  allocations_[static_cast<std::size_t>(device)].push_back(
+      Allocation{offset, size, std::move(label)});
+}
+
+void Checker::onFree(int device, std::int64_t offset, std::int64_t size) {
+  if (device < 0 || device >= static_cast<int>(allocations_.size())) {
+    addViolation(Violation::Kind::kDoubleFree,
+                 "free on device " + std::to_string(device) +
+                     " with no allocations");
+    ++lifetime_errors_;
+    return;
+  }
+  auto& allocs = allocations_[static_cast<std::size_t>(device)];
+  // Search newest-first so address-reusing allocators resolve to the
+  // most recent allocation at this offset.
+  for (auto it = allocs.rbegin(); it != allocs.rend(); ++it) {
+    if (it->offset == offset && it->size == size) {
+      if (!it->live) {
+        addViolation(Violation::Kind::kDoubleFree,
+                     "double free of " + it->label + " on device " +
+                         std::to_string(device) + " [" +
+                         std::to_string(offset) + ", " +
+                         std::to_string(offset + size) + ")");
+        ++lifetime_errors_;
+        return;
+      }
+      it->live = false;
+      return;
+    }
+  }
+  addViolation(Violation::Kind::kDoubleFree,
+               "free of unknown range on device " + std::to_string(device) +
+                   " [" + std::to_string(offset) + ", " +
+                   std::to_string(offset + size) + ")");
+  ++lifetime_errors_;
+}
+
+void Checker::setBaseline() {
+  for (auto& device : allocations_) {
+    for (auto& alloc : device) {
+      if (alloc.live) alloc.baseline = true;
+    }
+  }
+}
+
+void Checker::leakCheck() {
+  for (std::size_t device = 0; device < allocations_.size(); ++device) {
+    for (auto& alloc : allocations_[device]) {
+      if (alloc.live && !alloc.baseline && !alloc.leak_reported) {
+        alloc.leak_reported = true;
+        ++leaks_;
+        addViolation(Violation::Kind::kLeak,
+                     alloc.label + " on device " + std::to_string(device) +
+                         " [" + std::to_string(alloc.offset) + ", " +
+                         std::to_string(alloc.offset + alloc.size) +
+                         ") never freed");
+      }
+    }
+  }
+}
+
+bool Checker::checkBoundsAndLifetime(int device, const StridedRange& range,
+                                     const std::string& label) {
+  const std::int64_t lo = range.begin;
+  const std::int64_t hi = range.envelopeEnd();
+  const Allocation* dead_hit = nullptr;
+  if (device >= 0 && device < static_cast<int>(allocations_.size())) {
+    // Newest-first: with address reuse the latest allocation at an
+    // offset is the authoritative one.
+    auto& allocs = allocations_[static_cast<std::size_t>(device)];
+    for (auto it = allocs.rbegin(); it != allocs.rend(); ++it) {
+      if (lo >= it->offset && hi <= it->offset + it->size) {
+        if (it->live) return true;
+        if (dead_hit == nullptr) dead_hit = &*it;
+      }
+    }
+  }
+  if (dead_hit != nullptr) {
+    ++lifetime_errors_;
+    addViolation(Violation::Kind::kUseAfterFree,
+                 "'" + label + "' touches freed " + dead_hit->label +
+                     " on device " + std::to_string(device) + " at " +
+                     range.toString());
+    return false;
+  }
+  ++out_of_bounds_;
+  addViolation(Violation::Kind::kOutOfBounds,
+               "'" + label + "' touches unallocated memory on device " +
+                   std::to_string(device) + " at " + range.toString());
+  return false;
+}
+
+bool Checker::happensBefore(const AccessRecord& a, const AccessRecord& b) {
+  // Same actor => program order (records are logged in execution order).
+  if (a.actor == b.actor) return true;
+  const auto idx = static_cast<std::size_t>(a.actor);
+  return b.clock.size() > idx && b.clock[idx] > a.epoch;
+}
+
+std::string Checker::describeAccess(const AccessRecord& rec) const {
+  std::ostringstream oss;
+  oss << accessKindName(rec.kind) << " '" << rec.label << "' by "
+      << actorName(rec.actor) << " at " << rec.range.toString() << " over ["
+      << rec.start.toString() << ", " << rec.finish.toString() << "]";
+  return oss.str();
+}
+
+void Checker::access(ActorId actor, int device, const StridedRange& range,
+                     AccessKind kind, SimTime start, SimTime finish,
+                     const std::string& label) {
+  PGASEMB_CHECK(actor >= 0 && actor < numActors(), "bad actor id ", actor);
+  if (range.empty()) return;
+  ++accesses_logged_;
+  if (!checkBoundsAndLifetime(device, range, label)) return;
+
+  if (device >= static_cast<int>(accesses_.size())) {
+    accesses_.resize(static_cast<std::size_t>(device) + 1);
+  }
+  auto& log = accesses_[static_cast<std::size_t>(device)];
+  auto& clock = clocks_[static_cast<std::size_t>(actor)];
+  const std::uint64_t epoch =
+      clock.size() > static_cast<std::size_t>(actor)
+          ? clock[static_cast<std::size_t>(actor)]
+          : 0;
+
+  AccessRecord rec{actor,  range, kind, start, finish, label, epoch,
+                   clock};
+  for (auto& prev : log) {
+    // Coalesce repeats (e.g. one PGAS put actor logging the same remote
+    // footprint once per kernel slice): extend the time interval.
+    if (prev.actor == actor && prev.epoch == epoch && prev.kind == kind &&
+        prev.range.begin == range.begin && prev.range.len == range.len &&
+        prev.range.stride == range.stride &&
+        prev.range.count == range.count) {
+      prev.start = std::min(prev.start, start);
+      prev.finish = std::max(prev.finish, finish);
+      return;
+    }
+    if (!conflictingKinds(prev.kind, kind)) continue;
+    if (!overlaps(prev.range, range)) continue;
+    if (happensBefore(prev, rec)) continue;
+    ++races_;
+    addViolation(Violation::Kind::kRace,
+                 "device " + std::to_string(device) + ": " +
+                     describeAccess(prev) + "  ||  " + describeAccess(rec) +
+                     " — no happens-before edge");
+  }
+  log.push_back(std::move(rec));
+}
+
+void Checker::addViolation(Violation::Kind kind, std::string message) {
+  ++violations_total_;
+  if (violations_.size() < kMaxRecordedViolations) {
+    violations_.push_back(Violation{kind, std::move(message)});
+  }
+}
+
+Summary Checker::summary() const {
+  Summary s;
+  s.races = races_;
+  s.out_of_bounds = out_of_bounds_;
+  s.lifetime_errors = lifetime_errors_;
+  s.leaks = leaks_;
+  s.accesses_logged = accesses_logged_;
+  s.violations_total = violations_total_;
+  s.violations = violations_;
+  return s;
+}
+
+}  // namespace pgasemb::simsan

@@ -44,6 +44,21 @@ template <typename ErrorT, typename... Args>
   throw ErrorT(oss.str());
 }
 
+template <typename ErrorT, typename A, typename B, typename... Args>
+[[noreturn]] void throwCompareFailed(const char* expr, const char* file,
+                                     int line, const char* lhs_str,
+                                     const A& lhs, const char* rhs_str,
+                                     const B& rhs, Args&&... args) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": expect failed: " << expr << " (with "
+      << lhs_str << " = " << lhs << ", " << rhs_str << " = " << rhs << ")";
+  if constexpr (sizeof...(Args) > 0) {
+    oss << " — ";
+    (oss << ... << args);
+  }
+  throw ErrorT(oss.str());
+}
+
 }  // namespace detail
 }  // namespace pgasemb
 
@@ -64,3 +79,32 @@ template <typename ErrorT, typename... Args>
           #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
     }                                                            \
   } while (0)
+
+/// Comparison checks whose failure message includes the evaluated
+/// operands ("a <= b (with a = 130, b = 128)"), so bounds and OOM
+/// failures from deep inside the simulator are actionable without a
+/// debugger. Operands are evaluated exactly once and must be
+/// ostream-printable. Throws pgasemb::InvalidArgumentError.
+#define PGASEMB_EXPECT_OP(op, lhs, rhs, ...)                                 \
+  do {                                                                       \
+    const auto& pgasemb_lhs_ = (lhs);                                        \
+    const auto& pgasemb_rhs_ = (rhs);                                        \
+    if (!(pgasemb_lhs_ op pgasemb_rhs_)) {                                   \
+      ::pgasemb::detail::throwCompareFailed<::pgasemb::InvalidArgumentError>( \
+          #lhs " " #op " " #rhs, __FILE__, __LINE__, #lhs, pgasemb_lhs_,     \
+          #rhs, pgasemb_rhs_ __VA_OPT__(, ) __VA_ARGS__);                    \
+    }                                                                        \
+  } while (0)
+
+#define PGASEMB_EXPECT_EQ(lhs, rhs, ...) \
+  PGASEMB_EXPECT_OP(==, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define PGASEMB_EXPECT_NE(lhs, rhs, ...) \
+  PGASEMB_EXPECT_OP(!=, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define PGASEMB_EXPECT_LT(lhs, rhs, ...) \
+  PGASEMB_EXPECT_OP(<, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define PGASEMB_EXPECT_LE(lhs, rhs, ...) \
+  PGASEMB_EXPECT_OP(<=, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define PGASEMB_EXPECT_GT(lhs, rhs, ...) \
+  PGASEMB_EXPECT_OP(>, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define PGASEMB_EXPECT_GE(lhs, rhs, ...) \
+  PGASEMB_EXPECT_OP(>=, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)

@@ -286,5 +286,93 @@ TEST(SystemTest, BadDeviceIdThrows) {
   EXPECT_THROW(sys.stream(-1), InvalidArgumentError);
 }
 
+// --- Device free list --------------------------------------------------------
+
+TEST(DeviceFreeListTest, FreedRangeIsReusedFirstFit) {
+  Device dev(0, 1 << 20, ExecutionMode::kTimingOnly);
+  auto a = dev.alloc(100);
+  auto b = dev.alloc(100);
+  EXPECT_EQ(dev.addressSpaceEnd(), 200);
+  dev.free(a);
+  EXPECT_FALSE(a.valid());
+  auto c = dev.alloc(60);  // carved from the front of the hole at 0
+  EXPECT_EQ(c.offset(), 0);
+  auto d = dev.alloc(40);  // remainder of the same hole
+  EXPECT_EQ(d.offset(), 60);
+  EXPECT_EQ(dev.addressSpaceEnd(), 200);
+  dev.free(b);
+  dev.free(c);
+  dev.free(d);
+  EXPECT_EQ(dev.addressSpaceEnd(), 0);
+}
+
+TEST(DeviceFreeListTest, FreeingTheTailShrinksAddressSpace) {
+  Device dev(0, 1 << 20, ExecutionMode::kTimingOnly);
+  auto a = dev.alloc(100);
+  auto b = dev.alloc(50);
+  EXPECT_EQ(dev.addressSpaceEnd(), 150);
+  dev.free(b);
+  EXPECT_EQ(dev.addressSpaceEnd(), 100);
+  dev.free(a);
+  EXPECT_EQ(dev.addressSpaceEnd(), 0);
+}
+
+TEST(DeviceFreeListTest, OutOfOrderFreesCoalesceAndReclaim) {
+  // The old allocator only ever reclaimed the most recent allocation;
+  // interior frees were lost. Coalescing recovers them once the tail
+  // block is freed too.
+  Device dev(0, 1 << 20, ExecutionMode::kTimingOnly);
+  auto a = dev.alloc(100);
+  auto b = dev.alloc(100);
+  auto c = dev.alloc(100);
+  dev.free(b);  // interior hole — nothing shrinks yet
+  EXPECT_EQ(dev.addressSpaceEnd(), 300);
+  dev.free(c);  // coalesces with b's hole and the tail retreats past both
+  EXPECT_EQ(dev.addressSpaceEnd(), 100);
+  dev.free(a);
+  EXPECT_EQ(dev.addressSpaceEnd(), 0);
+}
+
+TEST(DeviceFreeListTest, SteadyStateAllocFreeDoesNotGrowAddressSpace) {
+  Device dev(0, 1 << 20, ExecutionMode::kTimingOnly);
+  auto hold = dev.alloc(64);
+  auto cursor = dev.alloc(256);
+  const std::int64_t high = dev.addressSpaceEnd();
+  for (int i = 0; i < 100; ++i) {
+    dev.free(cursor);
+    cursor = dev.alloc(256);
+    EXPECT_EQ(cursor.offset(), 64);
+    EXPECT_EQ(dev.addressSpaceEnd(), high);
+  }
+  dev.free(cursor);
+  dev.free(hold);
+  EXPECT_EQ(dev.addressSpaceEnd(), 0);
+  EXPECT_EQ(dev.memoryUsedBytes(), 0);
+}
+
+TEST(DeviceFreeListTest, ReusedFunctionalStorageComesUpZeroed) {
+  Device dev(0, 1 << 20, ExecutionMode::kFunctional);
+  auto hold = dev.alloc(16);
+  auto a = dev.alloc(16);
+  auto tail = dev.alloc(16);  // keeps a's hole interior (reuse, not shrink)
+  for (auto& v : a.span()) v = 7.0f;
+  dev.free(a);
+  auto b = dev.alloc(16);
+  EXPECT_EQ(b.offset(), 16);
+  for (const float v : b.span()) EXPECT_EQ(v, 0.0f);
+  dev.free(tail);
+  dev.free(b);
+  dev.free(hold);
+}
+
+TEST(DeviceFreeListTest, FreeingInvalidBufferThrows) {
+  Device dev(0, 1 << 20, ExecutionMode::kTimingOnly);
+  DeviceBuffer stale;
+  EXPECT_THROW(dev.free(stale), InvalidArgumentError);
+  auto a = dev.alloc(8);
+  dev.free(a);  // invalidates a
+  EXPECT_THROW(dev.free(a), InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace pgasemb::gpu

@@ -286,5 +286,49 @@ TEST(AggregatorTest, InvalidParamsThrow) {
                InvalidArgumentError);
 }
 
+// --- Symmetric heap lifetime -------------------------------------------------
+
+TEST(SymmetricHeapTest, FreeReleasesEveryPartitionAndInvalidates) {
+  Rig rig(2);
+  const auto used0 = rig.system.device(0).memoryUsedBytes();
+  const auto used1 = rig.system.device(1).memoryUsedBytes();
+  auto buf = rig.runtime.heap().alloc(256);
+  EXPECT_TRUE(buf.valid());
+  EXPECT_EQ(buf.numPes(), 2);
+  EXPECT_EQ(buf.sizePerPe(), 256);
+  EXPECT_EQ(rig.system.device(0).memoryUsedBytes(), used0 + 256 * 4);
+  EXPECT_EQ(rig.system.device(1).memoryUsedBytes(), used1 + 256 * 4);
+  rig.runtime.heap().free(buf);
+  EXPECT_FALSE(buf.valid());
+  EXPECT_EQ(buf.numPes(), 0);
+  EXPECT_EQ(rig.system.device(0).memoryUsedBytes(), used0);
+  EXPECT_EQ(rig.system.device(1).memoryUsedBytes(), used1);
+}
+
+TEST(SymmetricHeapTest, FreedHeapSpaceIsReusedSymmetrically) {
+  Rig rig(2);
+  auto a = rig.runtime.heap().alloc(128);
+  const auto offset = a.on(0).offset();
+  EXPECT_EQ(a.on(1).offset(), offset);  // symmetric address on every PE
+  rig.runtime.heap().free(a);
+  auto b = rig.runtime.heap().alloc(128);
+  EXPECT_EQ(b.on(0).offset(), offset);
+  EXPECT_EQ(b.on(1).offset(), offset);
+  rig.runtime.heap().free(b);
+}
+
+TEST(SymmetricBufferTest, InvalidPeThrows) {
+  Rig rig(2);
+  auto buf = rig.runtime.heap().alloc(16);
+  EXPECT_THROW(buf.on(-1), InvalidArgumentError);
+  EXPECT_THROW(buf.on(2), InvalidArgumentError);
+  const auto& cbuf = buf;
+  EXPECT_THROW(cbuf.on(2), InvalidArgumentError);
+  rig.runtime.heap().free(buf);
+  SymmetricBuffer empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.on(0), InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace pgasemb::pgas

@@ -305,5 +305,45 @@ TEST(ExpectTest, AssertThrowsError) {
   EXPECT_THROW(PGASEMB_ASSERT(false), Error);
 }
 
+TEST(ExpectTest, ExpectFailureMessageShowsEvaluatedOperands) {
+  try {
+    const int used = 130;
+    const int limit = 128;
+    PGASEMB_EXPECT_LE(used, limit, "capacity check");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("expect failed: used <= limit"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("with used = 130, limit = 128"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("capacity check"), std::string::npos) << what;
+  }
+}
+
+TEST(ExpectTest, ComparisonMacrosCoverAllOperators) {
+  PGASEMB_EXPECT_EQ(2 + 2, 4);
+  PGASEMB_EXPECT_NE(1, 2);
+  PGASEMB_EXPECT_LT(1, 2);
+  PGASEMB_EXPECT_LE(2, 2);
+  PGASEMB_EXPECT_GT(3, 2);
+  PGASEMB_EXPECT_GE(2, 2);
+  EXPECT_THROW(PGASEMB_EXPECT_EQ(1, 2), InvalidArgumentError);
+  EXPECT_THROW(PGASEMB_EXPECT_NE(2, 2), InvalidArgumentError);
+  EXPECT_THROW(PGASEMB_EXPECT_LT(2, 2), InvalidArgumentError);
+  EXPECT_THROW(PGASEMB_EXPECT_LE(3, 2), InvalidArgumentError);
+  EXPECT_THROW(PGASEMB_EXPECT_GT(2, 2), InvalidArgumentError);
+  EXPECT_THROW(PGASEMB_EXPECT_GE(1, 2), InvalidArgumentError);
+}
+
+TEST(ExpectTest, ExpectOperandsAreEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto next = [&calls] { return ++calls; };
+  PGASEMB_EXPECT_GE(next(), 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(PGASEMB_EXPECT_GE(0, next()), InvalidArgumentError);
+  EXPECT_EQ(calls, 2);
+}
+
 }  // namespace
 }  // namespace pgasemb
