@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/util_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/gpu_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build-review/tests/collective_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pgas_test[1]_include.cmake")
+include("/root/repo/build-review/tests/emb_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dlrm_test[1]_include.cmake")
+include("/root/repo/build-review/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_extra_test[1]_include.cmake")
+include("/root/repo/build-review/tests/input_partition_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build-review/tests/skew_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pipelined_test[1]_include.cmake")
+include("/root/repo/build-review/tests/simsan_test[1]_include.cmake")
