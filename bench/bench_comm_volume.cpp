@@ -44,12 +44,37 @@ void runFigure(const char* title, pgasemb::engine::ExperimentConfig cfg,
            runs[r].result.avgBatchMs(), r == 0 ? "\n" : ",");
   }
 
+  // Replica-cache accounting: printed (and appended to the CSV header
+  // set) only when a cache was attached, so cache-less output keeps the
+  // historical bytes exactly.
+  bool any_cache = false;
+  for (const auto& run : runs) {
+    any_cache = any_cache || run.result.stats.cache_lookups > 0.0;
+  }
+  if (any_cache) {
+    printf("cache:");
+    for (std::size_t r = runs.size(); r-- > 0;) {
+      printf(" %s hit %.1f%% saved %.0f B%s",
+             trace::runKey(runs[r].retriever).c_str(),
+             runs[r].result.cacheHitRate() * 100.0,
+             runs[r].result.cacheSavedBytes(), r == 0 ? "\n" : ",");
+    }
+  }
+
   if (!csv_path.empty()) {
     std::vector<std::string> headers{"time_us"};
     std::size_t n = 0;
     for (std::size_t r = runs.size(); r-- > 0;) {
       headers.push_back(trace::runKey(runs[r].retriever) + "_units");
       n = std::max(n, runs[r].result.wire_bytes_over_time.size());
+    }
+    if (any_cache) {
+      for (std::size_t r = runs.size(); r-- > 0;) {
+        headers.push_back(trace::runKey(runs[r].retriever) +
+                          "_cache_hit_rate");
+        headers.push_back(trace::runKey(runs[r].retriever) +
+                          "_cache_saved_bytes");
+      }
     }
     CsvWriter csv(csv_path, headers);
     const auto& clock = runs.back().result;
@@ -61,6 +86,14 @@ void runFigure(const char* title, pgasemb::engine::ExperimentConfig cfg,
         const auto& series = runs[r].result.wire_bytes_over_time;
         row.push_back(pgasemb::ConsoleTable::num(
             i < series.size() ? series[i] / 256.0 : 0.0, 1));
+      }
+      if (any_cache) {
+        for (std::size_t r = runs.size(); r-- > 0;) {
+          row.push_back(pgasemb::ConsoleTable::num(
+              runs[r].result.cacheHitRate(), 4));
+          row.push_back(pgasemb::ConsoleTable::num(
+              runs[r].result.cacheSavedBytes(), 0));
+        }
       }
       csv.addRow(row);
     }
@@ -78,14 +111,17 @@ int main(int argc, char** argv) {
   cli.addString("csv-fig7", "comm_volume_fig7.csv", "Fig 7 CSV path");
   cli.addString("csv-fig10", "comm_volume_fig10.csv", "Fig 10 CSV path");
   bench::addRetrieversFlag(cli);
+  bench::addCacheFlags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const auto retrievers = bench::retrieverList(cli);
+  auto fig7 = engine::weakScalingConfig(2);
+  auto fig10 = engine::strongScalingConfig(4);
+  bench::applyCacheFlags(cli, fig7);
+  bench::applyCacheFlags(cli, fig10);
   runFigure("Figure 7: comm volume over time — weak scaling, 2 GPUs",
-            engine::weakScalingConfig(2), retrievers,
-            cli.getString("csv-fig7"));
+            fig7, retrievers, cli.getString("csv-fig7"));
   runFigure("Figure 10: comm volume over time — strong scaling, 4 GPUs",
-            engine::strongScalingConfig(4), retrievers,
-            cli.getString("csv-fig10"));
+            fig10, retrievers, cli.getString("csv-fig10"));
   return 0;
 }

@@ -66,16 +66,37 @@ inline void addSimsanFlag(CliParser& cli) {
               "checker and print its per-run report (timings unchanged)");
 }
 
+/// Registers the shared replica-cache flags. Defaults (0, 0.0) keep
+/// every code path — and all stdout/CSV output — identical to a
+/// cache-less build.
+inline void addCacheFlags(CliParser& cli) {
+  cli.addInt("cache-rows", 0,
+             "hot-row replica cache capacity per table per GPU (rows); "
+             "0 disables the cache");
+  cli.addDouble("zipf-alpha", 0.0,
+                "Zipf skew of the raw embedding indices (0 = uniform)");
+}
+
+/// Applies the --cache-rows / --zipf-alpha flags to a config.
+inline void applyCacheFlags(const CliParser& cli,
+                            engine::ExperimentConfig& cfg) {
+  cfg.cache_rows = cli.getInt("cache-rows");
+  cfg.layer.zipf_alpha = cli.getDouble("zipf-alpha");
+}
+
 /// Run every named retriever at 1..max_gpus for one scaling mode.
 inline std::vector<trace::ScalingPoint> sweepScaling(
     bool weak, int max_gpus, int num_batches,
-    const std::vector<std::string>& retrievers, bool simsan = false) {
+    const std::vector<std::string>& retrievers, bool simsan = false,
+    std::int64_t cache_rows = 0, double zipf_alpha = 0.0) {
   std::vector<trace::ScalingPoint> points;
   for (int gpus = 1; gpus <= max_gpus; ++gpus) {
     engine::ExperimentConfig cfg = weak ? engine::weakScalingConfig(gpus)
                                         : engine::strongScalingConfig(gpus);
     cfg.num_batches = num_batches;
     cfg.simsan = simsan;
+    cfg.cache_rows = cache_rows;
+    cfg.layer.zipf_alpha = zipf_alpha;
     engine::ScenarioRunner runner(cfg);
     trace::ScalingPoint point;
     point.gpus = gpus;

@@ -13,12 +13,15 @@ int main(int argc, char** argv) {
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "strong_breakdown.csv", "output CSV path");
   bench::addRetrieversFlag(cli);
+  bench::addCacheFlags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader("Strong-scaling runtime breakdown (Figure 9)");
   const auto points = bench::sweepScaling(
       /*weak=*/false, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
+      /*simsan=*/false, cli.getInt("cache-rows"),
+      cli.getDouble("zipf-alpha"));
 
   printf("\n%s\n",
          trace::renderBreakdownBars(points,

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.addString("csv", "strong_scaling.csv", "output CSV path (empty = none)");
   bench::addRetrieversFlag(cli);
   bench::addSimsanFlag(cli);
+  bench::addCacheFlags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader(
@@ -26,7 +27,8 @@ int main(int argc, char** argv) {
   const auto points = bench::sweepScaling(
       /*weak=*/false, static_cast<int>(cli.getInt("max-gpus")),
       static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
-      cli.getBool("simsan"));
+      cli.getBool("simsan"), cli.getInt("cache-rows"),
+      cli.getDouble("zipf-alpha"));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.95x / 2.55x / 2.44x, geo-mean 2.63x)\n");
@@ -35,6 +37,8 @@ int main(int argc, char** argv) {
          trace::renderScalingChart(points, /*weak=*/false).c_str());
   printf("(paper Fig 8: baseline < 1.0 for 2-4 GPUs; PGAS ~1.6 at 2 GPUs, "
          "declining beyond)\n");
+  const std::string cache_table = trace::renderCacheTable(points);
+  if (!cache_table.empty()) printf("\n%s\n", cache_table.c_str());
   bench::printSimsanReports(points);
 
   for (const auto& p : points) {

@@ -13,12 +13,15 @@ int main(int argc, char** argv) {
   cli.addInt("batches", 100, "inference batches per configuration");
   cli.addString("csv", "weak_breakdown.csv", "output CSV path");
   bench::addRetrieversFlag(cli);
+  bench::addCacheFlags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader("Weak-scaling runtime breakdown (Figure 6)");
   const auto points = bench::sweepScaling(
       /*weak=*/true, static_cast<int>(cli.getInt("max-gpus")),
-      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli));
+      static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
+      /*simsan=*/false, cli.getInt("cache-rows"),
+      cli.getDouble("zipf-alpha"));
 
   printf("\n%s\n",
          trace::renderBreakdownBars(points,

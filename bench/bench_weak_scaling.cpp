@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cli.addString("csv", "weak_scaling.csv", "output CSV path (empty = none)");
   bench::addRetrieversFlag(cli);
   bench::addSimsanFlag(cli);
+  bench::addCacheFlags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::printHeader(
@@ -25,7 +26,8 @@ int main(int argc, char** argv) {
   const auto points = bench::sweepScaling(
       /*weak=*/true, static_cast<int>(cli.getInt("max-gpus")),
       static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
-      cli.getBool("simsan"));
+      cli.getBool("simsan"), cli.getInt("cache-rows"),
+      cli.getDouble("zipf-alpha"));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.10x / 1.95x / 1.87x, geo-mean 1.97x)\n");
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
          trace::renderScalingChart(points, /*weak=*/true).c_str());
   printf("(paper Fig 5: baseline drops to ~0.46 at 2 GPUs then stays "
          "flat; PGAS stays near 1.0)\n");
+  const std::string cache_table = trace::renderCacheTable(points);
+  if (!cache_table.empty()) printf("\n%s\n", cache_table.c_str());
   bench::printSimsanReports(points);
 
   const std::string csv = cli.getString("csv");

@@ -1,6 +1,7 @@
 #include "core/collective_retriever.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/registry.hpp"
 #include "emb/lookup_kernel.hpp"
@@ -10,8 +11,9 @@
 namespace pgasemb::core {
 
 CollectiveRetriever::CollectiveRetriever(emb::ShardedEmbeddingLayer& layer,
-                                         collective::Communicator& comm)
-    : layer_(layer), comm_(comm) {
+                                         collective::Communicator& comm,
+                                         emb::ReplicaCache* cache)
+    : layer_(layer), comm_(comm), cache_(cache) {
   PGASEMB_CHECK(layer.sharding().scheme() == emb::ShardingScheme::kTableWise,
                 "the collective baseline implements table-wise sharding "
                 "(the paper's scheme)");
@@ -100,14 +102,32 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
     return timing;
   }
 
-  // Phase 1: lookup kernels into send buffers (compute).
+  // Optional replica-cache filter: hit bags are pooled from the local
+  // replica by a serve kernel; only the misses are looked up, shipped
+  // and unpacked.  runBatch() drains the timeline before returning, so
+  // a per-batch filter is safe for the kernels to capture.
+  std::optional<emb::CacheFilter> filter;
+  if (cache_ != nullptr) {
+    filter.emplace(layer_, batch, *cache_);
+    timing.cache_lookups = filter->lookups();
+    timing.cache_hits = filter->hits();
+    timing.cache_saved_bytes = filter->savedWireBytes();
+  }
+  const emb::CacheFilter* f = filter ? &*filter : nullptr;
+
+  // Phase 1: (probe +) lookup kernels into send buffers, plus the
+  // replica serve kernel — all on the default stream (compute).
   std::vector<std::vector<std::int64_t>> matrix(
       static_cast<std::size_t>(p),
       std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
   for (int g = 0; g < p; ++g) {
+    if (f != nullptr) {
+      system.launchKernel(g, emb::buildCacheProbeKernel(layer_, *f, g));
+    }
     auto kernel = emb::buildBaselineLookupKernel(
         layer_, batch, g,
-        functional ? &send_buffers_[static_cast<std::size_t>(g)] : nullptr);
+        functional ? &send_buffers_[static_cast<std::size_t>(g)] : nullptr,
+        f);
     for (int d = 0; d < p; ++d) {
       if (d != g) {
         matrix[static_cast<std::size_t>(g)][static_cast<std::size_t>(d)] =
@@ -120,6 +140,20 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
            simsan::AccessKind::kWrite, ""});
     }
     system.launchKernel(g, std::move(kernel.desc));
+    if (f != nullptr) {
+      auto serve = emb::buildCacheServeKernel(
+          layer_, batch, *f, g,
+          functional ? &outputs_[static_cast<std::size_t>(g)] : nullptr);
+      if (san != nullptr) {
+        serve.mem_effects.push_back(
+            {g, wholeBuffer(cache_->replica(g)), simsan::AccessKind::kRead,
+             ""});
+        serve.mem_effects.push_back(
+            {g, wholeBuffer(outputs_[static_cast<std::size_t>(g)]),
+             simsan::AccessKind::kWrite, ""});
+      }
+      system.launchKernel(g, std::move(serve));
+    }
   }
   const SimTime t1 = system.syncAll();
   timing.compute_phase = t1 - t0;
@@ -148,7 +182,7 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
     auto desc = emb::buildUnpackKernel(
         layer_, g,
         functional ? &recv_buffers_[static_cast<std::size_t>(g)] : nullptr,
-        functional ? &outputs_[static_cast<std::size_t>(g)] : nullptr);
+        functional ? &outputs_[static_cast<std::size_t>(g)] : nullptr, f);
     if (san != nullptr) {
       desc.mem_effects.push_back(
           {g, wholeBuffer(recv_buffers_[static_cast<std::size_t>(g)]),
@@ -172,7 +206,8 @@ namespace {
 const RetrieverRegistrar kRegistrar{
     "nccl_collective",
     [](const SystemContext& ctx) -> std::unique_ptr<EmbeddingRetriever> {
-      return std::make_unique<CollectiveRetriever>(ctx.layer, ctx.comm);
+      return std::make_unique<CollectiveRetriever>(ctx.layer, ctx.comm,
+                                                   ctx.cache);
     },
     /*aliases=*/{"nccl_baseline"}};
 }  // namespace

@@ -14,13 +14,17 @@
 
 #include "collective/communicator.hpp"
 #include "core/retriever.hpp"
+#include "emb/replica_cache.hpp"
 
 namespace pgasemb::core {
 
 class CollectiveRetriever final : public EmbeddingRetriever {
  public:
+  /// `cache` (optional) serves hot bags from the local replica: the
+  /// lookup computes misses only and the all-to-all splits shrink.
   CollectiveRetriever(emb::ShardedEmbeddingLayer& layer,
-                      collective::Communicator& comm);
+                      collective::Communicator& comm,
+                      emb::ReplicaCache* cache = nullptr);
   ~CollectiveRetriever() override;
 
   std::string name() const override { return "nccl_collective"; }
@@ -32,6 +36,7 @@ class CollectiveRetriever final : public EmbeddingRetriever {
 
   emb::ShardedEmbeddingLayer& layer_;
   collective::Communicator& comm_;
+  emb::ReplicaCache* cache_ = nullptr;
   std::vector<gpu::DeviceBuffer> send_buffers_;
   std::vector<gpu::DeviceBuffer> recv_buffers_;
   std::vector<gpu::DeviceBuffer> outputs_;

@@ -1,6 +1,7 @@
 #include "core/pgas_retriever.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/registry.hpp"
 #include "emb/lookup_kernel.hpp"
@@ -84,12 +85,28 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
     }
   }
 
+  // Optional replica-cache filter. runBatch() drains the timeline
+  // before returning, so a per-batch filter is safe to capture.
+  std::optional<emb::CacheFilter> filter;
+  if (options_.cache != nullptr && !row_wise && p > 1) {
+    filter.emplace(layer_, batch, *options_.cache);
+    timing.cache_lookups = filter->lookups();
+    timing.cache_hits = filter->hits();
+    timing.cache_saved_bytes = filter->savedWireBytes();
+  }
+  const emb::CacheFilter* f = filter ? &*filter : nullptr;
+
   // One fused lookup kernel per device (paper Listing 2's launch loop);
-  // in-kernel one-sided writes are attached via the PGAS runtime.
+  // in-kernel one-sided writes are attached via the PGAS runtime.  With
+  // a cache, a probe kernel partitions the indices first and the fused
+  // kernel computes/puts misses only.
   for (int g = 0; g < p; ++g) {
+    if (f != nullptr) {
+      system.launchKernel(g, emb::buildCacheProbeKernel(layer_, *f, g));
+    }
     auto fused = emb::buildFusedLookupKernel(
         layer_, batch, g, functional ? &outputs_view_ : nullptr,
-        options_.slices);
+        options_.slices, f);
     std::vector<simsan::MemEffect> remote_writes;
     if (san != nullptr) {
       // Local slice of the fused write runs under the stream actor; the
@@ -115,6 +132,29 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
     system.launchKernel(g, std::move(fused.desc));
   }
 
+  if (f != nullptr) {
+    // Quiet + barrier: every one-sided write (including into our own
+    // output) is delivered and joined before the serve kernels overlay
+    // the hit bags — the HB edge simsan certifies the overlap against.
+    system.syncAll();
+    for (int g = 0; g < p; ++g) {
+      auto serve = emb::buildCacheServeKernel(
+          layer_, batch, *f, g, functional ? &outputs_view_[
+              static_cast<std::size_t>(g)] : nullptr);
+      if (san != nullptr) {
+        const auto& rep = options_.cache->replica(g);
+        const auto& out = outputs_view_[static_cast<std::size_t>(g)];
+        serve.mem_effects.push_back(
+            {g, simsan::StridedRange::contiguous(rep.offset(), rep.size()),
+             simsan::AccessKind::kRead, ""});
+        serve.mem_effects.push_back(
+            {g, simsan::StridedRange::contiguous(out.offset(), out.size()),
+             simsan::AccessKind::kWrite, ""});
+      }
+      system.launchKernel(g, std::move(serve));
+    }
+  }
+
   // cudaStreamSynchronize loop over all devices.
   const SimTime t1 = system.syncAll();
   timing.compute_phase = t1 - t0;
@@ -129,6 +169,7 @@ const RetrieverRegistrar kRegistrar{
       PgasRetrieverOptions opts;
       opts.slices = ctx.pgas_slices;
       opts.aggregator = ctx.aggregator;
+      opts.cache = ctx.cache;
       return std::make_unique<PgasFusedRetriever>(ctx.layer, ctx.runtime,
                                                   opts);
     }};

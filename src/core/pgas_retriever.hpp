@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/retriever.hpp"
+#include "emb/replica_cache.hpp"
 #include "pgas/runtime.hpp"
 
 namespace pgasemb::core {
@@ -24,6 +25,10 @@ struct PgasRetrieverOptions {
   pgas::CommCounter* counter = nullptr;
   /// Optional async aggregator (paper §V future work / multi-node).
   const pgas::AggregatorParams* aggregator = nullptr;
+  /// Optional hot-row replica cache: the fused kernel computes and puts
+  /// misses only (fewer messages AND fewer headers, shorter quiet);
+  /// serve kernels pool the hit bags locally after the exchange.
+  emb::ReplicaCache* cache = nullptr;
 };
 
 class PgasFusedRetriever final : public EmbeddingRetriever {

@@ -9,8 +9,8 @@ namespace pgasemb::core {
 
 PipelinedCollectiveRetriever::PipelinedCollectiveRetriever(
     emb::ShardedEmbeddingLayer& layer, collective::Communicator& comm,
-    int depth)
-    : layer_(layer), comm_(comm), depth_(depth) {
+    int depth, emb::ReplicaCache* cache)
+    : layer_(layer), comm_(comm), depth_(depth), cache_(cache) {
   PGASEMB_CHECK(depth >= 1, "pipeline depth must be >= 1");
   PGASEMB_CHECK(layer.sharding().scheme() == emb::ShardingScheme::kTableWise,
                 "pipelined baseline is table-wise only");
@@ -92,12 +92,25 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
     return simsan::StridedRange::contiguous(buf.offset(), buf.size());
   };
 
+  // Optional replica-cache filter: the pipeline carries misses only.
+  // The filter must outlive this runBatch() — the batch's unpack kernel
+  // is built one call later — so it is kept until then (filter_ ->
+  // pending_filter_ below).
+  BatchTiming cache_counters;
+  if (cache_ != nullptr) {
+    filter_ = std::make_unique<emb::CacheFilter>(layer_, batch, *cache_);
+    cache_counters.cache_lookups = filter_->lookups();
+    cache_counters.cache_hits = filter_->hits();
+    cache_counters.cache_saved_bytes = filter_->savedWireBytes();
+  }
+  const emb::CacheFilter* f = filter_.get();
+
   std::vector<std::vector<std::int64_t>> matrix(
       static_cast<std::size_t>(p),
       std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
   for (int g = 0; g < p; ++g) {
     auto kernel =
-        emb::buildBaselineLookupKernel(layer_, batch, g, nullptr);
+        emb::buildBaselineLookupKernel(layer_, batch, g, nullptr, f);
     for (int d = 0; d < p; ++d) {
       if (d != g) {
         matrix[static_cast<std::size_t>(g)][static_cast<std::size_t>(d)] =
@@ -113,12 +126,30 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
     if (slot_free[g] != nullptr) {
       stream.enqueueWaitEvent(system.hostNow(), *slot_free[g]);
     }
+    if (f != nullptr) {
+      system.launchKernel(g, emb::buildCacheProbeKernel(layer_, *f, g));
+    }
     system.launchKernel(g, std::move(kernel.desc));
     stream.enqueueRecord(system.hostNow(), kernel_done(g));
     // The collective (enqueued below on the comm stream) starts once
     // this GPU's lookup has produced its send buffer.
     comm_streams_[static_cast<std::size_t>(g)]->enqueueWaitEvent(
         system.hostNow(), kernel_done(g));
+    if (f != nullptr) {
+      // Serve the hit bags on the compute stream while the all-to-all
+      // of the misses rides the comm stream.
+      auto serve = emb::buildCacheServeKernel(layer_, batch, *f, g,
+                                              nullptr);
+      if (san != nullptr) {
+        serve.mem_effects.push_back(
+            {g, wholeBuffer(cache_->replica(g)), simsan::AccessKind::kRead,
+             ""});
+        serve.mem_effects.push_back(
+            {g, wholeBuffer(slot.out[static_cast<std::size_t>(g)]),
+             simsan::AccessKind::kWrite, ""});
+      }
+      system.launchKernel(g, std::move(serve));
+    }
   }
 
   collective::CollectiveMemory a2a_memory;
@@ -144,6 +175,7 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
   enqueuePendingUnpack();
   pending_unpack_ev_base_ = static_cast<std::int64_t>(ev_base);
   pending_slot_ = submitted_ % depth_;
+  pending_filter_ = std::move(filter_);
 
   ++submitted_;
   // Host side only enqueues; the amortized batch time is (drain time -
@@ -151,6 +183,9 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
   BatchTiming timing;
   timing.total = system.hostNow() - last_host_;
   timing.compute_phase = timing.total;
+  timing.cache_lookups = cache_counters.cache_lookups;
+  timing.cache_hits = cache_counters.cache_hits;
+  timing.cache_saved_bytes = cache_counters.cache_saved_bytes;
   last_host_ = system.hostNow();
   return timing;
 }
@@ -167,7 +202,8 @@ void PipelinedCollectiveRetriever::enqueuePendingUnpack() {
     system.stream(g).enqueueWaitEvent(
         system.hostNow(),
         *events_[base + static_cast<std::size_t>(p + g)]);
-    auto desc = emb::buildUnpackKernel(layer_, g, nullptr, nullptr);
+    auto desc = emb::buildUnpackKernel(layer_, g, nullptr, nullptr,
+                                       pending_filter_.get());
     if (san != nullptr) {
       desc.mem_effects.push_back(
           {g,
@@ -206,7 +242,7 @@ const RetrieverRegistrar kRegistrar{
     "nccl_pipelined",
     [](const SystemContext& ctx) -> std::unique_ptr<EmbeddingRetriever> {
       return std::make_unique<PipelinedCollectiveRetriever>(
-          ctx.layer, ctx.comm, ctx.pipeline_depth);
+          ctx.layer, ctx.comm, ctx.pipeline_depth, ctx.cache);
     }};
 }  // namespace
 

@@ -19,6 +19,7 @@
 
 #include "collective/communicator.hpp"
 #include "core/retriever.hpp"
+#include "emb/replica_cache.hpp"
 #include "gpu/gpu_event.hpp"
 
 namespace pgasemb::core {
@@ -26,9 +27,13 @@ namespace pgasemb::core {
 class PipelinedCollectiveRetriever final : public EmbeddingRetriever {
  public:
   /// `depth` = in-flight batches (2 = classic double buffering).
+  /// `cache` (optional) filters each batch before it enters the
+  /// pipeline: the lookup and all-to-all carry misses only, a serve
+  /// kernel pools the hit bags on the compute stream.
   PipelinedCollectiveRetriever(emb::ShardedEmbeddingLayer& layer,
                                collective::Communicator& comm,
-                               int depth = 2);
+                               int depth = 2,
+                               emb::ReplicaCache* cache = nullptr);
   ~PipelinedCollectiveRetriever() override;
 
   std::string name() const override { return "nccl_pipelined"; }
@@ -59,6 +64,11 @@ class PipelinedCollectiveRetriever final : public EmbeddingRetriever {
   emb::ShardedEmbeddingLayer& layer_;
   collective::Communicator& comm_;
   int depth_;
+  emb::ReplicaCache* cache_ = nullptr;
+  // Cache filter of the current batch, then of the batch whose unpack
+  // is pending (its unpack kernel is built one runBatch() later).
+  std::unique_ptr<emb::CacheFilter> filter_;
+  std::unique_ptr<emb::CacheFilter> pending_filter_;
   std::vector<Slot> slots_;
   std::vector<gpu::Stream*> comm_streams_;  // one per GPU
   // Events live until drain (the simulator may still reference them).

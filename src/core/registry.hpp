@@ -22,6 +22,9 @@ namespace pgasemb {
 namespace collective {
 class Communicator;
 }
+namespace emb {
+class ReplicaCache;
+}
 namespace fabric {
 class Fabric;
 }
@@ -48,6 +51,9 @@ struct SystemContext {
   const pgas::AggregatorParams* aggregator = nullptr;
   /// Pipelined collective: in-flight batches (2 = double buffering).
   int pipeline_depth = 2;
+  /// Hot-row replica cache (nullptr = disabled); retrievers that honor
+  /// it serve hit bags from the local replica and exchange only misses.
+  emb::ReplicaCache* cache = nullptr;
 };
 
 class RetrieverRegistry {

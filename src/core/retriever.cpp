@@ -9,6 +9,9 @@ void RetrieverStats::add(const BatchTiming& t) {
   comm_phase += t.comm_phase;
   unpack_phase += t.unpack_phase;
   wire_time += t.wire_time;
+  cache_lookups += t.cache_lookups;
+  cache_hits += t.cache_hits;
+  cache_saved_bytes += t.cache_saved_bytes;
 }
 
 }  // namespace pgasemb::core

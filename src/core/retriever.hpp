@@ -54,6 +54,13 @@ struct BatchTiming {
   /// approximates exactly this.
   SimTime wire_time = SimTime::zero();
 
+  // Replica-cache accounting (zero when no cache is attached): raw
+  // indices looked up, indices served from the local replica, and
+  // exchange payload bytes (across all GPUs) the served bags saved.
+  double cache_lookups = 0.0;
+  double cache_hits = 0.0;
+  double cache_saved_bytes = 0.0;
+
   /// Paper-style three-way split (baseline).
   SimTime communication() const { return communicationSplit(wire_time); }
   SimTime syncUnpack() const {
@@ -69,11 +76,17 @@ struct RetrieverStats {
   SimTime comm_phase = SimTime::zero();
   SimTime unpack_phase = SimTime::zero();
   SimTime wire_time = SimTime::zero();
+  double cache_lookups = 0.0;
+  double cache_hits = 0.0;
+  double cache_saved_bytes = 0.0;
 
   void add(const BatchTiming& t);
   SimTime communication() const { return communicationSplit(wire_time); }
   SimTime syncUnpack() const {
     return syncUnpackSplit(comm_phase, wire_time, unpack_phase);
+  }
+  double cacheHitRate() const {
+    return cache_lookups > 0.0 ? cache_hits / cache_lookups : 0.0;
   }
 };
 

@@ -25,6 +25,8 @@ struct EmbLayerSpec {
   std::uint64_t index_space = 1u << 20;
   /// Optional per-table max pooling (hot features) — skewed workloads.
   std::vector<int> table_max_pooling;
+  /// Zipf skew of the raw indices (0 = uniform); see SparseBatchSpec.
+  double zipf_alpha = 0.0;
   /// Table-wise only: pick table-block boundaries that balance expected
   /// gather work (RecShard-style) instead of equal table counts.
   bool balance_tables = false;
@@ -32,7 +34,7 @@ struct EmbLayerSpec {
   SparseBatchSpec batchSpec() const {
     return SparseBatchSpec{total_tables,  batch_size, min_pooling,
                            max_pooling,   index_space,
-                           table_max_pooling};
+                           table_max_pooling, zipf_alpha};
   }
 
   /// Device bytes required for the tables of one GPU.

@@ -1,5 +1,6 @@
 #include "emb/lookup_kernel.hpp"
 
+#include "emb/replica_cache.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::emb {
@@ -38,11 +39,12 @@ std::int64_t sendBufferIndex(const Sharding& sharding, int gpu,
 
 BaselineLookupKernel buildBaselineLookupKernel(
     ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
-    gpu::DeviceBuffer* send_buffer) {
+    gpu::DeviceBuffer* send_buffer, const CacheFilter* filter) {
   const auto& sharding = layer.sharding();
   PGASEMB_CHECK(sharding.scheme() == ShardingScheme::kTableWise,
                 "baseline send-buffer layout is table-wise only");
-  const GpuLookupWork work = layer.lookupWork(batch, gpu);
+  const GpuLookupWork work =
+      filter ? filter->missWork(gpu) : layer.lookupWork(batch, gpu);
   const int p = sharding.numGpus();
   const int dim = layer.dim();
 
@@ -59,13 +61,14 @@ BaselineLookupKernel buildBaselineLookupKernel(
     PGASEMB_CHECK(send_buffer->size() >=
                       sendBufferElements(sharding, gpu, dim),
                   "send buffer too small");
-    out.desc.functional_body = [&layer, &batch, gpu, send_buffer] {
+    out.desc.functional_body = [&layer, &batch, gpu, send_buffer, filter] {
       const auto& sh = layer.sharding();
       const std::int64_t first = sh.firstTableOn(gpu);
       const std::int64_t count = sh.tablesOn(gpu);
       auto dst_span = send_buffer->span();
       for (std::int64_t lt = 0; lt < count; ++lt) {
         for (std::int64_t b = 0; b < sh.batchSize(); ++b) {
+          if (filter && filter->bagServed(first + lt, b)) continue;
           const auto pooled = layer.pooledValue(batch, first + lt, b);
           for (int c = 0; c < layer.dim(); ++c) {
             dst_span[static_cast<std::size_t>(
@@ -81,10 +84,15 @@ BaselineLookupKernel buildBaselineLookupKernel(
 
 FusedLookupKernel buildFusedLookupKernel(
     ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
-    std::vector<gpu::DeviceBuffer>* outputs, int slices) {
+    std::vector<gpu::DeviceBuffer>* outputs, int slices,
+    const CacheFilter* filter) {
   PGASEMB_CHECK(slices >= 1, "need at least one slice");
   const auto& sharding = layer.sharding();
-  const GpuLookupWork work = layer.lookupWork(batch, gpu);
+  PGASEMB_CHECK(filter == nullptr ||
+                    sharding.scheme() == ShardingScheme::kTableWise,
+                "the replica cache is table-wise only");
+  const GpuLookupWork work =
+      filter ? filter->missWork(gpu) : layer.lookupWork(batch, gpu);
   const int p = sharding.numGpus();
   const int dim = layer.dim();
 
@@ -104,7 +112,8 @@ FusedLookupKernel buildFusedLookupKernel(
     PGASEMB_CHECK(static_cast<int>(outputs->size()) == p,
                   "need one output tensor per GPU");
     const bool row_wise = sharding.scheme() == ShardingScheme::kRowWise;
-    out.desc.functional_body = [&layer, &batch, gpu, outputs, row_wise] {
+    out.desc.functional_body = [&layer, &batch, gpu, outputs, row_wise,
+                                filter] {
       const auto& sh = layer.sharding();
       const int dim2 = layer.dim();
       const std::int64_t first =
@@ -114,6 +123,7 @@ FusedLookupKernel buildFusedLookupKernel(
       for (std::int64_t lt = 0; lt < count; ++lt) {
         const std::int64_t t = first + lt;
         for (std::int64_t b = 0; b < sh.batchSize(); ++b) {
+          if (filter && filter->bagServed(t, b)) continue;
           const int dst = sh.sampleOwner(b);
           auto dst_span =
               (*outputs)[static_cast<std::size_t>(dst)].span();

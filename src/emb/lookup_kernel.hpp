@@ -19,6 +19,8 @@
 
 namespace pgasemb::emb {
 
+class CacheFilter;  // replica_cache.hpp
+
 /// Warp-coalesced one-sided message granularity (paper Figs 7/10 use
 /// 256-byte units; one dim-64 fp32 embedding row is exactly 256 B).
 inline constexpr std::int64_t kCoalescedMessageBytes = 256;
@@ -32,10 +34,12 @@ struct BaselineLookupKernel {
 
 /// Build GPU `gpu`'s baseline lookup kernel. In functional mode
 /// `send_buffer` receives the pooled embeddings laid out
-/// [dst][local table][dst-local sample][col].
+/// [dst][local table][dst-local sample][col].  With a cache `filter`
+/// only the miss bags are computed and shipped (served bags never enter
+/// the send buffer); the filter must outlive the kernel's execution.
 BaselineLookupKernel buildBaselineLookupKernel(
     ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
-    gpu::DeviceBuffer* send_buffer);
+    gpu::DeviceBuffer* send_buffer, const CacheFilter* filter = nullptr);
 
 struct FusedLookupKernel {
   gpu::KernelDesc desc;  ///< message plan not yet attached (PgasRuntime)
@@ -45,10 +49,14 @@ struct FusedLookupKernel {
 /// Build GPU `gpu`'s PGAS fused lookup kernel. In functional mode
 /// `outputs[d]` is GPU d's final output tensor
 /// ([mini-batch sample][global table][col]); remote entries are written
-/// directly (row-wise sharding accumulates partial sums instead).
+/// directly (row-wise sharding accumulates partial sums instead).  With
+/// a cache `filter` only the miss bags are computed and put — fewer
+/// one-sided messages AND fewer per-message headers, so a shorter
+/// quiet; the filter must outlive the kernel's execution.
 FusedLookupKernel buildFusedLookupKernel(
     ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
-    std::vector<gpu::DeviceBuffer>* outputs, int slices);
+    std::vector<gpu::DeviceBuffer>* outputs, int slices,
+    const CacheFilter* filter = nullptr);
 
 /// Compute cost shared by both kernels (gather + pool + output writes).
 SimTime lookupComputeTime(const ShardedEmbeddingLayer& layer,

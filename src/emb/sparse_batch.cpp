@@ -1,5 +1,8 @@
 #include "emb/sparse_batch.hpp"
 
+#include <optional>
+
+#include "emb/workload.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::emb {
@@ -12,6 +15,7 @@ void validate(const SparseBatchSpec& spec) {
   PGASEMB_CHECK(spec.max_pooling >= spec.min_pooling,
                 "max pooling below min pooling");
   PGASEMB_CHECK(spec.index_space >= 1, "empty index space");
+  PGASEMB_CHECK(spec.zipf_alpha >= 0.0, "negative Zipf alpha");
   PGASEMB_CHECK(spec.per_table_max_pooling.empty() ||
                     static_cast<std::int64_t>(
                         spec.per_table_max_pooling.size()) ==
@@ -41,6 +45,13 @@ SparseBatch SparseBatch::generateUniform(const SparseBatchSpec& spec,
   b.materialized_ = true;
   b.offsets_.resize(static_cast<std::size_t>(spec.num_tables));
   b.indices_.resize(static_cast<std::size_t>(spec.num_tables));
+  // Zipf skew: rank r maps to raw index r-1, so the hottest rows are
+  // the lowest raws (the replica cache's admission order). alpha = 0
+  // keeps the historical uniform draw verbatim.
+  std::optional<ZipfSampler> zipf;
+  if (spec.zipf_alpha > 0.0) {
+    zipf.emplace(spec.index_space, spec.zipf_alpha);
+  }
   for (std::int64_t t = 0; t < spec.num_tables; ++t) {
     auto& offs = b.offsets_[static_cast<std::size_t>(t)];
     auto& idxs = b.indices_[static_cast<std::size_t>(t)];
@@ -50,7 +61,8 @@ SparseBatch SparseBatch::generateUniform(const SparseBatchSpec& spec,
       const std::int64_t bag =
           rng.uniformInt(spec.min_pooling, spec.maxPoolingOf(t));
       for (std::int64_t i = 0; i < bag; ++i) {
-        idxs.push_back(rng.nextBounded(spec.index_space));
+        idxs.push_back(zipf ? zipf->sample(rng) - 1
+                            : rng.nextBounded(spec.index_space));
       }
       offs.push_back(static_cast<std::int64_t>(idxs.size()));
     }

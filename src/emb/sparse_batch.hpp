@@ -30,6 +30,10 @@ struct SparseBatchSpec {
   /// Optional per-table max pooling (skewed / "hot" features, as in
   /// RecShard [6]); overrides max_pooling per table when non-empty.
   std::vector<int> per_table_max_pooling;
+  /// Zipf skew of the raw indices: rank r (= raw index r-1) is drawn
+  /// with probability proportional to r^-zipf_alpha. 0 = uniform (the
+  /// historical path, RNG-identical to before the knob existed).
+  double zipf_alpha = 0.0;
 
   int maxPoolingOf(std::int64_t table) const {
     if (per_table_max_pooling.empty()) return max_pooling;

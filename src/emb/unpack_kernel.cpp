@@ -1,5 +1,6 @@
 #include "emb/unpack_kernel.hpp"
 
+#include "emb/replica_cache.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::emb {
@@ -21,21 +22,30 @@ std::int64_t recvBufferElements(const Sharding& sharding, int dst, int dim) {
 
 gpu::KernelDesc buildUnpackKernel(ShardedEmbeddingLayer& layer, int gpu,
                                   gpu::DeviceBuffer* recv_buffer,
-                                  gpu::DeviceBuffer* output) {
+                                  gpu::DeviceBuffer* output,
+                                  const CacheFilter* filter) {
   const auto& sharding = layer.sharding();
   const int dim = layer.dim();
   const auto& cm = layer.system().costModel();
 
   gpu::KernelDesc desc;
   desc.name = "emb_unpack.gpu" + std::to_string(gpu);
-  // One streaming read + one write of every received element.
-  const double bytes =
-      2.0 * static_cast<double>(recvBufferElements(sharding, gpu, dim)) *
-      4.0;
+  // One streaming read + one write of every received element. With a
+  // cache filter only the miss outputs arrive, so only they are moved.
+  double received = static_cast<double>(recvBufferElements(sharding, gpu, dim));
+  if (filter != nullptr) {
+    double miss_outputs = 0.0;
+    for (int src = 0; src < sharding.numGpus(); ++src) {
+      miss_outputs += static_cast<double>(
+          filter->missWork(src).outputs_to[static_cast<std::size_t>(gpu)]);
+    }
+    received = miss_outputs * static_cast<double>(dim);
+  }
+  const double bytes = 2.0 * received * 4.0;
   desc.duration = cm.unpackKernelTime(bytes);
 
   if (recv_buffer != nullptr && output != nullptr) {
-    desc.functional_body = [&layer, gpu, recv_buffer, output] {
+    desc.functional_body = [&layer, gpu, recv_buffer, output, filter] {
       const auto& sh = layer.sharding();
       const int dim2 = layer.dim();
       const auto recv = recv_buffer->span();
@@ -47,6 +57,7 @@ gpu::KernelDesc buildUnpackKernel(ShardedEmbeddingLayer& layer, int gpu,
         const std::int64_t count = sh.tablesOn(src);
         for (std::int64_t lt = 0; lt < count; ++lt) {
           for (std::int64_t s = 0; s < mb; ++s) {
+            if (filter && filter->bagServed(first + lt, b0 + s)) continue;
             for (int c = 0; c < dim2; ++c) {
               out[static_cast<std::size_t>(
                   sh.outputIndex(b0 + s, first + lt, c, dim2))] =

@@ -15,6 +15,8 @@
 
 namespace pgasemb::emb {
 
+class CacheFilter;  // replica_cache.hpp
+
 /// Offset (elements) of (src GPU, src-local table, dst-local sample, col)
 /// in GPU `dst`'s receive buffer.
 std::int64_t recvBufferIndex(const Sharding& sharding, int dst, int src,
@@ -26,8 +28,12 @@ std::int64_t recvBufferElements(const Sharding& sharding, int dst, int dim);
 
 /// Build GPU `gpu`'s unpack kernel. In functional mode it rearranges
 /// `recv_buffer` into `output` (the final [sample][table][col] tensor).
+/// With a cache `filter` only the miss bags are rearranged (the served
+/// bags never crossed the wire — the serve kernel wrote them straight
+/// into `output`); the filter must outlive the kernel's execution.
 gpu::KernelDesc buildUnpackKernel(ShardedEmbeddingLayer& layer, int gpu,
                                   gpu::DeviceBuffer* recv_buffer,
-                                  gpu::DeviceBuffer* output);
+                                  gpu::DeviceBuffer* output,
+                                  const CacheFilter* filter = nullptr);
 
 }  // namespace pgasemb::emb

@@ -1,5 +1,8 @@
 #include "emb/workload.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/expect.hpp"
 
 namespace pgasemb::emb {
@@ -42,6 +45,109 @@ EmbLayerSpec tinyLayerSpec() {
   spec.seed = 0x5eed'0003;
   spec.index_space = 1u << 16;
   return spec;
+}
+
+EmbLayerSpec cacheServingLayerSpec(int num_gpus) {
+  PGASEMB_CHECK(num_gpus >= 1, "need at least one GPU");
+  EmbLayerSpec spec;
+  spec.total_tables = 16LL * num_gpus;
+  spec.rows_per_table = 1'000'000;
+  spec.dim = 64;
+  spec.batch_size = 16'384;
+  // Single-id categorical features (user id, item id, ...): the common
+  // inference case where every lookup is one row, so a bag is served
+  // from the replica iff its one index is hot.
+  spec.min_pooling = 1;
+  spec.max_pooling = 1;
+  spec.seed = 0x5eed'0004;
+  // Raw domain == row count: Zipf rank r is raw index r-1, and a cache
+  // of capacity C rows holds exactly the top-C mass.
+  spec.index_space = 1'000'000;
+  return spec;
+}
+
+namespace {
+
+/// Exact-summation prefix length for zipfHarmonic; beyond it the
+/// midpoint (Euler–Maclaurin) integral tail is accurate to ~1e-6.
+constexpr std::uint64_t kZipfExactPrefix = 64;
+
+double exactHarmonic(std::uint64_t n, double alpha) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += std::pow(static_cast<double>(i), -alpha);
+  }
+  return sum;
+}
+
+/// Integral of x^-alpha over [a + 0.5, b + 0.5] — the midpoint-rule
+/// continuation of the harmonic sum past the exact prefix.
+double harmonicTail(double a, double b, double alpha) {
+  if (std::abs(1.0 - alpha) < 1e-12) {
+    return std::log((b + 0.5) / (a + 0.5));
+  }
+  const double e = 1.0 - alpha;
+  return (std::pow(b + 0.5, e) - std::pow(a + 0.5, e)) / e;
+}
+
+}  // namespace
+
+double zipfHarmonic(std::uint64_t n, double alpha) {
+  PGASEMB_CHECK(alpha >= 0.0, "negative Zipf alpha");
+  if (n == 0) return 0.0;
+  if (n <= kZipfExactPrefix) return exactHarmonic(n, alpha);
+  return exactHarmonic(kZipfExactPrefix, alpha) +
+         harmonicTail(static_cast<double>(kZipfExactPrefix),
+                      static_cast<double>(n), alpha);
+}
+
+double zipfTopMass(std::uint64_t n, double alpha, std::uint64_t k) {
+  PGASEMB_CHECK(n >= 1, "empty Zipf domain");
+  k = std::min(k, n);
+  if (k == 0) return 0.0;
+  return zipfHarmonic(k, alpha) / zipfHarmonic(n, alpha);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  PGASEMB_CHECK(n >= 1, "empty Zipf domain");
+  PGASEMB_CHECK(alpha >= 0.0, "negative Zipf alpha");
+  const std::uint64_t head = std::min(n, kZipfExactPrefix);
+  prefix_.reserve(static_cast<std::size_t>(head));
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= head; ++i) {
+    sum += std::pow(static_cast<double>(i), -alpha);
+    prefix_.push_back(sum);
+  }
+  total_ = zipfHarmonic(n, alpha);
+}
+
+double ZipfSampler::prefixMass(std::uint64_t k) const {
+  if (k == 0) return 0.0;
+  if (k <= prefix_.size()) {
+    return prefix_[static_cast<std::size_t>(k - 1)];
+  }
+  return prefix_.back() +
+         harmonicTail(static_cast<double>(prefix_.size()),
+                      static_cast<double>(k), alpha_);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  // Invert the CDF: smallest rank k with H(k) >= u * H(n).  H is
+  // strictly increasing, so binary search over [1, n] terminates with
+  // the unique preimage.
+  const double target = rng.uniformDouble() * total_;
+  std::uint64_t lo = 1;
+  std::uint64_t hi = n_;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (prefixMass(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
 }
 
 }  // namespace pgasemb::emb

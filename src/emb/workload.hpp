@@ -1,7 +1,14 @@
-// The paper's experiment configurations (§IV).
+// The paper's experiment configurations (§IV) plus synthetic workload
+// skew: Zipf(alpha) row-index popularity, the distribution real DLRM
+// inference traffic follows ("Dissecting Embedding Bag Performance in
+// DLRM Inference" — a small hot set absorbs most lookups).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "emb/layer.hpp"
+#include "util/rng.hpp"
 
 namespace pgasemb::emb {
 
@@ -19,5 +26,50 @@ inline constexpr int kPaperNumBatches = 100;
 /// A small functional-mode spec for examples/tests (same shape, tiny
 /// sizes).
 EmbLayerSpec tinyLayerSpec();
+
+/// Skewed inference-serving workload for the hot-row replica cache
+/// (bench_cache): per GPU, 16 tables x 1M rows, dim 64, batch 16384,
+/// single-id features (pooling 1), raw indices drawn Zipf(alpha) over
+/// the row space so "capacity = x% of rows" maps directly onto the
+/// analytic top-x% mass.
+EmbLayerSpec cacheServingLayerSpec(int num_gpus);
+
+// --- Zipf(alpha) row popularity -------------------------------------------
+//
+// Rank r (1-based) has probability r^-alpha / H(n, alpha).  Raw index
+// (r - 1) is rank r, so the hottest rows are the lowest indices and a
+// frequency-ranked cache of capacity C holds exactly raws [0, C).
+
+/// Generalized harmonic number H(n, alpha) = sum_{i=1..n} i^-alpha.
+/// Exact for small n; Euler–Maclaurin midpoint tail beyond, so it is
+/// smooth and strictly increasing in n (the sampler inverts it).
+double zipfHarmonic(std::uint64_t n, double alpha);
+
+/// Probability mass of the top-k ranks under Zipf(alpha) over [1, n]:
+/// H(k, alpha) / H(n, alpha).  alpha = 0 degenerates to k / n.
+double zipfTopMass(std::uint64_t n, double alpha, std::uint64_t k);
+
+/// Deterministic inverse-CDF Zipf sampler over ranks [1, n]: one
+/// uniform draw per sample, binary-searched through the same
+/// zipfHarmonic the analytic mass uses, so empirical top-k frequency
+/// converges to zipfTopMass by construction.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  /// Rank in [1, n]; subtract 1 for a raw row index.
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double prefixMass(std::uint64_t k) const;  ///< H(k, alpha), memoized head
+
+  std::uint64_t n_;
+  double alpha_;
+  double total_;                 ///< H(n, alpha)
+  std::vector<double> prefix_;   ///< H(1..kZipfExactPrefix, alpha)
+};
 
 }  // namespace pgasemb::emb

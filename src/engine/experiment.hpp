@@ -35,6 +35,10 @@ struct ExperimentConfig {
   pgas::AggregatorParams aggregator;
   /// In-flight batches for the pipelined collective strategy.
   int pipeline_depth = 2;
+  /// Hot-row replica cache capacity per table per GPU (rows); 0 disables
+  /// the cache entirely (every code path identical to a cache-less
+  /// build). Table-wise sharding only.
+  std::int64_t cache_rows = 0;
   /// Multi-node layout: 0 = single node (paper testbed). When > 0,
   /// `num_gpus` must be divisible by it and `inter_node_link` applies to
   /// cross-node traffic.
@@ -73,6 +77,10 @@ struct ExperimentResult {
   double avgComputeMs() const;
   double avgCommunicationMs() const;
   double avgSyncUnpackMs() const;
+
+  /// Replica-cache accounting over the run (zero when no cache).
+  double cacheHitRate() const { return stats.cacheHitRate(); }
+  double cacheSavedBytes() const { return stats.cache_saved_bytes; }
 };
 
 /// Convenience: paper weak-scaling config at `num_gpus`.
@@ -80,5 +88,11 @@ ExperimentConfig weakScalingConfig(int num_gpus);
 
 /// Convenience: paper strong-scaling config at `num_gpus`.
 ExperimentConfig strongScalingConfig(int num_gpus);
+
+/// Convenience: inference cache-serving config at `num_gpus` — single-id
+/// (pooling 1) Zipf-skewed lookups over a PCIe-class fabric, the
+/// HugeCTR-HPS-style deployment the hot-row replica cache targets. The
+/// caller sets `layer.zipf_alpha` and `cache_rows`.
+ExperimentConfig cacheServingConfig(int num_gpus);
 
 }  // namespace pgasemb::engine

@@ -35,6 +35,18 @@ ExperimentConfig strongScalingConfig(int num_gpus) {
   return cfg;
 }
 
+ExperimentConfig cacheServingConfig(int num_gpus) {
+  ExperimentConfig cfg;
+  cfg.num_gpus = num_gpus;
+  cfg.layer = emb::cacheServingLayerSpec(num_gpus);
+  // PCIe-class per-pair bandwidth: the HPS-style inference node the
+  // replica cache targets is exchange-bound, unlike the NVLink training
+  // testbed (where the lookup compute dominates and a cache could only
+  // ever trim the exchange tail).
+  cfg.link.bandwidth_bytes_per_sec = 12e9;
+  return cfg;
+}
+
 ScenarioRunner::ScenarioRunner(const ExperimentConfig& config)
     : builder_(config) {}
 

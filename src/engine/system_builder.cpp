@@ -1,6 +1,7 @@
 #include "engine/system_builder.hpp"
 
 #include "collective/communicator.hpp"
+#include "emb/replica_cache.hpp"
 #include "fabric/fabric.hpp"
 #include "pgas/runtime.hpp"
 #include "simsan/checker.hpp"
@@ -16,9 +17,10 @@ SystemBuilder::SystemBuilder(const ExperimentConfig& config)
 SystemBuilder::~SystemBuilder() = default;
 
 void SystemBuilder::reset() {
-  // Reverse construction order: the layer holds device allocations, the
-  // runtime/communicator hold fabric endpoints. The checker outlives the
-  // system so teardown frees still report into it.
+  // Reverse construction order: the cache and the layer hold device
+  // allocations, the runtime/communicator hold fabric endpoints. The
+  // checker outlives the system so teardown frees still report into it.
+  cache_.reset();
   layer_.reset();
   runtime_.reset();
   comm_.reset();
@@ -58,6 +60,9 @@ void SystemBuilder::build() {
   runtime_ = std::make_unique<pgas::PgasRuntime>(*system_, *fabric_);
   layer_ = std::make_unique<emb::ShardedEmbeddingLayer>(
       *system_, config_.layer, config_.sharding);
+  if (config_.cache_rows > 0) {
+    cache_ = std::make_unique<emb::ReplicaCache>(*layer_, config_.cache_rows);
+  }
   if (sanitizer_ != nullptr) {
     // Table shards and other assembly-lifetime allocations are not leaks.
     sanitizer_->setBaseline();
@@ -69,6 +74,7 @@ core::SystemContext SystemBuilder::context() {
   ctx.pgas_slices = config_.pgas_slices;
   ctx.aggregator = config_.use_aggregator ? &config_.aggregator : nullptr;
   ctx.pipeline_depth = config_.pipeline_depth;
+  ctx.cache = cache_.get();
   return ctx;
 }
 

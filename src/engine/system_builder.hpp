@@ -18,6 +18,9 @@ namespace pgasemb {
 namespace collective {
 class Communicator;
 }
+namespace emb {
+class ReplicaCache;
+}
 namespace fabric {
 class Fabric;
 }
@@ -54,6 +57,10 @@ class SystemBuilder {
   pgas::PgasRuntime& runtime() { return *runtime_; }
   emb::ShardedEmbeddingLayer& layer() { return *layer_; }
 
+  /// The hot-row replica cache of the current assembly, or nullptr when
+  /// ExperimentConfig::cache_rows is 0. Invalidated by reset().
+  emb::ReplicaCache* cache() { return cache_.get(); }
+
   /// The simsan checker attached to the current assembly, or nullptr
   /// when ExperimentConfig::simsan is off. Invalidated by reset().
   simsan::Checker* sanitizer() { return sanitizer_.get(); }
@@ -73,6 +80,7 @@ class SystemBuilder {
   std::unique_ptr<collective::Communicator> comm_;
   std::unique_ptr<pgas::PgasRuntime> runtime_;
   std::unique_ptr<emb::ShardedEmbeddingLayer> layer_;
+  std::unique_ptr<emb::ReplicaCache> cache_;  // holds layer allocations
 };
 
 }  // namespace pgasemb::engine

@@ -35,6 +35,10 @@ SimTime CostModel::unpackKernelTime(double bytes) const {
   return std::max(SimTime::sec(memory_s), kernel_latency_floor);
 }
 
+SimTime CostModel::cacheProbeTime(double indices) const {
+  return streamKernelTime(indices * cache_probe_bytes_per_index);
+}
+
 CostModel::Throughput CostModel::kernelThroughput(double flops, double bytes,
                                                   SimTime duration) const {
   Throughput t{0.0, 0.0};

@@ -69,6 +69,12 @@ struct CostModel {
   /// Per-chunk bookkeeping inside the collective (proxy progression).
   SimTime collective_chunk_overhead = SimTime::us(1.5);
 
+  /// Bytes moved per raw index by the replica-cache probe/partition
+  /// kernel: one 8-byte index read plus the amortized compacted
+  /// miss-list write (~4 B).  The probe is a streaming classification
+  /// pass, far cheaper than the 260+ B/row gather it shrinks.
+  double cache_probe_bytes_per_index = 12.0;
+
   // --- Derived helpers ------------------------------------------------------
   /// Time for a kernel moving `bytes` with random-access (gather)
   /// traffic over `gathered_rows` independent row reads, executing
@@ -82,6 +88,10 @@ struct CostModel {
 
   /// Time for the baseline's strided unpack/rearrangement over `bytes`.
   SimTime unpackKernelTime(double bytes) const;
+
+  /// Time for the replica-cache probe/partition kernel classifying
+  /// `indices` raw indices into replica hits and exchange misses.
+  SimTime cacheProbeTime(double indices) const;
 
   /// Compute and memory "throughput" fractions the simulator reports for
   /// a kernel, mirroring what ncu would show (paper §IV-B2a).

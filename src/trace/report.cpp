@@ -213,6 +213,33 @@ std::string renderCommVolumeChart(const std::vector<engine::NamedResult>& runs,
   return chart.render();
 }
 
+std::string renderCacheTable(const std::vector<ScalingPoint>& points) {
+  bool any_cache = false;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      any_cache = any_cache || run.result.stats.cache_lookups > 0.0;
+    }
+  }
+  if (!any_cache) return "";
+
+  ConsoleTable table(
+      {"Replica cache", "GPUs", "hit rate", "saved MB/batch"});
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      const auto& r = run.result;
+      if (r.stats.cache_lookups <= 0.0) continue;
+      const double batches =
+          r.stats.batches > 0 ? static_cast<double>(r.stats.batches) : 1.0;
+      table.addRow({runStyle(run.retriever).short_name,
+                    std::to_string(p.gpus),
+                    ConsoleTable::num(r.cacheHitRate() * 100.0, 1) + "%",
+                    ConsoleTable::num(
+                        r.cacheSavedBytes() / batches / 1e6, 2)});
+    }
+  }
+  return table.render();
+}
+
 void writeScalingCsv(const std::string& path,
                      const std::vector<ScalingPoint>& points) {
   PGASEMB_CHECK(!points.empty() && !points.front().runs.empty(),
@@ -233,6 +260,21 @@ void writeScalingCsv(const std::string& path,
   }
   headers.push_back(ref_key + "_wire_bytes");
 
+  // Replica-cache columns appear only when some run actually probed a
+  // cache, so cache-less sweeps keep the historical schema byte-for-byte.
+  bool any_cache = false;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      any_cache = any_cache || run.result.stats.cache_lookups > 0.0;
+    }
+  }
+  if (any_cache) {
+    for (const auto& run : runs) {
+      headers.push_back(runKey(run.retriever) + "_cache_hit_rate");
+      headers.push_back(runKey(run.retriever) + "_cache_saved_bytes");
+    }
+  }
+
   CsvWriter csv(path, headers);
   for (const auto& p : points) {
     const auto& ref = p.reference().result;
@@ -248,6 +290,13 @@ void writeScalingCsv(const std::string& path,
       row.push_back(std::to_string(p.runs[r].result.total_wire_bytes));
     }
     row.push_back(std::to_string(ref.total_wire_bytes));
+    if (any_cache) {
+      for (const auto& run : p.runs) {
+        row.push_back(ConsoleTable::num(run.result.cacheHitRate(), 4));
+        row.push_back(
+            ConsoleTable::num(run.result.cacheSavedBytes(), 0));
+      }
+    }
     csv.addRow(row);
   }
 }

@@ -71,6 +71,11 @@ std::string renderBreakdownBars(const std::vector<ScalingPoint>& points,
 std::string renderCommVolumeChart(const std::vector<engine::NamedResult>& runs,
                                   const std::string& title);
 
+/// Replica-cache summary table (hit rate and exchange bytes saved per
+/// retriever per GPU count). Returns "" when no run probed a cache, so
+/// callers can print it unconditionally and stay absent-neutral.
+std::string renderCacheTable(const std::vector<ScalingPoint>& points);
+
 /// Write a scaling sweep as CSV rows for offline plotting. Column names
 /// derive from each run's short name; the default baseline-vs-PGAS sweep
 /// reproduces the historical schema (gpus, baseline_ms, pgas_ms, ...).

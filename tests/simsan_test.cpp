@@ -21,6 +21,7 @@
 #include "core/registry.hpp"
 #include "core/retriever.hpp"
 #include "emb/lookup_kernel.hpp"
+#include "emb/replica_cache.hpp"
 #include "emb/unpack_kernel.hpp"
 #include "emb/workload.hpp"
 #include "engine/scenario_runner.hpp"
@@ -328,6 +329,42 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "gpus";
     });
 
+// With the hot-row replica cache attached, every retriever grows a
+// probe + serve stage whose whole-output overlay write must be ordered
+// against the exchange's writes into the same tensor (program order on
+// the stream for the collectives; an explicit barrier for PGAS). The
+// checker certifies those edges too.
+engine::ExperimentConfig tinyCachedSimsanConfig(int gpus) {
+  auto cfg = tinySimsanConfig(gpus);
+  cfg.cache_rows = 12;
+  cfg.layer.zipf_alpha = 0.9;
+  return cfg;
+}
+
+class CachedCertificationTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(CachedCertificationTest, CachedRetrieverIsCleanUnderSimsan) {
+  const auto& [name, gpus] = GetParam();
+  engine::ScenarioRunner runner(tinyCachedSimsanConfig(gpus));
+  const auto result = runner.run(name);
+  ASSERT_TRUE(result.sanitizer.has_value());
+  EXPECT_TRUE(result.sanitizer->clean()) << result.sanitizer->report();
+  // The cache genuinely engaged: served bags were accounted.
+  EXPECT_GT(result.stats.cache_lookups, 0.0);
+  EXPECT_GT(result.stats.cache_hits, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRetrievers, CachedCertificationTest,
+    ::testing::Combine(::testing::Values("nccl_collective", "pgas_fused",
+                                         "nccl_pipelined"),
+                       ::testing::Values(2, 4, 8)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param)) + "gpus";
+    });
+
 TEST(CertificationTest, SimsanOffLeavesResultEmpty) {
   auto cfg = tinySimsanConfig(2);
   cfg.simsan = false;
@@ -598,6 +635,134 @@ TEST(SeededBugTest, FusedKernelWithoutQuietIsFlagged) {
       << s.report();
   EXPECT_EQ(s.out_of_bounds, 0) << s.report();
   EXPECT_EQ(s.lifetime_errors, 0) << s.report();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug 3: cached PGAS without the pre-serve barrier
+// ---------------------------------------------------------------------------
+
+/// Cached PGAS retriever with the post-exchange syncAll removed: the
+/// replica-serve kernels overlay the hit bags onto the output tensor
+/// while remote fused kernels may still be putting miss bags into it.
+/// The quiet itself is intact — the missing edge is the global barrier
+/// between the exchange and the serve stage.
+class BrokenCachedNoBarrier final : public core::EmbeddingRetriever {
+ public:
+  BrokenCachedNoBarrier(emb::ShardedEmbeddingLayer& layer,
+                        pgas::PgasRuntime& runtime, int slices,
+                        emb::ReplicaCache* cache)
+      : layer_(layer), runtime_(runtime), slices_(slices), cache_(cache) {
+    PGASEMB_CHECK(cache != nullptr, "this seeded bug needs the cache");
+    auto& system = layer.system();
+    const auto& sh = layer.sharding();
+    const int dim = layer.dim();
+    std::int64_t max_elements = 0;
+    for (int g = 0; g < system.numGpus(); ++g) {
+      max_elements = std::max(max_elements, sh.outputElements(g, dim));
+    }
+    outputs_sym_ = runtime.heap().alloc(max_elements);
+    for (int g = 0; g < system.numGpus(); ++g) {
+      outputs_view_.push_back(outputs_sym_.on(g));
+    }
+  }
+
+  ~BrokenCachedNoBarrier() override { runtime_.heap().free(outputs_sym_); }
+
+  std::string name() const override { return "broken_cached_no_barrier"; }
+  gpu::DeviceBuffer& output(int gpu) override {
+    return outputs_view_[static_cast<std::size_t>(gpu)];
+  }
+
+  core::BatchTiming runBatch(const emb::SparseBatch& batch) override {
+    auto& system = layer_.system();
+    auto* san = system.sanitizer();
+    const int p = system.numGpus();
+    const SimTime t0 = system.hostNow();
+    const emb::CacheFilter filter(layer_, batch, *cache_);
+    for (int g = 0; g < p; ++g) {
+      system.launchKernel(g, emb::buildCacheProbeKernel(layer_, filter, g));
+      auto fused = emb::buildFusedLookupKernel(layer_, batch, g, nullptr,
+                                               slices_, &filter);
+      std::vector<simsan::MemEffect> remote_writes;
+      if (san != nullptr) {
+        fused.desc.mem_effects.push_back(
+            {g, footprint(g, g), AccessKind::kWrite, ""});
+        for (int d = 0; d < p; ++d) {
+          if (d == g) continue;
+          remote_writes.push_back({d, footprint(g, d),
+                                   AccessKind::kRemoteWrite,
+                                   fused.desc.name + ".put"});
+        }
+      }
+      runtime_.attachMessagePlan(fused.desc, g, std::move(fused.plan),
+                                 nullptr, nullptr, std::move(remote_writes));
+      system.launchKernel(g, std::move(fused.desc));
+    }
+    // BUG: no system.syncAll() here — the serve overlay runs concurrent
+    // with the other GPUs' one-sided miss writes into the same tensor.
+    for (int g = 0; g < p; ++g) {
+      auto serve =
+          emb::buildCacheServeKernel(layer_, batch, filter, g, nullptr);
+      if (san != nullptr) {
+        const auto& rep = cache_->replica(g);
+        const auto& out = outputs_view_[static_cast<std::size_t>(g)];
+        serve.mem_effects.push_back(
+            {g, contiguous(rep.offset(), rep.size()), AccessKind::kRead, ""});
+        serve.mem_effects.push_back(
+            {g, contiguous(out.offset(), out.size()), AccessKind::kWrite,
+             ""});
+      }
+      system.launchKernel(g, std::move(serve));
+    }
+    core::BatchTiming timing;
+    timing.total = system.syncAll() - t0;
+    return timing;
+  }
+
+ private:
+  simsan::StridedRange footprint(int src, int dst) const {
+    auto range = emb::fusedWriteFootprint(layer_.sharding(), src, dst,
+                                          layer_.dim());
+    range.begin += outputs_view_[static_cast<std::size_t>(dst)].offset();
+    return range;
+  }
+
+  emb::ShardedEmbeddingLayer& layer_;
+  pgas::PgasRuntime& runtime_;
+  int slices_;
+  emb::ReplicaCache* cache_;
+  pgas::SymmetricBuffer outputs_sym_;
+  std::vector<gpu::DeviceBuffer> outputs_view_;
+};
+
+const core::RetrieverRegistrar kBrokenCachedRegistrar{
+    "broken_cached_no_barrier",
+    [](const core::SystemContext& ctx)
+        -> std::unique_ptr<core::EmbeddingRetriever> {
+      return std::make_unique<BrokenCachedNoBarrier>(
+          ctx.layer, ctx.runtime, ctx.pgas_slices, ctx.cache);
+    }};
+
+TEST(SeededBugTest, CachedServeWithoutBarrierIsFlagged) {
+  engine::ScenarioRunner runner(tinyCachedSimsanConfig(4));
+  const auto result = runner.run("broken_cached_no_barrier");
+  ASSERT_TRUE(result.sanitizer.has_value());
+  const auto& s = *result.sanitizer;
+  EXPECT_GT(s.races, 0) << s.report();
+  // The report names the serve overlay against the in-flight one-sided
+  // miss write it fails to order against.
+  EXPECT_TRUE(anyRaceMentions(s, "emb_cache_serve", ".put")) << s.report();
+  EXPECT_EQ(s.out_of_bounds, 0) << s.report();
+  EXPECT_EQ(s.lifetime_errors, 0) << s.report();
+}
+
+TEST(SeededBugTest, RestoringTheBarrierFixesIt) {
+  // Identical configuration through the shipped cached pgas_fused
+  // retriever (barrier intact) is clean.
+  engine::ScenarioRunner runner(tinyCachedSimsanConfig(4));
+  const auto result = runner.run("pgas_fused");
+  ASSERT_TRUE(result.sanitizer.has_value());
+  EXPECT_TRUE(result.sanitizer->clean()) << result.sanitizer->report();
 }
 
 TEST(SeededBugTest, RestoringTheQuietFixesIt) {
