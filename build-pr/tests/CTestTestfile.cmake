@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-pr/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-pr/tests/util_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/gpu_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/collective_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/pgas_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/emb_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/core_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/dlrm_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/trace_extra_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/input_partition_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/skew_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/pipelined_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/simsan_test[1]_include.cmake")
+include("/root/repo/build-pr/tests/cache_test[1]_include.cmake")
