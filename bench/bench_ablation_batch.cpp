@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   CliParser cli("Batch-size ablation (4 GPUs, weak-style config).");
   cli.addInt("batches", 20, "batches per configuration");
   bench::addRetrieversFlag(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const auto retrievers = bench::retrieverList(cli);
 
   bench::printHeader("Ablation: batch size vs latency-limited overheads");

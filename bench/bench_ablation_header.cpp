@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   using namespace pgasemb;
   CliParser cli("Message-header overhead ablation (4 GPUs, weak config).");
   cli.addInt("batches", 10, "batches per configuration");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
       "Ablation: per-message header bytes vs PGAS fused runtime");

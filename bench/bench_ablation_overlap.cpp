@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
                 "interconnect topology (4 GPUs, weak config).");
   cli.addInt("batches", 5, "batches per configuration");
   cli.addInt("gpus", 4, "GPU count");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int batches = static_cast<int>(cli.getInt("batches"));
 

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   cli.addInt("batches", 20, "batches per configuration");
   cli.addInt("gpus", 4, "GPU count");
   bench::addRetrieversFlag(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const auto retrievers = bench::retrieverList(cli);
 
   bench::printHeader("Ablation: pooling factor vs overlap headroom");

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   cli.addInt("batches", 10, "batches per configuration");
   cli.addDouble("nic-gbps", 25.0, "inter-node NIC bandwidth, GB/s");
   cli.addDouble("nic-msg-rate", 10e6, "NIC message-rate ceiling, msg/s");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
       "Async aggregator on multi-node PGAS embedding retrieval");

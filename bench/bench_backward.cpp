@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
                 "rounds (paper SV future work).");
   cli.addInt("max-gpus", 4, "largest GPU count to sweep");
   cli.addInt("batches", 20, "batches per configuration");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
       "EMB backward pass (future-work extension): gradient push + "

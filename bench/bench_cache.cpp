@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   cli.addString("csv", "cache_sweep.csv", "output CSV path (empty = none)");
   bench::addRetrieversFlag(
       cli, "nccl_collective,pgas_fused,nccl_pipelined");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int batches = static_cast<int>(cli.getInt("batches"));

@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
   cli.addString("csv-fig10", "comm_volume_fig10.csv", "Fig 10 CSV path");
   bench::addRetrieversFlag(cli);
   bench::addCacheFlags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   const auto retrievers = bench::retrieverList(cli);
   auto fig7 = engine::weakScalingConfig(2);

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,11 +52,19 @@ inline std::vector<std::string> retrieverList(const CliParser& cli) {
     }
   }
   if (!current.empty()) names.push_back(current);
-  PGASEMB_CHECK(!names.empty(), "--retrievers needs at least one name");
+  // Fail fast and clean (exit 2, no uncaught-exception abort): a typoed
+  // retriever name is an operator error, not a library bug.
+  if (names.empty()) {
+    fprintf(stderr, "--retrievers needs at least one name (registered: %s)\n",
+            registeredRetrieverNames().c_str());
+    std::exit(2);
+  }
   for (const auto& name : names) {
-    PGASEMB_CHECK(core::RetrieverRegistry::instance().contains(name),
-                  "--retrievers: unknown retriever '" + name +
-                      "' (registered: " + registeredRetrieverNames() + ")");
+    if (!core::RetrieverRegistry::instance().contains(name)) {
+      fprintf(stderr, "--retrievers: unknown retriever '%s' (registered: %s)\n",
+              name.c_str(), registeredRetrieverNames().c_str());
+      std::exit(2);
+    }
   }
   return names;
 }
@@ -84,11 +94,61 @@ inline void applyCacheFlags(const CliParser& cli,
   cfg.layer.zipf_alpha = cli.getDouble("zipf-alpha");
 }
 
+/// Registers the shared fault-injection flags. Defaults ("" spec) build
+/// no injector, keeping every code path — and all stdout/CSV output —
+/// identical to a fault-free build.
+inline void addFaultFlags(CliParser& cli) {
+  cli.addString("faults", "",
+                "comma-separated fault specs, e.g. "
+                "link-degrade:0-1:0.5,link-flap:*:1.0-2.0,straggler:2:3; "
+                "empty = no fault injection");
+  cli.addInt("fault-seed", 0,
+             "seed for fault windows not pinned in the spec (same seed = "
+             "same schedule)");
+  cli.addDouble("fault-horizon-ms", 100.0,
+                "horizon (ms) the seeded windows of unwindowed fault specs "
+                "are drawn over — size it to the run length so the faults "
+                "land mid-run");
+  cli.addDouble("slo-ms", 0.0,
+                "per-batch latency SLO in ms; after --slo-patience "
+                "consecutive over-SLO batches the run falls back to "
+                "nccl_collective (0 = no fallback policy)");
+  cli.addInt("slo-patience", 3,
+             "consecutive over-SLO batches tolerated before falling back");
+}
+
+/// Applies the fault flags to a config. With the default empty --faults
+/// and zero --slo-ms this is a no-op.
+inline void applyFaultFlags(const CliParser& cli,
+                            engine::ExperimentConfig& cfg) {
+  const std::string spec = cli.getString("faults");
+  if (!spec.empty()) {
+    // Fail fast and clean (exit 2, no uncaught-exception abort): a
+    // malformed fault spec is an operator error, not a library bug.
+    try {
+      cfg.faults = fault::FaultPlan::parse(
+          spec, static_cast<std::uint64_t>(cli.getInt("fault-seed")),
+          SimTime::ms(cli.getDouble("fault-horizon-ms")));
+    } catch (const Error& e) {
+      fprintf(stderr, "%s\n(run with --help for usage)\n", e.what());
+      std::exit(2);
+    }
+  }
+  const double slo_ms = cli.getDouble("slo-ms");
+  if (slo_ms > 0.0) {
+    cfg.fallback.slo_ms = slo_ms;
+    cfg.fallback.patience = static_cast<int>(cli.getInt("slo-patience"));
+  }
+}
+
 /// Run every named retriever at 1..max_gpus for one scaling mode.
+/// `tweak` (optional) edits each point's config before the runner is
+/// built — fault plans, SLO policies, link overrides.
 inline std::vector<trace::ScalingPoint> sweepScaling(
     bool weak, int max_gpus, int num_batches,
     const std::vector<std::string>& retrievers, bool simsan = false,
-    std::int64_t cache_rows = 0, double zipf_alpha = 0.0) {
+    std::int64_t cache_rows = 0, double zipf_alpha = 0.0,
+    const std::function<void(engine::ExperimentConfig&)>& tweak = nullptr) {
   std::vector<trace::ScalingPoint> points;
   for (int gpus = 1; gpus <= max_gpus; ++gpus) {
     engine::ExperimentConfig cfg = weak ? engine::weakScalingConfig(gpus)
@@ -97,6 +157,7 @@ inline std::vector<trace::ScalingPoint> sweepScaling(
     cfg.simsan = simsan;
     cfg.cache_rows = cache_rows;
     cfg.layer.zipf_alpha = zipf_alpha;
+    if (tweak) tweak(cfg);
     engine::ScenarioRunner runner(cfg);
     trace::ScalingPoint point;
     point.gpus = gpus;

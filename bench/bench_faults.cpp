@@ -1,0 +1,162 @@
+// Fault-severity sweep: how gracefully does each retrieval strategy
+// degrade under injected link degradation, flaps, stragglers, and
+// launch failures?
+//
+// Runs every named retriever at one GPU count across a ladder of
+// severity levels (none / light / moderate / heavy) and reports the
+// per-batch slowdown next to the resilience counters that explain it —
+// retransmits, collective reissues, dropped flows, launch retries, and
+// recovery time. `none` doubles as the control: its row must match the
+// fault-free benches exactly (the fault layer is zero-cost when off).
+#include <algorithm>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Severity {
+  const char* name;
+  const char* spec;  ///< FaultPlan grammar; "" = no injection
+};
+
+// The heavy level's link flap is appended with an explicit window at
+// run time (mid-run, width bounded by the retry budget) — a seed-drawn
+// flap window could be wider than the retransmit backoff covers.
+// "flap" is the flap alone: with no other fault stretching the batches,
+// the calibrated window provably overlaps in-flight wire traffic for
+// the reference strategy too (in "heavy" the degrade+straggler shift
+// the baseline's phases, so whether its chunks are mid-flap depends on
+// the workload).
+constexpr Severity kSeverities[] = {
+    {"none", ""},
+    {"light", "link-degrade:0-1:0.7"},
+    {"moderate", "link-degrade:*:0.5,straggler:0:2"},
+    {"flap", "+flap"},
+    {"heavy", "link-degrade:*:0.35,straggler:0:3,launch-fail:1:0.3+flap"},
+};
+
+/// Mid-run flap spec: placed inside a middle batch's communication phase
+/// (computed from the calibration run's breakdown, so chunks are
+/// actually in flight when the link dies), width capped at 8 ms so every
+/// dropped flow recovers within the default retry budget.
+std::string midRunFlap(double start_ms, double width_ms) {
+  char buf[96];
+  snprintf(buf, sizeof(buf), ",link-flap:*:%.3f-%.3f", start_ms,
+           start_ms + std::min(8.0, width_ms));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pgasemb;
+  CliParser cli(
+      "Fault-severity x retriever sweep: per-batch slowdown and "
+      "resilience counters under injected faults.");
+  cli.addInt("gpus", 4, "GPU count to run every severity level at");
+  cli.addInt("batches", 20, "inference batches per run");
+  cli.addInt("fault-seed", 7, "seed for the unpinned fault windows");
+  cli.addString("csv", "fault_sweep.csv", "output CSV path (empty = none)");
+  bench::addRetrieversFlag(cli);
+  bench::addSimsanFlag(cli);
+  if (!cli.parseOrExit(argc, argv)) return 0;
+
+  const int gpus = static_cast<int>(cli.getInt("gpus"));
+  const int batches = static_cast<int>(cli.getInt("batches"));
+  const auto seed = static_cast<std::uint64_t>(cli.getInt("fault-seed"));
+  const auto retrievers = bench::retrieverList(cli);
+
+  bench::printHeader("Fault-severity sweep at " + std::to_string(gpus) +
+                     " GPUs, " + std::to_string(batches) +
+                     " batches, fault seed " + std::to_string(seed));
+
+  ConsoleTable table({"Severity", "retriever", "ms/batch", "drops",
+                      "retransmits", "reissues", "launch retries",
+                      "recovery ms"});
+  std::unique_ptr<CsvWriter> csv;
+  const std::string csv_path = cli.getString("csv");
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(
+        csv_path,
+        std::vector<std::string>{
+            "severity", "retriever", "avg_batch_ms", "dropped_flows",
+            "retransmits", "retransmitted_bytes", "collective_reissues",
+            "launch_retries", "fallbacks", "recovery_ms"});
+  }
+
+  std::vector<trace::ScalingPoint> points;
+  // The 'none' run (always first) calibrates the fault horizon: seeded
+  // windows are drawn across the measured fault-free run length, so the
+  // faults actually overlap the traffic whatever --gpus/--batches is.
+  SimTime horizon = SimTime::ms(10.0);
+  double flap_start_ms = 1.0;
+  double flap_width_ms = 2.0;
+  for (const Severity& sev : kSeverities) {
+    engine::ExperimentConfig cfg = engine::weakScalingConfig(gpus);
+    cfg.num_batches = batches;
+    cfg.simsan = cli.getBool("simsan");
+    if (sev.spec[0] != '\0') {
+      std::string spec = sev.spec;
+      const auto marker = spec.find("+flap");
+      if (marker != std::string::npos) {
+        spec.erase(marker);
+        const std::string flap = midRunFlap(flap_start_ms, flap_width_ms);
+        spec += spec.empty() ? flap.substr(1) : flap;
+      }
+      cfg.faults = fault::FaultPlan::parse(spec, seed, horizon);
+    }
+    engine::ScenarioRunner runner(cfg);
+    trace::ScalingPoint point;
+    point.gpus = gpus;
+    point.runs = runner.runAll(retrievers);
+    if (sev.spec[0] == '\0' && !point.runs.empty()) {
+      const auto& ref = point.runs.front().result;
+      const double batch_ms = ref.avgBatchMs();
+      if (batch_ms > 0.0) {
+        horizon = SimTime::ms(batch_ms * batches);
+        // Drop the flap into a middle batch's post-compute (wire) phase,
+        // where the reference strategy has chunks in flight.
+        const double comm_ms = batch_ms - ref.avgComputeMs();
+        flap_start_ms = (batches / 2) * batch_ms + ref.avgComputeMs() +
+                        0.25 * comm_ms;
+        flap_width_ms = std::max(0.5, comm_ms * 0.5);
+      }
+    }
+    for (const auto& run : point.runs) {
+      fault::ResilienceStats rs;
+      if (run.result.resilience) rs = *run.result.resilience;
+      table.addRow({sev.name, trace::runKey(run.retriever),
+                    ConsoleTable::num(run.result.avgBatchMs(), 3),
+                    std::to_string(rs.dropped_flows),
+                    std::to_string(rs.retransmits),
+                    std::to_string(rs.collective_reissues),
+                    std::to_string(rs.launch_retries),
+                    ConsoleTable::num(rs.recovery_latency.toMs(), 3)});
+      if (csv) {
+        csv->addRow({sev.name, run.retriever,
+                     ConsoleTable::num(run.result.avgBatchMs(), 4),
+                     std::to_string(rs.dropped_flows),
+                     std::to_string(rs.retransmits),
+                     std::to_string(rs.retransmitted_bytes),
+                     std::to_string(rs.collective_reissues),
+                     std::to_string(rs.launch_retries),
+                     std::to_string(rs.fallback_switches),
+                     ConsoleTable::num(rs.recovery_latency.toMs(), 4)});
+      }
+    }
+    points.push_back(std::move(point));
+  }
+
+  printf("\n%s\n", table.render().c_str());
+  printf("('none' must match the fault-free benches exactly — the fault "
+         "layer is zero-cost when off)\n");
+  bench::printSimsanReports(points);
+  if (csv) {
+    csv->close();
+    printf("\nwrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}

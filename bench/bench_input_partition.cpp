@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   CliParser cli("Input-partitioning cost: table-wise vs row-wise vs "
                 "fused-into-kernel (paper SV).");
   cli.addInt("gpus", 4, "GPU count");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
 
   bench::printHeader("Ablation: sparse-input partitioning (paper SV)");

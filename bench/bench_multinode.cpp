@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
                 "PGAS+aggregator (paper SV extension).");
   cli.addInt("batches", 10, "batches per configuration");
   cli.addInt("gpus-per-node", 4, "GPUs per node");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int per_node = static_cast<int>(cli.getInt("gpus-per-node"));
 
   bench::printHeader(

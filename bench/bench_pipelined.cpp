@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   bench::addRetrieversFlag(cli,
                            "nccl_collective,nccl_pipelined,pgas_fused");
   bench::addSimsanFlag(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int depth = static_cast<int>(cli.getInt("depth"));
 

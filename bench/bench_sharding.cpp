@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   using namespace pgasemb;
   CliParser cli("Sharding-scheme ablation under PGAS fused retrieval.");
   cli.addInt("batches", 10, "batches per configuration");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
       "Ablation: table-wise vs row-wise sharding (PGAS fused)");

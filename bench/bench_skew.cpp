@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
                 "sharding (4 GPUs).");
   cli.addInt("batches", 10, "batches per configuration");
   bench::addRetrieversFlag(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int batches = static_cast<int>(cli.getInt("batches"));
   const auto retrievers = bench::retrieverList(cli);
 

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   cli.addString("csv", "strong_breakdown.csv", "output CSV path");
   bench::addRetrieversFlag(cli);
   bench::addCacheFlags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader("Strong-scaling runtime breakdown (Figure 9)");
   const auto points = bench::sweepScaling(

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   bench::addRetrieversFlag(cli);
   bench::addSimsanFlag(cli);
   bench::addCacheFlags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::addFaultFlags(cli);
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
       "Strong scaling: 96 tables x 1M rows total, dim 64, batch 16384, "
@@ -28,7 +29,8 @@ int main(int argc, char** argv) {
       /*weak=*/false, static_cast<int>(cli.getInt("max-gpus")),
       static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
       cli.getBool("simsan"), cli.getInt("cache-rows"),
-      cli.getDouble("zipf-alpha"));
+      cli.getDouble("zipf-alpha"),
+      [&](engine::ExperimentConfig& cfg) { bench::applyFaultFlags(cli, cfg); });
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.95x / 2.55x / 2.44x, geo-mean 2.63x)\n");
@@ -39,6 +41,8 @@ int main(int argc, char** argv) {
          "declining beyond)\n");
   const std::string cache_table = trace::renderCacheTable(points);
   if (!cache_table.empty()) printf("\n%s\n", cache_table.c_str());
+  const std::string resilience = trace::renderResilienceTable(points);
+  if (!resilience.empty()) printf("\n%s\n", resilience.c_str());
   bench::printSimsanReports(points);
 
   for (const auto& p : points) {

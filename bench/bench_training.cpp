@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
                 "forward and backward EMB paths (4 GPUs, weak config).");
   cli.addInt("batches", 10, "steps per configuration");
   cli.addInt("gpus", 4, "GPU count");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int steps = static_cast<int>(cli.getInt("batches"));
 

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   cli.addString("csv", "weak_breakdown.csv", "output CSV path");
   bench::addRetrieversFlag(cli);
   bench::addCacheFlags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader("Weak-scaling runtime breakdown (Figure 6)");
   const auto points = bench::sweepScaling(

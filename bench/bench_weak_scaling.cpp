@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   bench::addRetrieversFlag(cli);
   bench::addSimsanFlag(cli);
   bench::addCacheFlags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::addFaultFlags(cli);
+  if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
       "Weak scaling: 64 tables/GPU x 1M rows, dim 64, batch 16384, "
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
       /*weak=*/true, static_cast<int>(cli.getInt("max-gpus")),
       static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
       cli.getBool("simsan"), cli.getInt("cache-rows"),
-      cli.getDouble("zipf-alpha"));
+      cli.getDouble("zipf-alpha"),
+      [&](engine::ExperimentConfig& cfg) { bench::applyFaultFlags(cli, cfg); });
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.10x / 1.95x / 1.87x, geo-mean 1.97x)\n");
@@ -38,6 +40,8 @@ int main(int argc, char** argv) {
          "flat; PGAS stays near 1.0)\n");
   const std::string cache_table = trace::renderCacheTable(points);
   if (!cache_table.empty()) printf("\n%s\n", cache_table.c_str());
+  const std::string resilience = trace::renderResilienceTable(points);
+  if (!resilience.empty()) printf("\n%s\n", resilience.c_str());
   bench::printSimsanReports(points);
 
   const std::string csv = cli.getString("csv");

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   cli.addInt("batches", 100, "request batches");
   cli.addString("retrievers", "nccl_collective,pgas_fused",
                 "comma-separated retriever names to compare");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
 
   std::vector<std::string> names;

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   CliParser cli("Full DLRM inference on a simulated multi-GPU machine.");
   cli.addInt("gpus", 4, "number of simulated GPUs");
   cli.addInt("batches", 5, "inference batches to run");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parseOrExit(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int batches = static_cast<int>(cli.getInt("batches"));
 

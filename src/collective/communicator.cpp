@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::collective {
@@ -11,6 +12,18 @@ Communicator::Communicator(gpu::MultiGpuSystem& system,
     : system_(system), fabric_(fabric) {
   PGASEMB_CHECK(fabric.numGpus() >= system.numGpus(),
                 "fabric topology smaller than the GPU system");
+}
+
+fabric::Fabric::Delivery Communicator::xfer(int src, int dst,
+                                            std::int64_t payload_bytes,
+                                            std::int64_t n_messages,
+                                            SimTime at) {
+  if (injector_ != nullptr) {
+    return injector_->reliableCollective(src, dst, payload_bytes, n_messages,
+                                         at, protoEff());
+  }
+  return fabric_.transfer(src, dst, payload_bytes, n_messages, at, nullptr,
+                          protoEff());
 }
 
 
@@ -129,9 +142,7 @@ Request Communicator::allToAllSingle(
             const std::int64_t chunk =
                 std::min(remaining, chunking.chunk_bytes);
             inject_at += chunk_overhead;  // proxy progression per chunk
-            const auto d =
-                fabric_.transfer(src, dst, chunk, /*n_messages=*/1,
-                                 inject_at, nullptr, protoEff());
+            const auto d = xfer(src, dst, chunk, /*n_messages=*/1, inject_at);
             last = std::max(last, d.delivered);
             remaining -= chunk;
           }
@@ -153,8 +164,7 @@ Request Communicator::allGather(std::int64_t bytes_per_rank,
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int step = 0; step < n - 1; ++step) {
-          const auto d = fabric_.transfer(src, next, bytes_per_rank, 1, t,
-                                          nullptr, protoEff());
+          const auto d = xfer(src, next, bytes_per_rank, 1, t);
           t = d.delivered;
         }
         return t;
@@ -173,8 +183,7 @@ Request Communicator::reduceScatter(std::int64_t total_bytes,
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int step = 0; step < n - 1; ++step) {
-          const auto d = fabric_.transfer(src, next, block, 1, t,
-                                          nullptr, protoEff());
+          const auto d = xfer(src, next, block, 1, t);
           t = d.delivered;
         }
         return t;
@@ -194,8 +203,7 @@ Request Communicator::allReduce(std::int64_t total_bytes,
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int step = 0; step < 2 * (n - 1); ++step) {
-          const auto d = fabric_.transfer(src, next, block, 1, t,
-                                          nullptr, protoEff());
+          const auto d = xfer(src, next, block, 1, t);
           t = d.delivered;
         }
         return t;
@@ -214,8 +222,7 @@ Request Communicator::broadcast(int root, std::int64_t bytes,
         SimTime last = start;
         for (int dst = 0; dst < system_.numGpus(); ++dst) {
           if (dst == root) continue;
-          const auto d = fabric_.transfer(root, dst, bytes, 1, start,
-                                          nullptr, protoEff());
+          const auto d = xfer(root, dst, bytes, 1, start);
           last = std::max(last, d.delivered);
         }
         return last;
@@ -231,8 +238,7 @@ Request Communicator::gather(int root, std::int64_t bytes_per_rank,
       "gather",
       [this, root, bytes_per_rank](int src, SimTime start) {
         if (src == root) return start;
-        const auto d = fabric_.transfer(src, root, bytes_per_rank, 1,
-                                        start, nullptr, protoEff());
+        const auto d = xfer(src, root, bytes_per_rank, 1, start);
         return d.delivered;
       },
       std::move(on_complete));
@@ -249,8 +255,7 @@ Request Communicator::scatter(int root, std::int64_t bytes_per_rank,
         SimTime last = start;
         for (int dst = 0; dst < system_.numGpus(); ++dst) {
           if (dst == root) continue;
-          const auto d = fabric_.transfer(root, dst, bytes_per_rank, 1,
-                                          start, nullptr, protoEff());
+          const auto d = xfer(root, dst, bytes_per_rank, 1, start);
           last = std::max(last, d.delivered);
         }
         return last;
@@ -266,8 +271,7 @@ Request Communicator::barrier(std::function<void()> on_complete) {
       [this](int src, SimTime start) {
         const int next = (src + 1) % system_.numGpus();
         if (next == src) return start;
-        const auto d =
-            fabric_.transfer(src, next, 1, 1, start, nullptr, protoEff());
+        const auto d = xfer(src, next, 1, 1, start);
         return d.delivered;
       },
       std::move(on_complete));
@@ -291,8 +295,7 @@ Request Communicator::ringShiftRounds(std::int64_t bytes_per_round,
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int r = 0; r < rounds; ++r) {
-          const auto d = fabric_.transfer(src, next, bytes_per_round, 1, t,
-                                          nullptr, protoEff());
+          const auto d = xfer(src, next, bytes_per_round, 1, t);
           t = d.delivered + round_sync;
         }
         return t;

@@ -16,6 +16,10 @@
 #include "fabric/fabric.hpp"
 #include "gpu/system.hpp"
 
+namespace pgasemb::fault {
+class FaultInjector;
+}
+
 namespace pgasemb::collective {
 
 struct ChunkingParams {
@@ -28,6 +32,14 @@ class Communicator {
   Communicator(gpu::MultiGpuSystem& system, fabric::Fabric& fabric);
 
   int numGpus() const { return system_.numGpus(); }
+
+  /// Attach the fault injector: every collective wire transfer gains
+  /// bounded reissue of flap-dropped chunks (counted as
+  /// collective_reissues).  Null (the default) keeps the direct fabric
+  /// path, bit-identical to a fault-free build.  Not owned.
+  void setFaultInjector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Asynchronous all-to-all: `send_bytes[src][dst]` payload bytes move
   /// from src to dst (diagonal = local, free). Equivalent of
@@ -104,8 +116,14 @@ class Communicator {
     return system_.costModel().collective_protocol_efficiency;
   }
 
+  /// All collective wire traffic funnels through here: direct fabric
+  /// transfer normally, reissue-on-drop when a fault injector is set.
+  fabric::Fabric::Delivery xfer(int src, int dst, std::int64_t payload_bytes,
+                                std::int64_t n_messages, SimTime at);
+
   gpu::MultiGpuSystem& system_;
   fabric::Fabric& fabric_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace pgasemb::collective

@@ -1,0 +1,42 @@
+#include "core/fallback.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::core {
+
+SloTracker::SloTracker(const FallbackPolicy& policy) : policy_(policy) {
+  if (!policy_.enabled()) return;
+  PGASEMB_CHECK(policy_.patience >= 1, "fallback patience must be >= 1");
+  PGASEMB_CHECK(!policy_.fallback_to.empty(),
+                "fallback policy needs a target retriever");
+  if (policy_.slo_ms > 0.0) {
+    slo_ = SimTime::ms(policy_.slo_ms);
+    calibrated_ = true;
+  } else {
+    PGASEMB_CHECK(policy_.slo_factor >= 1.0,
+                  "slo_factor below 1 would flag the calibration batch");
+  }
+}
+
+bool SloTracker::record(SimTime batch_total) {
+  if (!policy_.enabled() || fired_) return false;
+  if (!calibrated_) {
+    // First batch defines "healthy"; faults that start mid-run show up
+    // as multiples of it.
+    slo_ = batch_total * policy_.slo_factor;
+    calibrated_ = true;
+    return false;
+  }
+  if (batch_total > slo_) {
+    ++consecutive_over_;
+  } else {
+    consecutive_over_ = 0;
+  }
+  if (consecutive_over_ >= policy_.patience) {
+    fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pgasemb::core

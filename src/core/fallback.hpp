@@ -1,0 +1,57 @@
+// Degradation policy: falling back to a simpler retrieval strategy when
+// the active one keeps blowing its latency SLO.
+//
+// The paper's fused PGAS path wins by hiding communication inside the
+// lookup kernel — but a degraded link stretches exactly the part it
+// hides, and quiet then stalls the whole kernel.  The collective
+// baseline, whose chunked transfers reissue independently, degrades more
+// gracefully.  FallbackPolicy + SloTracker give the engine the switch:
+// after `patience` consecutive over-SLO batches, ScenarioRunner swaps
+// the active retriever for `fallback_to` and records the event in
+// ResilienceStats.
+#pragma once
+
+#include <string>
+
+#include "util/time.hpp"
+
+namespace pgasemb::core {
+
+struct FallbackPolicy {
+  /// Absolute per-batch latency SLO in milliseconds; 0 = derive from the
+  /// first batch via `slo_factor`.
+  double slo_ms = 0.0;
+  /// When `slo_ms` is 0: SLO = first batch's total x this factor (the
+  /// first batch calibrates "healthy"). 0 disables the policy entirely.
+  double slo_factor = 0.0;
+  /// Consecutive over-SLO batches tolerated before switching.
+  int patience = 3;
+  /// Registry name of the strategy to degrade to.
+  std::string fallback_to = "nccl_collective";
+
+  bool enabled() const { return slo_ms > 0.0 || slo_factor > 0.0; }
+};
+
+/// Feeds per-batch totals against the policy's SLO; fires exactly once
+/// (then disarms — one switch per run, no flip-flopping).
+class SloTracker {
+ public:
+  explicit SloTracker(const FallbackPolicy& policy);
+
+  /// Record one batch. Returns true on the batch that exhausts the
+  /// patience budget — the caller should switch retrievers now.
+  bool record(SimTime batch_total);
+
+  /// The resolved SLO (zero until calibrated when `slo_factor` derives
+  /// it from the first batch).
+  SimTime slo() const { return slo_; }
+
+ private:
+  FallbackPolicy policy_;
+  SimTime slo_ = SimTime::zero();
+  int consecutive_over_ = 0;
+  bool calibrated_ = false;
+  bool fired_ = false;
+};
+
+}  // namespace pgasemb::core

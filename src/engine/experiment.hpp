@@ -12,9 +12,11 @@
 #include <optional>
 #include <vector>
 
+#include "core/fallback.hpp"
 #include "core/retriever.hpp"
 #include "emb/workload.hpp"
 #include "fabric/link.hpp"
+#include "fault/plan.hpp"
 #include "gpu/cost_model.hpp"
 #include "pgas/aggregator.hpp"
 #include "simsan/checker.hpp"
@@ -50,6 +52,14 @@ struct ExperimentConfig {
   /// Attach the simsan happens-before/bounds/lifetime checker to the
   /// run. Purely observational: timings and outputs are unchanged.
   bool simsan = false;
+  /// Deterministic fault plan (--faults/--fault-seed). Empty = no
+  /// injector is built and every code path stays bit-identical to a
+  /// fault-free build.
+  fault::FaultPlan faults;
+  /// SLO degradation policy: when enabled, ScenarioRunner swaps the
+  /// active retriever for `fallback.fallback_to` after `patience`
+  /// consecutive over-SLO batches.
+  core::FallbackPolicy fallback;
 };
 
 struct ExperimentResult {
@@ -72,6 +82,10 @@ struct ExperimentResult {
 
   /// simsan verdict; populated only when ExperimentConfig::simsan is on.
   std::optional<simsan::Summary> sanitizer;
+
+  /// Resilience accounting; populated only when a fault plan was armed
+  /// or the SLO fallback policy fired.
+  std::optional<fault::ResilienceStats> resilience;
 
   double avgBatchMs() const;
   double avgComputeMs() const;

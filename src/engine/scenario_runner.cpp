@@ -4,6 +4,7 @@
 
 #include "emb/lookup_kernel.hpp"
 #include "fabric/fabric.hpp"
+#include "fault/injector.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::engine {
@@ -67,22 +68,47 @@ ExperimentResult ScenarioRunner::run(const std::string& retriever_name) {
   // synthetic inputs.
   emb::SparseBatch statistical =
       emb::SparseBatch::statistical(config.layer.batchSpec());
+  core::SloTracker slo(config.fallback);
+  std::string active = retriever_name;
+  std::int64_t fallback_switches = 0;
   for (int b = 0; b < config.num_batches; ++b) {
+    core::BatchTiming t;
     if (functional) {
       const auto batch =
           emb::SparseBatch::generateUniform(config.layer.batchSpec(), rng);
-      const auto t = retriever->runBatch(batch);
-      result.stats.add(t);
-      result.per_batch.push_back(t);
+      t = retriever->runBatch(batch);
     } else {
-      const auto t = retriever->runBatch(statistical);
-      result.stats.add(t);
-      result.per_batch.push_back(t);
+      t = retriever->runBatch(statistical);
+    }
+    result.stats.add(t);
+    result.per_batch.push_back(t);
+    if (slo.record(t.total) && config.fallback.fallback_to != active &&
+        core::RetrieverRegistry::instance().contains(
+            config.fallback.fallback_to)) {
+      // Degradation policy: the active strategy keeps blowing its SLO —
+      // drain it and finish the run on the fallback strategy.
+      result.stats.total += retriever->finish();
+      retriever.reset();
+      active = config.fallback.fallback_to;
+      retriever = core::RetrieverRegistry::instance().create(
+          active, builder_.context());
+      ++fallback_switches;
     }
   }
   // Epilogue: pipelined strategies still have batches in flight; their
   // drain time belongs to the run total. No-op (zero) for the rest.
   result.stats.total += retriever->finish();
+
+  {
+    fault::ResilienceStats resilience;
+    auto* injector = builder_.faultInjector();
+    if (injector != nullptr) resilience = injector->stats();
+    resilience.fallback_switches = fallback_switches;
+    if (fallback_switches > 0) resilience.fallback_retriever = active;
+    if (injector != nullptr || resilience.any()) {
+      result.resilience = resilience;
+    }
+  }
 
   if (auto* san = builder_.sanitizer()) {
     // The host consumes every GPU's final output tensor (standing in for

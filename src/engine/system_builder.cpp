@@ -3,6 +3,7 @@
 #include "collective/communicator.hpp"
 #include "emb/replica_cache.hpp"
 #include "fabric/fabric.hpp"
+#include "fault/injector.hpp"
 #include "pgas/runtime.hpp"
 #include "simsan/checker.hpp"
 #include "util/expect.hpp"
@@ -20,6 +21,7 @@ void SystemBuilder::reset() {
   // Reverse construction order: the cache and the layer hold device
   // allocations, the runtime/communicator hold fabric endpoints. The
   // checker outlives the system so teardown frees still report into it.
+  injector_.reset();
   cache_.reset();
   layer_.reset();
   runtime_.reset();
@@ -62,6 +64,12 @@ void SystemBuilder::build() {
       *system_, config_.layer, config_.sharding);
   if (config_.cache_rows > 0) {
     cache_ = std::make_unique<emb::ReplicaCache>(*layer_, config_.cache_rows);
+  }
+  if (!config_.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.faults);
+    injector_->arm(*system_, *fabric_);
+    runtime_->setFaultInjector(injector_.get());
+    comm_->setFaultInjector(injector_.get());
   }
   if (sanitizer_ != nullptr) {
     // Table shards and other assembly-lifetime allocations are not leaks.

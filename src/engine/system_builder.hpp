@@ -24,6 +24,9 @@ class ReplicaCache;
 namespace fabric {
 class Fabric;
 }
+namespace fault {
+class FaultInjector;
+}
 namespace pgas {
 class PgasRuntime;
 }
@@ -65,6 +68,10 @@ class SystemBuilder {
   /// when ExperimentConfig::simsan is off. Invalidated by reset().
   simsan::Checker* sanitizer() { return sanitizer_.get(); }
 
+  /// The armed fault injector of the current assembly, or nullptr when
+  /// ExperimentConfig::faults is empty. Invalidated by reset().
+  fault::FaultInjector* faultInjector() { return injector_.get(); }
+
   /// The retriever-factory view of the current assembly. Invalidated by
   /// reset(); any retriever built from it must be destroyed first.
   core::SystemContext context();
@@ -81,6 +88,9 @@ class SystemBuilder {
   std::unique_ptr<pgas::PgasRuntime> runtime_;
   std::unique_ptr<emb::ShardedEmbeddingLayer> layer_;
   std::unique_ptr<emb::ReplicaCache> cache_;  // holds layer allocations
+  // Armed against the system + fabric; runtime/comm hold raw pointers to
+  // it, so it is torn down before them and rebuilt fresh on reset().
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace pgasemb::engine

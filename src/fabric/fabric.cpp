@@ -20,7 +20,7 @@ Fabric::Delivery Fabric::transfer(int src, int dst,
                                   std::function<void(SimTime)> on_delivered,
                                   double bandwidth_fraction) {
   PGASEMB_CHECK(payload_bytes >= 0 && n_messages >= 0, "negative flow");
-  Delivery d{at, at};
+  Delivery d{at, at, false};
   if (src != dst && payload_bytes + n_messages > 0) {
     SimTime cursor = at;
     SimTime wire_start = at;
@@ -34,18 +34,34 @@ Fabric::Delivery Fabric::transfer(int src, int dst,
         wire_start = grant.start;
         first_hop = false;
       }
-      cursor = grant.end + link->params().latency;
+      SimTime hop_latency = link->params().latency;
+      if (link->hasFaultWindows()) {
+        hop_latency += link->extraLatencyAt(grant.end);
+        if (link->flapOverlaps(grant.start, grant.end + hop_latency)) {
+          // The flow is lost on this hop; later hops never see it.
+          link->recordDrop(payload_bytes);
+          ++dropped_flows_;
+          dropped_payload_bytes_ += payload_bytes;
+          d.dropped = true;
+          d.delivered = grant.end;
+          break;
+        }
+      }
+      cursor = grant.end + hop_latency;
     }
-    d.delivered = cursor;
+    if (!d.dropped) d.delivered = cursor;
     if (flow_observer_) {
       flow_observer_(src, dst, payload_bytes, n_messages, wire_start,
                      d.delivered);
     }
     injected_.add(at, static_cast<double>(payload_bytes));
-    delivered_.add(d.delivered, static_cast<double>(payload_bytes));
+    if (!d.dropped) {
+      delivered_.add(d.delivered, static_cast<double>(payload_bytes));
+    }
     total_payload_bytes_ += payload_bytes;
     total_messages_ += n_messages;
   }
+  if (d.dropped) return d;
   if (on_delivered) {
     if (d.delivered <= simulator_.now()) {
       on_delivered(d.delivered);
@@ -64,6 +80,8 @@ void Fabric::reset() {
   delivered_.reset();
   total_payload_bytes_ = 0;
   total_messages_ = 0;
+  dropped_flows_ = 0;
+  dropped_payload_bytes_ = 0;
   for (Link* link : topology_->links()) link->reset();
 }
 

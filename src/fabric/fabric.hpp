@@ -32,6 +32,12 @@ class Fabric {
   struct Delivery {
     SimTime injected;
     SimTime delivered;
+    /// True when a link-flap fault window swallowed the flow; then
+    /// `delivered` is the time the flow was lost (sender-side wire end
+    /// of the dropping hop) and `on_delivered` does NOT fire — the
+    /// resilience layer (fault::FaultInjector) is responsible for
+    /// retransmission.  Always false without armed link faults.
+    bool dropped = false;
   };
 
   /// Inject a flow of `n_messages` messages totalling `payload_bytes`
@@ -54,6 +60,12 @@ class Fabric {
   std::int64_t totalPayloadBytes() const { return total_payload_bytes_; }
   std::int64_t totalMessages() const { return total_messages_; }
 
+  /// Flows (and their payload) swallowed by link-flap fault windows.
+  /// Dropped flows still count as injected wire traffic but never reach
+  /// the delivery counter. Zero without armed link faults.
+  std::int64_t droppedFlows() const { return dropped_flows_; }
+  std::int64_t droppedPayloadBytes() const { return dropped_payload_bytes_; }
+
   /// Observer invoked once per non-local flow with
   /// (src, dst, payload bytes, message count, wire start, delivered).
   using FlowObserver = std::function<void(int src, int dst,
@@ -75,6 +87,8 @@ class Fabric {
   TimeSeriesCounter delivered_;
   std::int64_t total_payload_bytes_ = 0;
   std::int64_t total_messages_ = 0;
+  std::int64_t dropped_flows_ = 0;
+  std::int64_t dropped_payload_bytes_ = 0;
   FlowObserver flow_observer_;
 };
 

@@ -35,14 +35,69 @@ sim::FifoResource::Grant Link::occupy(SimTime at, std::int64_t payload_bytes,
                                       double bandwidth_fraction) {
   total_payload_bytes_ += payload_bytes;
   total_messages_ += n_messages;
+  if (!fault_windows_.empty()) {
+    // Sample the degradation at the time the flow actually reaches the
+    // wire (deterministic: FIFO order fixes it).
+    const double factor = bandwidthFactorAt(fifo_.nextFreeTime(at));
+    if (factor < 1.0) {
+      return fifo_.acquire(at, serializationTime(payload_bytes, n_messages,
+                                                 bandwidth_fraction * factor));
+    }
+  }
   return fifo_.acquire(
       at, serializationTime(payload_bytes, n_messages, bandwidth_fraction));
+}
+
+void Link::addFaultWindow(const LinkFaultWindow& window) {
+  PGASEMB_CHECK(window.end > window.start,
+                "link fault window must have start < end");
+  PGASEMB_CHECK(window.bandwidth_factor > 0.0 &&
+                    window.bandwidth_factor <= 1.0,
+                "link fault bandwidth factor out of (0, 1]: ",
+                window.bandwidth_factor);
+  PGASEMB_CHECK(window.extra_latency >= SimTime::zero(),
+                "link fault extra latency must be >= 0");
+  fault_windows_.push_back(window);
+}
+
+double Link::bandwidthFactorAt(SimTime at) const {
+  double factor = 1.0;
+  for (const auto& w : fault_windows_) {
+    if (!w.flap && at >= w.start && at < w.end) {
+      factor = std::min(factor, w.bandwidth_factor);
+    }
+  }
+  return factor;
+}
+
+SimTime Link::extraLatencyAt(SimTime at) const {
+  SimTime extra = SimTime::zero();
+  for (const auto& w : fault_windows_) {
+    if (!w.flap && at >= w.start && at < w.end) {
+      extra = std::max(extra, w.extra_latency);
+    }
+  }
+  return extra;
+}
+
+bool Link::flapOverlaps(SimTime start, SimTime end) const {
+  for (const auto& w : fault_windows_) {
+    if (w.flap && start < w.end && end > w.start) return true;
+  }
+  return false;
+}
+
+void Link::recordDrop(std::int64_t payload_bytes) {
+  ++dropped_flows_;
+  dropped_payload_bytes_ += payload_bytes;
 }
 
 void Link::reset() {
   fifo_.reset();
   total_payload_bytes_ = 0;
   total_messages_ = 0;
+  dropped_flows_ = 0;
+  dropped_payload_bytes_ = 0;
 }
 
 }  // namespace pgasemb::fabric

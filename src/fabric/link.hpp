@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/fifo_resource.hpp"
 #include "util/time.hpp"
@@ -21,6 +22,19 @@ struct LinkParams {
   SimTime latency = SimTime::us(1.9);     ///< one-way propagation + protocol
   std::int64_t header_bytes = 32;         ///< per-message framing overhead
   double max_messages_per_sec = 0.0;      ///< 0 = unlimited (NVLink)
+};
+
+/// A fault-injection window on one link: a bandwidth cut and/or latency
+/// spike (degradation) or a flap that drops every flow in flight while
+/// the window is active.  Installed by fault::FaultInjector; an empty
+/// window list keeps every Link code path identical to a fault-free
+/// build.
+struct LinkFaultWindow {
+  SimTime start = SimTime::zero();
+  SimTime end = SimTime::zero();
+  double bandwidth_factor = 1.0;       ///< achieved-bandwidth multiplier
+  SimTime extra_latency = SimTime::zero();  ///< added delivery latency
+  bool flap = false;                   ///< drop overlapping flows
 };
 
 class Link {
@@ -49,6 +63,31 @@ class Link {
   std::int64_t totalPayloadBytes() const { return total_payload_bytes_; }
   std::int64_t totalMessages() const { return total_messages_; }
 
+  // --- Fault injection (see fault::FaultInjector) -------------------------
+
+  /// Install a degradation/flap window. Windows survive reset() (they
+  /// describe the scenario, not run state); clearFaultWindows() removes
+  /// them.
+  void addFaultWindow(const LinkFaultWindow& window);
+  void clearFaultWindows() { fault_windows_.clear(); }
+  bool hasFaultWindows() const { return !fault_windows_.empty(); }
+
+  /// Achieved-bandwidth multiplier at `at` (min over overlapping
+  /// degradation windows; 1.0 outside every window).
+  double bandwidthFactorAt(SimTime at) const;
+
+  /// Extra delivery latency at `at` (max over overlapping windows).
+  SimTime extraLatencyAt(SimTime at) const;
+
+  /// True when a flap window overlaps [start, end) — the fabric drops
+  /// such a flow.
+  bool flapOverlaps(SimTime start, SimTime end) const;
+
+  /// Record one dropped flow (called by Fabric on a flap hit).
+  void recordDrop(std::int64_t payload_bytes);
+  std::int64_t droppedFlows() const { return dropped_flows_; }
+  std::int64_t droppedPayloadBytes() const { return dropped_payload_bytes_; }
+
   void reset();
 
  private:
@@ -57,6 +96,9 @@ class Link {
   sim::FifoResource fifo_;
   std::int64_t total_payload_bytes_ = 0;
   std::int64_t total_messages_ = 0;
+  std::vector<LinkFaultWindow> fault_windows_;
+  std::int64_t dropped_flows_ = 0;
+  std::int64_t dropped_payload_bytes_ = 0;
 };
 
 }  // namespace pgasemb::fabric

@@ -1,0 +1,101 @@
+// FaultInjector: arms a FaultPlan against an assembled system and drives
+// the retransmission machinery that recovers from it.
+//
+// arm() materializes the plan deterministically — specs without explicit
+// windows get one drawn from Rng(plan.seed) — and installs the faults:
+// degradation/flap windows on the topology's links, slowdown windows on
+// the devices, and a launch-failure hook on the host.  reliablePut() and
+// reliableCollective() wrap Fabric::transfer with timeout-driven
+// re-injection under capped exponential backoff; because the fabric
+// computes deliveries eagerly, a whole retransmit chain resolves
+// synchronously at injection time, so PGAS quiet and collective
+// completion times simply absorb the recovered delivery.
+//
+// Everything the injector does is counted in ResilienceStats; a null
+// injector (no --faults) leaves every subsystem on its original code
+// path, bit-identical to a fault-free build.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "fault/plan.hpp"
+#include "gpu/system.hpp"
+#include "util/rng.hpp"
+
+namespace pgasemb::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Materialize the plan's windows (seeded draw for unwindowed specs)
+  /// and install them on `fabric`'s links and `system`'s devices + host.
+  /// Call once per assembly; the injector keeps references to both.
+  void arm(gpu::MultiGpuSystem& system, fabric::Fabric& fabric);
+
+  /// The armed specs with every window resolved (tests compare these to
+  /// certify that equal seeds give equal schedules).
+  const std::vector<FaultSpec>& materialized() const { return materialized_; }
+
+  /// Per-attempt observer for reliable transfers (comm counters, simsan).
+  using AttemptFn =
+      std::function<void(SimTime at, const fabric::Fabric::Delivery&)>;
+
+  struct PutResult {
+    SimTime acked;          ///< delivery of the final (successful) attempt
+    SimTime first_loss;     ///< loss time of the first dropped attempt
+    int attempts = 1;       ///< total injections (1 = clean first try)
+    bool retransmitted() const { return attempts > 1; }
+  };
+
+  /// One-sided put with delivery tracking: re-injects flap-dropped flows
+  /// after the retry policy's timeout/backoff until one delivery lands.
+  /// Counts retransmits + recovery latency. `on_attempt` fires once per
+  /// injection with that attempt's delivery.
+  PutResult reliablePut(int src, int dst, std::int64_t payload_bytes,
+                        std::int64_t n_messages, SimTime at,
+                        const AttemptFn& on_attempt = nullptr);
+
+  /// Collective chunk transfer with bounded reissue (counted separately
+  /// as collective_reissues). Returns a Delivery whose `delivered` is
+  /// the final successful attempt's delivery; never dropped.
+  fabric::Fabric::Delivery reliableCollective(int src, int dst,
+                                              std::int64_t payload_bytes,
+                                              std::int64_t n_messages,
+                                              SimTime at,
+                                              double bandwidth_fraction);
+
+  ResilienceStats& stats() { return stats_; }
+  const ResilienceStats& stats() const { return stats_; }
+
+ private:
+  SimTime launchFaultDelay(int device, SimTime host_now);
+
+  PutResult reliableTransfer(int src, int dst, std::int64_t payload_bytes,
+                             std::int64_t n_messages, SimTime at,
+                             double bandwidth_fraction, bool collective,
+                             const AttemptFn& on_attempt);
+
+  FaultPlan plan_;
+  gpu::MultiGpuSystem* system_ = nullptr;
+  fabric::Fabric* fabric_ = nullptr;
+  std::vector<FaultSpec> materialized_;
+  ResilienceStats stats_;
+
+  struct LaunchFaultState {
+    double probability = 0.0;
+    SimTime start = SimTime::zero();
+    SimTime end = SimTime::zero();
+    Rng rng{0};
+  };
+  std::vector<std::pair<int, LaunchFaultState>> launch_faults_;
+  SimTime launch_retry_penalty_ = SimTime::zero();
+};
+
+}  // namespace pgasemb::fault

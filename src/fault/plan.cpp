@@ -1,0 +1,197 @@
+#include "fault/plan.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+#include "util/parse.hpp"
+
+namespace pgasemb::fault {
+
+namespace {
+
+const char* kindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+    case FaultKind::kLinkFlap:
+      return "link-flap";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kLaunchFail:
+      return "launch-fail";
+  }
+  return "?";
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else if (c != ' ') {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+/// "SRC-DST" with `*` wildcards ("0-1", "*-2", "*"). -1 = all.
+void parseEndpointPair(const std::string& text, const std::string& what,
+                       int* a, int* b) {
+  const auto dash = text.find('-');
+  const std::string sa = dash == std::string::npos ? text
+                                                   : text.substr(0, dash);
+  const std::string sb = dash == std::string::npos ? "*"
+                                                   : text.substr(dash + 1);
+  *a = sa == "*" ? -1
+                 : static_cast<int>(parseIntStrict(sa, what + " source GPU"));
+  *b = sb == "*" ? -1
+                 : static_cast<int>(parseIntStrict(sb, what + " dest GPU"));
+  PGASEMB_CHECK(*a >= -1 && *b >= -1, what,
+                ": GPU ids must be >= 0 (or '*'), got: ", text);
+}
+
+int parseDevice(const std::string& text, const std::string& what) {
+  if (text == "*") return -1;
+  const int dev = static_cast<int>(parseIntStrict(text, what + " device"));
+  PGASEMB_CHECK(dev >= 0, what, ": device must be >= 0 (or '*'), got: ", dev);
+  return dev;
+}
+
+/// "START_MS-END_MS" (e.g. "0.5-2.0").
+void parseWindow(const std::string& text, const std::string& what,
+                 FaultSpec* spec) {
+  const auto dash = text.find('-');
+  PGASEMB_CHECK(dash != std::string::npos && dash > 0, what,
+                ": window must be START_MS-END_MS, got: '", text, "'");
+  const double start_ms =
+      parseDoubleStrict(text.substr(0, dash), what + " window start");
+  const double end_ms =
+      parseDoubleStrict(text.substr(dash + 1), what + " window end");
+  PGASEMB_CHECK(start_ms >= 0.0 && end_ms > start_ms, what,
+                ": window must satisfy 0 <= start < end, got: '", text, "'");
+  spec->start = SimTime::ms(start_ms);
+  spec->end = SimTime::ms(end_ms);
+}
+
+}  // namespace
+
+std::string FaultSpec::describe() const {
+  std::ostringstream out;
+  out << kindName(kind) << ":";
+  const auto endpoint = [](int e) {
+    return e < 0 ? std::string("*") : std::to_string(e);
+  };
+  if (kind == FaultKind::kLinkDegrade || kind == FaultKind::kLinkFlap) {
+    out << endpoint(a) << "-" << endpoint(b);
+  } else {
+    out << endpoint(a);
+  }
+  if (kind != FaultKind::kLinkFlap) out << ":" << magnitude;
+  if (extra_latency > SimTime::zero()) {
+    out << "+" << extra_latency.toUs() << "us";
+  }
+  if (windowed()) {
+    out << ":" << start.toMs() << "-" << end.toMs() << "ms";
+  } else {
+    out << ":(seeded window)";
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec_string, std::uint64_t seed,
+                           SimTime horizon) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.horizon = horizon;
+  PGASEMB_CHECK(horizon > SimTime::zero(), "fault horizon must be positive");
+  for (const std::string& token : split(spec_string, ',')) {
+    if (token.empty()) continue;
+    const auto fields = split(token, ':');
+    const std::string& kind = fields[0];
+    FaultSpec spec;
+    std::size_t window_field = 0;  // 0 = none
+    if (kind == "link-degrade" || kind == "latency-spike") {
+      PGASEMB_CHECK(fields.size() >= 3 && fields.size() <= 4,
+                    "--faults '", token, "': expected ", kind,
+                    ":SRC-DST:", kind == "link-degrade" ? "FACTOR" : "EXTRA_US",
+                    "[:START_MS-END_MS]");
+      spec.kind = FaultKind::kLinkDegrade;
+      parseEndpointPair(fields[1], "--faults " + kind, &spec.a, &spec.b);
+      if (kind == "link-degrade") {
+        spec.magnitude =
+            parseDoubleStrict(fields[2], "--faults link-degrade factor");
+        PGASEMB_CHECK(spec.magnitude > 0.0 && spec.magnitude <= 1.0,
+                      "--faults link-degrade: factor must be in (0, 1], got: ",
+                      spec.magnitude);
+      } else {
+        const double extra_us =
+            parseDoubleStrict(fields[2], "--faults latency-spike extra_us");
+        PGASEMB_CHECK(extra_us > 0.0,
+                      "--faults latency-spike: extra latency must be "
+                      "positive, got: ",
+                      extra_us);
+        spec.extra_latency = SimTime::us(extra_us);
+      }
+      if (fields.size() == 4) window_field = 3;
+    } else if (kind == "link-flap") {
+      PGASEMB_CHECK(fields.size() >= 2 && fields.size() <= 3, "--faults '",
+                    token, "': expected link-flap:SRC-DST[:START_MS-END_MS]");
+      spec.kind = FaultKind::kLinkFlap;
+      parseEndpointPair(fields[1], "--faults link-flap", &spec.a, &spec.b);
+      if (fields.size() == 3) window_field = 2;
+    } else if (kind == "straggler") {
+      PGASEMB_CHECK(fields.size() >= 3 && fields.size() <= 4, "--faults '",
+                    token,
+                    "': expected straggler:DEV:SLOWDOWN[:START_MS-END_MS]");
+      spec.kind = FaultKind::kStraggler;
+      spec.a = parseDevice(fields[1], "--faults straggler");
+      spec.magnitude =
+          parseDoubleStrict(fields[2], "--faults straggler slowdown");
+      PGASEMB_CHECK(spec.magnitude >= 1.0,
+                    "--faults straggler: slowdown must be >= 1, got: ",
+                    spec.magnitude);
+      if (fields.size() == 4) window_field = 3;
+    } else if (kind == "launch-fail") {
+      PGASEMB_CHECK(fields.size() >= 3 && fields.size() <= 4, "--faults '",
+                    token,
+                    "': expected launch-fail:DEV:PROB[:START_MS-END_MS]");
+      spec.kind = FaultKind::kLaunchFail;
+      spec.a = parseDevice(fields[1], "--faults launch-fail");
+      spec.magnitude =
+          parseDoubleStrict(fields[2], "--faults launch-fail probability");
+      PGASEMB_CHECK(spec.magnitude >= 0.0 && spec.magnitude < 1.0,
+                    "--faults launch-fail: probability must be in [0, 1), "
+                    "got: ",
+                    spec.magnitude);
+      if (fields.size() == 4) window_field = 3;
+    } else {
+      throw InvalidArgumentError(
+          "--faults: unknown fault kind '" + kind +
+          "' in '" + token +
+          "' (known: link-degrade, latency-spike, link-flap, straggler, "
+          "launch-fail)");
+    }
+    if (window_field != 0) {
+      parseWindow(fields[window_field], "--faults " + kind, &spec);
+    }
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (specs.empty()) return "(no faults)";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << specs[i].describe();
+  }
+  out << " [seed " << seed << "]";
+  return out.str();
+}
+
+}  // namespace pgasemb::fault

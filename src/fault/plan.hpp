@@ -1,0 +1,124 @@
+// Deterministic fault plans for the simulated system.
+//
+// A FaultPlan is a list of fault specs — link degradation windows, link
+// flaps that drop in-flight flows, straggler GPUs, transient kernel
+// launch failures — plus the retry policy the resilience machinery uses
+// to recover.  Specs may carry explicit time windows; specs without one
+// get a window drawn deterministically from the plan seed when the
+// injector arms, so `--faults ... --fault-seed N` reproduces the exact
+// same perturbed run every time, and a different seed yields a different
+// fault schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pgasemb::fault {
+
+enum class FaultKind {
+  kLinkDegrade,  ///< bandwidth cut and/or latency spike on a link
+  kLinkFlap,     ///< link drops every flow in flight during the window
+  kStraggler,    ///< per-device compute slowdown
+  kLaunchFail,   ///< transient kernel-launch failures (host retries)
+};
+
+/// One fault. `a`/`b` select the target: (src, dst) GPU pair for link
+/// faults, device id in `a` for straggler/launch faults; -1 = all.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkDegrade;
+  int a = -1;
+  int b = -1;
+  /// kLinkDegrade: achieved-bandwidth factor in (0, 1].
+  /// kStraggler: compute slowdown >= 1.
+  /// kLaunchFail: per-launch failure probability in [0, 1).
+  double magnitude = 1.0;
+  /// kLinkDegrade only: extra per-hop delivery latency (latency spike).
+  SimTime extra_latency = SimTime::zero();
+  /// Active window. start == end means "no explicit window": the
+  /// injector draws one from the plan seed when it arms.
+  SimTime start = SimTime::zero();
+  SimTime end = SimTime::zero();
+
+  bool windowed() const { return end > start; }
+  std::string describe() const;
+};
+
+/// Retransmission policy for one-sided puts and collective chunks whose
+/// flows a link flap dropped.  The sender notices the missing delivery
+/// acknowledgement after `put_timeout` and re-injects; consecutive
+/// losses back off exponentially (capped), so a flow caught in a flap
+/// window re-enters the fabric shortly after the window closes.
+struct RetryPolicy {
+  SimTime put_timeout = SimTime::us(50.0);
+  double backoff_multiplier = 2.0;
+  SimTime max_backoff = SimTime::ms(1.0);
+  /// Safety bound: a put that is still undeliverable after this many
+  /// attempts throws (a flap wider than the whole retry budget is a
+  /// plan bug, not a recoverable fault).
+  int max_attempts = 32;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  std::uint64_t seed = 0;
+  /// Horizon the seeded window draw spreads unwindowed specs over.
+  SimTime horizon = SimTime::ms(10.0);
+  RetryPolicy retry;
+  /// Testing only: seeded bug for the simsan certification tests — the
+  /// retransmit path reuses the first attempt's delivery time for quiet
+  /// and runs the re-sent put under a never-joined actor, recreating
+  /// "retransmit without re-arming quiet" so simsan can catch it.
+  bool bug_retransmit_without_quiet = false;
+
+  bool empty() const { return specs.empty(); }
+
+  /// Parses a comma-separated spec string:
+  ///   link-degrade:SRC-DST:FACTOR[:START_MS-END_MS]
+  ///   latency-spike:SRC-DST:EXTRA_US[:START_MS-END_MS]
+  ///   link-flap:SRC-DST[:START_MS-END_MS]
+  ///   straggler:DEV:SLOWDOWN[:START_MS-END_MS]
+  ///   launch-fail:DEV:PROB[:START_MS-END_MS]
+  /// `*` (or `*-*`) targets all links/devices.  Example:
+  ///   --faults link-degrade:0-1:0.5,straggler:2:3:1.0-2.5
+  /// Throws InvalidArgumentError with a pointed message on malformed
+  /// specs.  Specs without a window get one drawn from `seed` at arm
+  /// time.
+  static FaultPlan parse(const std::string& spec_string, std::uint64_t seed,
+                         SimTime horizon = SimTime::ms(10.0));
+
+  std::string describe() const;
+};
+
+/// Everything the resilience machinery counted during one run.
+/// `faults_injected` counts concrete manifestations: armed fault
+/// windows, dropped flows, and failed launch attempts.
+struct ResilienceStats {
+  std::int64_t faults_injected = 0;
+  std::int64_t dropped_flows = 0;
+  std::int64_t dropped_bytes = 0;
+  /// One-sided put re-injections (and the payload they re-sent).
+  std::int64_t retransmits = 0;
+  std::int64_t retransmitted_bytes = 0;
+  /// Collective chunk re-injections.
+  std::int64_t collective_reissues = 0;
+  /// Kernel launches the host had to re-drive after a transient failure.
+  std::int64_t launch_retries = 0;
+  /// Sum over recovered flows of (final delivery - first loss): the
+  /// simulated time spent re-driving dropped traffic.
+  SimTime recovery_latency = SimTime::zero();
+  /// Engine-level SLO fallbacks (retriever switches) and the retriever
+  /// that finished the run after the last switch ("" = no switch).
+  std::int64_t fallback_switches = 0;
+  std::string fallback_retriever;
+
+  bool any() const {
+    return faults_injected != 0 || dropped_flows != 0 || retransmits != 0 ||
+           collective_reissues != 0 || launch_retries != 0 ||
+           fallback_switches != 0;
+  }
+};
+
+}  // namespace pgasemb::fault

@@ -135,6 +135,20 @@ void Device::free(DeviceBuffer& buffer) {
   buffer = DeviceBuffer();
 }
 
+void Device::addSlowdownWindow(SimTime start, SimTime end, double factor) {
+  PGASEMB_CHECK(end > start, "slowdown window must have start < end");
+  PGASEMB_CHECK(factor >= 1.0, "slowdown factor must be >= 1, got ", factor);
+  slowdown_windows_.push_back(SlowdownWindow{start, end, factor});
+}
+
+double Device::slowdownAt(SimTime at) const {
+  double factor = 1.0;
+  for (const auto& w : slowdown_windows_) {
+    if (at >= w.start && at < w.end) factor = std::max(factor, w.factor);
+  }
+  return factor;
+}
+
 std::span<float> Device::storageSpan(std::int64_t offset, std::int64_t size) {
   PGASEMB_EXPECT_GE(offset, 0, "storage span on device ", id_);
   PGASEMB_EXPECT_GE(size, 0, "storage span on device ", id_);

@@ -101,6 +101,19 @@ class Device {
   /// time per device, as with a single busy CUDA stream).
   sim::FifoResource& computeResource() { return compute_; }
 
+  // --- Fault injection (see fault::FaultInjector) -------------------------
+
+  /// Install a straggler window: kernels whose compute starts inside
+  /// [start, end) run `factor`x slower.  An empty window list keeps the
+  /// kernel path identical to a fault-free build.
+  void addSlowdownWindow(SimTime start, SimTime end, double factor);
+  void clearSlowdownWindows() { slowdown_windows_.clear(); }
+  bool hasSlowdownWindows() const { return !slowdown_windows_.empty(); }
+
+  /// Compute slowdown factor at `at` (max over overlapping windows;
+  /// 1.0 outside every window).
+  double slowdownAt(SimTime at) const;
+
   /// Observer for completed kernels (name, compute start/end, final
   /// completion including any in-kernel quiet).
   using KernelSpanFn = std::function<void(
@@ -126,6 +139,12 @@ class Device {
     std::int64_t size;
   };
 
+  struct SlowdownWindow {
+    SimTime start;
+    SimTime end;
+    double factor;
+  };
+
   std::int64_t takeOffset(std::int64_t n);
 
   int id_;
@@ -137,6 +156,7 @@ class Device {
   std::int64_t alloc_seq_ = 0;
   std::vector<FreeBlock> free_list_;
   std::vector<float> storage_;
+  std::vector<SlowdownWindow> slowdown_windows_;
   sim::FifoResource compute_;
   KernelSpanFn kernel_span_observer_;
 };

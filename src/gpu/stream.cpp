@@ -69,8 +69,16 @@ void Stream::enqueueKernel(SimTime ready, KernelDesc desc) {
   enqueue(ready, desc.name,
           [this, desc = std::move(desc)](
               SimTime start, std::function<void(SimTime)> done) {
-            auto grant = device_.computeResource().acquire(start,
-                                                           desc.duration);
+            SimTime duration = desc.duration;
+            if (device_.hasSlowdownWindows()) {
+              // Straggler fault: stretch the kernel by the slowdown in
+              // force when its compute actually starts (deterministic —
+              // the FIFO fixes the start).
+              const double factor = device_.slowdownAt(
+                  device_.computeResource().nextFreeTime(start));
+              if (factor > 1.0) duration = duration * factor;
+            }
+            auto grant = device_.computeResource().acquire(start, duration);
             if (sanitizer_ != nullptr) {
               for (const auto& effect : desc.mem_effects) {
                 sanitizer_->access(actor_, effect.device, effect.range,
@@ -81,7 +89,7 @@ void Stream::enqueueKernel(SimTime ready, KernelDesc desc) {
             }
             if (desc.functional_body) desc.functional_body();
             if (desc.on_slice) {
-              const std::int64_t dur = desc.duration.count();
+              const std::int64_t dur = duration.count();
               for (int i = 0; i < desc.slices; ++i) {
                 const SimTime at =
                     grant.start +

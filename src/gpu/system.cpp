@@ -61,6 +61,11 @@ SimTime MultiGpuSystem::launchKernel(int id, KernelDesc desc) {
 }
 
 SimTime MultiGpuSystem::launchKernelOn(Stream& stream, KernelDesc desc) {
+  if (launch_fault_hook_) {
+    // Transient launch failures: the host burns retry time before the
+    // launch that finally sticks.
+    host_now_ += launch_fault_hook_(stream.device().id(), host_now_);
+  }
   host_now_ += config_.cost_model.kernel_launch_overhead;
   stream.enqueueKernel(host_now_, std::move(desc));
   return host_now_;

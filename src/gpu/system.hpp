@@ -61,6 +61,16 @@ class MultiGpuSystem {
   SimTime launchKernel(int id, KernelDesc desc);
   SimTime launchKernelOn(Stream& stream, KernelDesc desc);
 
+  /// Fault-injection hook consulted before every kernel launch: returns
+  /// the extra host time transient launch failures cost (zero = the
+  /// launch succeeds first try). Null (the default) skips the hook
+  /// entirely — the launch path is identical to a fault-free build.
+  /// Installed by fault::FaultInjector.
+  using LaunchFaultHook = std::function<SimTime(int device, SimTime host_now)>;
+  void setLaunchFaultHook(LaunchFaultHook hook) {
+    launch_fault_hook_ = std::move(hook);
+  }
+
   /// Block the host until device `id`'s default stream drains; charges
   /// the sync overhead. Returns host time after the call.
   SimTime syncDevice(int id);
@@ -83,6 +93,7 @@ class MultiGpuSystem {
 
  private:
   KernelObserver kernel_observer_;
+  LaunchFaultHook launch_fault_hook_;
   SystemConfig config_;
   sim::Simulator simulator_;
   std::vector<std::unique_ptr<Device>> devices_;

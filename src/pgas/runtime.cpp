@@ -1,7 +1,9 @@
 #include "pgas/runtime.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "fault/injector.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::pgas {
@@ -47,15 +49,54 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
     }
     for (const auto& f :
          plan.flows[static_cast<std::size_t>(slice)]) {
-      const auto d =
-          fabric_.transfer(src, f.dst, f.payload_bytes, f.n_messages, at);
-      quiet->last_delivery = std::max(quiet->last_delivery, d.delivered);
-      if (counter != nullptr) counter->record(at, f.payload_bytes);
+      if (injector_ == nullptr) {
+        const auto d =
+            fabric_.transfer(src, f.dst, f.payload_bytes, f.n_messages, at);
+        quiet->last_delivery = std::max(quiet->last_delivery, d.delivered);
+        if (counter != nullptr) counter->record(at, f.payload_bytes);
+        if (san != nullptr) {
+          for (const auto& effect : remote_writes) {
+            if (effect.device != f.dst) continue;
+            san->access(quiet->side_actor, effect.device, effect.range,
+                        effect.kind, at, d.delivered, effect.label);
+          }
+        }
+        continue;
+      }
+      // Delivery-tracked put: flap-dropped attempts are retransmitted
+      // after timeout + backoff, every injection counts toward comm
+      // volume, and quiet waits on the *acknowledged* delivery.
+      const auto r = injector_->reliablePut(
+          src, f.dst, f.payload_bytes, f.n_messages, at,
+          [&](SimTime attempt_at, const fabric::Fabric::Delivery&) {
+            if (counter != nullptr) counter->record(attempt_at, f.payload_bytes);
+          });
+      const bool buggy = injector_->plan().bug_retransmit_without_quiet &&
+                         r.retransmitted();
+      // Seeded bug (simsan certification): quiet latches the loss time of
+      // the dropped attempt instead of the acked retransmit, so kernel
+      // completion no longer covers the recovered write.
+      quiet->last_delivery = std::max(quiet->last_delivery,
+                                      buggy ? r.first_loss : r.acked);
       if (san != nullptr) {
         for (const auto& effect : remote_writes) {
           if (effect.device != f.dst) continue;
+          if (!buggy) {
+            san->access(quiet->side_actor, effect.device, effect.range,
+                        effect.kind, at, r.acked, effect.label);
+            continue;
+          }
+          // The original attempt dies at the flap...
           san->access(quiet->side_actor, effect.device, effect.range,
-                      effect.kind, at, d.delivered, effect.label);
+                      effect.kind, at, r.first_loss, effect.label);
+          // ...and the retransmit engine lands the write without being
+          // re-armed under quiet: its actor is never joined, so the
+          // landing races with whoever consumes the destination.
+          const auto rogue = san->forkActor(
+              "gpu" + std::to_string(src) + ".pgas_put.retransmit",
+              quiet->side_actor);
+          san->access(rogue, effect.device, effect.range, effect.kind,
+                      r.first_loss, r.acked, effect.label + ".retransmit");
         }
       }
     }
@@ -75,6 +116,11 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
 
 SimTime PgasRuntime::put(int src, int dst, std::int64_t payload_bytes,
                          std::int64_t n_messages) {
+  if (injector_ != nullptr) {
+    return injector_
+        ->reliablePut(src, dst, payload_bytes, n_messages, system_.hostNow())
+        .acked;
+  }
   const auto d = fabric_.transfer(src, dst, payload_bytes, n_messages,
                                   system_.hostNow());
   return d.delivered;

@@ -21,6 +21,10 @@
 #include "pgas/symmetric_heap.hpp"
 #include "simsan/access.hpp"
 
+namespace pgasemb::fault {
+class FaultInjector;
+}
+
 namespace pgasemb::pgas {
 
 class PgasRuntime {
@@ -29,6 +33,17 @@ class PgasRuntime {
 
   SymmetricHeap& heap() { return heap_; }
   fabric::Fabric& fabric() { return fabric_; }
+
+  /// Attach the fault injector: every one-sided put gains delivery
+  /// tracking with timeout-driven retransmission (capped exponential
+  /// backoff), and quiet waits for the last *acknowledged* delivery —
+  /// retransmits re-enter the fabric and are counted in its
+  /// ResilienceStats.  Null (the default) keeps the original direct
+  /// path, bit-identical to a fault-free build.  Not owned; must
+  /// outlive the runtime.
+  void setFaultInjector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Wire `desc` so its slices emit `plan`'s flows from GPU `src` and its
   /// completion implements quiet (waits for the last delivery).  If
@@ -58,6 +73,7 @@ class PgasRuntime {
   gpu::MultiGpuSystem& system_;
   fabric::Fabric& fabric_;
   SymmetricHeap heap_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace pgasemb::pgas

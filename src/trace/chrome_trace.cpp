@@ -48,6 +48,11 @@ void ChromeTraceRecorder::attach(gpu::MultiGpuSystem& system,
   });
 }
 
+void ChromeTraceRecorder::markFaultWindows(
+    const std::vector<fault::FaultSpec>& specs) {
+  faults_.insert(faults_.end(), specs.begin(), specs.end());
+}
+
 void ChromeTraceRecorder::detach() {
   if (system_ != nullptr) system_->setKernelObserver(nullptr);
   if (fabric_ != nullptr) fabric_->setFlowObserver(nullptr);
@@ -87,6 +92,11 @@ std::string ChromeTraceRecorder::toJson() const {
          "wire", 1, f.src * 64 + f.dst, f.start, f.end - f.start,
          args.str());
   }
+  // pid 2 = fault windows, all in one lane so they overlay the timeline.
+  for (const auto& spec : faults_) {
+    emit(spec.describe(), "fault", 2, 0, spec.start, spec.end - spec.start,
+         "");
+  }
   out << "\n]\n";
   return out.str();
 }
@@ -100,6 +110,7 @@ void ChromeTraceRecorder::writeFile(const std::string& path) const {
 void ChromeTraceRecorder::clear() {
   kernels_.clear();
   flows_.clear();
+  faults_.clear();
 }
 
 }  // namespace pgasemb::trace

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "fault/plan.hpp"
 #include "gpu/system.hpp"
 
 namespace pgasemb::trace {
@@ -25,6 +26,13 @@ class ChromeTraceRecorder {
 
   std::size_t kernelSpanCount() const { return kernels_.size(); }
   std::size_t flowCount() const { return flows_.size(); }
+  std::size_t faultSpanCount() const { return faults_.size(); }
+
+  /// Add marker spans for an armed fault plan (one lane, one span per
+  /// materialized window) so degradation windows line up visually with
+  /// the kernel and wire spans they perturb. Feed it
+  /// FaultInjector::materialized().
+  void markFaultWindows(const std::vector<fault::FaultSpec>& specs);
 
   /// Serialize to the Chrome trace-event JSON array format.
   std::string toJson() const;
@@ -55,6 +63,7 @@ class ChromeTraceRecorder {
   fabric::Fabric* fabric_ = nullptr;
   std::vector<KernelSpan> kernels_;
   std::vector<FlowSpan> flows_;
+  std::vector<fault::FaultSpec> faults_;
 };
 
 }  // namespace pgasemb::trace

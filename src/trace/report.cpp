@@ -240,6 +240,36 @@ std::string renderCacheTable(const std::vector<ScalingPoint>& points) {
   return table.render();
 }
 
+std::string renderResilienceTable(const std::vector<ScalingPoint>& points) {
+  bool any = false;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      any = any || run.result.resilience.has_value();
+    }
+  }
+  if (!any) return "";
+
+  ConsoleTable table({"Resilience", "GPUs", "drops", "retransmits",
+                      "reissues", "launch retries", "recovery ms",
+                      "fallback"});
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      const auto& rs = run.result.resilience;
+      if (!rs.has_value()) continue;
+      table.addRow({runStyle(run.retriever).short_name,
+                    std::to_string(p.gpus),
+                    std::to_string(rs->dropped_flows),
+                    std::to_string(rs->retransmits),
+                    std::to_string(rs->collective_reissues),
+                    std::to_string(rs->launch_retries),
+                    ConsoleTable::num(rs->recovery_latency.toMs(), 3),
+                    rs->fallback_switches > 0 ? rs->fallback_retriever
+                                              : "-"});
+    }
+  }
+  return table.render();
+}
+
 void writeScalingCsv(const std::string& path,
                      const std::vector<ScalingPoint>& points) {
   PGASEMB_CHECK(!points.empty() && !points.front().runs.empty(),
@@ -275,6 +305,23 @@ void writeScalingCsv(const std::string& path,
     }
   }
 
+  // Resilience columns likewise appear only on faulted sweeps, keeping
+  // fault-free CSVs byte-identical to the historical schema.
+  bool any_resilience = false;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      any_resilience = any_resilience || run.result.resilience.has_value();
+    }
+  }
+  if (any_resilience) {
+    for (const auto& run : runs) {
+      const std::string key = runKey(run.retriever);
+      headers.push_back(key + "_retransmits");
+      headers.push_back(key + "_reissues");
+      headers.push_back(key + "_fallbacks");
+    }
+  }
+
   CsvWriter csv(path, headers);
   for (const auto& p : points) {
     const auto& ref = p.reference().result;
@@ -295,6 +342,14 @@ void writeScalingCsv(const std::string& path,
         row.push_back(ConsoleTable::num(run.result.cacheHitRate(), 4));
         row.push_back(
             ConsoleTable::num(run.result.cacheSavedBytes(), 0));
+      }
+    }
+    if (any_resilience) {
+      for (const auto& run : p.runs) {
+        const auto& rs = run.result.resilience;
+        row.push_back(std::to_string(rs ? rs->retransmits : 0));
+        row.push_back(std::to_string(rs ? rs->collective_reissues : 0));
+        row.push_back(std::to_string(rs ? rs->fallback_switches : 0));
       }
     }
     csv.addRow(row);

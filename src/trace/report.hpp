@@ -76,6 +76,12 @@ std::string renderCommVolumeChart(const std::vector<engine::NamedResult>& runs,
 /// callers can print it unconditionally and stay absent-neutral.
 std::string renderCacheTable(const std::vector<ScalingPoint>& points);
 
+/// Resilience summary table (drops, retransmits, collective reissues,
+/// launch retries, recovery time, SLO fallbacks per retriever per GPU
+/// count). Returns "" when no run recorded resilience stats, so callers
+/// can print it unconditionally and stay absent-neutral.
+std::string renderResilienceTable(const std::vector<ScalingPoint>& points);
+
 /// Write a scaling sweep as CSV rows for offline plotting. Column names
 /// derive from each run's short name; the default baseline-vs-PGAS sweep
 /// reproduces the historical schema (gpus, baseline_ms, pgas_ms, ...).

@@ -1,9 +1,11 @@
 #include "util/cli.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/expect.hpp"
+#include "util/parse.hpp"
 
 namespace pgasemb {
 
@@ -66,9 +68,34 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     auto it = flags_.find(name);
     PGASEMB_CHECK(it != flags_.end(), "unknown flag: --", name);
+    // Validate now, so `--gpus twelve` fails at the command line with
+    // the flag named, not deep inside a sweep when the value is read.
+    switch (it->second.kind) {
+      case Kind::kInt:
+        parseIntStrict(value, "flag --" + name);
+        break;
+      case Kind::kDouble:
+        parseDoubleStrict(value, "flag --" + name);
+        break;
+      case Kind::kBool:
+        parseBoolStrict(value, "flag --" + name);
+        break;
+      case Kind::kString:
+        break;
+    }
     it->second.value = value;
   }
   return true;
+}
+
+bool CliParser::parseOrExit(int argc, const char* const* argv) {
+  try {
+    return parse(argc, argv);
+  } catch (const Error& e) {
+    fprintf(stderr, "%s: %s\n(run with --help for usage)\n",
+            argc > 0 ? argv[0] : "?", e.what());
+    std::exit(2);
+  }
 }
 
 const CliParser::Flag& CliParser::find(const std::string& name,
@@ -81,23 +108,12 @@ const CliParser::Flag& CliParser::find(const std::string& name,
 }
 
 std::int64_t CliParser::getInt(const std::string& name) const {
-  const Flag& f = find(name, Kind::kInt);
-  try {
-    return std::stoll(f.value);
-  } catch (const std::exception&) {
-    throw InvalidArgumentError("flag --" + name +
-                               " expects an integer, got: " + f.value);
-  }
+  return parseIntStrict(find(name, Kind::kInt).value, "flag --" + name);
 }
 
 double CliParser::getDouble(const std::string& name) const {
-  const Flag& f = find(name, Kind::kDouble);
-  try {
-    return std::stod(f.value);
-  } catch (const std::exception&) {
-    throw InvalidArgumentError("flag --" + name +
-                               " expects a number, got: " + f.value);
-  }
+  return parseDoubleStrict(find(name, Kind::kDouble).value,
+                           "flag --" + name);
 }
 
 std::string CliParser::getString(const std::string& name) const {
@@ -105,11 +121,7 @@ std::string CliParser::getString(const std::string& name) const {
 }
 
 bool CliParser::getBool(const std::string& name) const {
-  const Flag& f = find(name, Kind::kBool);
-  if (f.value == "true" || f.value == "1" || f.value == "yes") return true;
-  if (f.value == "false" || f.value == "0" || f.value == "no") return false;
-  throw InvalidArgumentError("flag --" + name +
-                             " expects a boolean, got: " + f.value);
+  return parseBoolStrict(find(name, Kind::kBool).value, "flag --" + name);
 }
 
 std::string CliParser::usage() const {

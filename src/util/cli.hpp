@@ -26,8 +26,16 @@ class CliParser {
                const std::string& help);
 
   /// Parses argv. On `--help`, prints usage and returns false.
-  /// Throws InvalidArgumentError on unknown flags or bad values.
+  /// Throws InvalidArgumentError on unknown flags or bad values —
+  /// malformed numbers are rejected here, at parse time, not when the
+  /// flag is first read.
   bool parse(int argc, const char* const* argv);
+
+  /// parse() for main(): prints the error to stderr and exits with
+  /// status 2 on unknown flags or malformed values, so every binary
+  /// fails fast with a pointed message instead of an uncaught-exception
+  /// abort. Returns false on `--help` (caller should return 0).
+  bool parseOrExit(int argc, const char* const* argv);
 
   std::int64_t getInt(const std::string& name) const;
   double getDouble(const std::string& name) const;

@@ -1,0 +1,48 @@
+#include "util/parse.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "util/expect.hpp"
+
+namespace pgasemb {
+
+std::int64_t parseIntStrict(const std::string& text, const std::string& what) {
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &consumed, 10);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError(what + " expects an integer, got: '" + text +
+                               "'");
+  }
+  if (consumed != text.size()) {
+    throw InvalidArgumentError(what + " expects an integer, got: '" + text +
+                               "'");
+  }
+  return value;
+}
+
+double parseDoubleStrict(const std::string& text, const std::string& what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError(what + " expects a number, got: '" + text +
+                               "'");
+  }
+  if (consumed != text.size()) {
+    throw InvalidArgumentError(what + " expects a number, got: '" + text +
+                               "'");
+  }
+  return value;
+}
+
+bool parseBoolStrict(const std::string& text, const std::string& what) {
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  throw InvalidArgumentError(what + " expects a boolean, got: '" + text + "'");
+}
+
+}  // namespace pgasemb

@@ -1,0 +1,24 @@
+// Strict full-string number parsing.
+//
+// std::stoll / std::stod accept prefixes ("12abc" parses as 12), which
+// lets malformed command-line values pass silently.  These helpers
+// require the entire string to be a valid number and throw
+// InvalidArgumentError naming `what` otherwise — shared by the CLI
+// parser and the fault-plan grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pgasemb {
+
+/// Parses a base-10 integer; the whole string must be consumed.
+std::int64_t parseIntStrict(const std::string& text, const std::string& what);
+
+/// Parses a floating-point number; the whole string must be consumed.
+double parseDoubleStrict(const std::string& text, const std::string& what);
+
+/// Accepts true/1/yes and false/0/no.
+bool parseBoolStrict(const std::string& text, const std::string& what);
+
+}  // namespace pgasemb

@@ -11,6 +11,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/expect.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -241,12 +242,84 @@ TEST(CliTest, UnknownFlagThrows) {
   EXPECT_THROW(cli.parse(3, argv), InvalidArgumentError);
 }
 
-TEST(CliTest, BadIntValueThrows) {
+TEST(CliTest, BadIntValueThrowsAtParseTime) {
+  // Malformed values are rejected when the flag is parsed, not when the
+  // bench later reads it — the run never starts on garbage input.
   CliParser cli("test");
   cli.addInt("n", 1, "n");
   const char* argv[] = {"prog", "--n", "abc"};
-  ASSERT_TRUE(cli.parse(3, argv));
-  EXPECT_THROW(cli.getInt("n"), InvalidArgumentError);
+  EXPECT_THROW(cli.parse(3, argv), InvalidArgumentError);
+}
+
+TEST(CliTest, TrailingJunkIntRejected) {
+  // std::stoll would silently accept "12abc" as 12; the strict parser
+  // must consume the whole string.
+  CliParser cli("test");
+  cli.addInt("n", 1, "n");
+  const char* argv[] = {"prog", "--n", "12abc"};
+  EXPECT_THROW(cli.parse(3, argv), InvalidArgumentError);
+}
+
+TEST(CliTest, BadDoubleAndBoolValuesThrowAtParseTime) {
+  CliParser cli("test");
+  cli.addDouble("scale", 1.0, "scale");
+  cli.addBool("flag", false, "flag");
+  const char* bad_double[] = {"prog", "--scale", "1.5x"};
+  EXPECT_THROW(cli.parse(3, bad_double), InvalidArgumentError);
+  const char* bad_bool[] = {"prog", "--flag=maybe"};
+  EXPECT_THROW(cli.parse(2, bad_bool), InvalidArgumentError);
+}
+
+TEST(CliTest, ParseOrExitFailsCleanlyOnUnknownFlag) {
+  CliParser cli("test");
+  cli.addInt("n", 1, "n");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_EXIT(cli.parseOrExit(3, argv), ::testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+TEST(CliTest, ParseOrExitFailsCleanlyOnMalformedValue) {
+  CliParser cli("test");
+  cli.addInt("n", 1, "n");
+  const char* argv[] = {"prog", "--n", "four"};
+  EXPECT_EXIT(cli.parseOrExit(3, argv), ::testing::ExitedWithCode(2),
+              "--help for usage");
+}
+
+TEST(ParseStrictTest, IntAcceptsFullStringsOnly) {
+  EXPECT_EQ(parseIntStrict("42", "t"), 42);
+  EXPECT_EQ(parseIntStrict("-7", "t"), -7);
+  EXPECT_THROW(parseIntStrict("", "t"), InvalidArgumentError);
+  EXPECT_THROW(parseIntStrict("12abc", "t"), InvalidArgumentError);
+  EXPECT_THROW(parseIntStrict("1.5", "t"), InvalidArgumentError);
+  EXPECT_THROW(parseIntStrict("abc", "t"), InvalidArgumentError);
+}
+
+TEST(ParseStrictTest, DoubleAcceptsFullStringsOnly) {
+  EXPECT_DOUBLE_EQ(parseDoubleStrict("0.5", "t"), 0.5);
+  EXPECT_DOUBLE_EQ(parseDoubleStrict("-2", "t"), -2.0);
+  EXPECT_THROW(parseDoubleStrict("", "t"), InvalidArgumentError);
+  EXPECT_THROW(parseDoubleStrict("1.5x", "t"), InvalidArgumentError);
+  EXPECT_THROW(parseDoubleStrict("nanananana", "t"), InvalidArgumentError);
+}
+
+TEST(ParseStrictTest, BoolAcceptsKnownSpellings) {
+  EXPECT_TRUE(parseBoolStrict("true", "t"));
+  EXPECT_TRUE(parseBoolStrict("1", "t"));
+  EXPECT_TRUE(parseBoolStrict("yes", "t"));
+  EXPECT_FALSE(parseBoolStrict("false", "t"));
+  EXPECT_FALSE(parseBoolStrict("0", "t"));
+  EXPECT_FALSE(parseBoolStrict("no", "t"));
+  EXPECT_THROW(parseBoolStrict("maybe", "t"), InvalidArgumentError);
+}
+
+TEST(ParseStrictTest, ErrorMessagesNameTheFlag) {
+  try {
+    parseIntStrict("abc", "flag --gpus");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("--gpus"), std::string::npos);
+  }
 }
 
 TEST(CliTest, UsageListsFlags) {
