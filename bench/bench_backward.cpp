@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
                 "rounds (paper SV future work).");
   cli.addInt("max-gpus", 4, "largest GPU count to sweep");
   cli.addInt("batches", 20, "batches per configuration");
+  bench::addCoalesceFlag(cli);
   if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
             gpus, fabric::LinkParams{}));
     collective::Communicator comm(system, fabric);
     pgas::PgasRuntime runtime(system, fabric);
+    runtime.setCoalescingEnabled(!cli.getBool("no-coalesce"));
     emb::ShardedEmbeddingLayer layer(system, spec);
     dlrm::EmbBackwardEngine engine(layer, comm, runtime, 0.01f);
     const auto batch = emb::SparseBatch::statistical(spec.batchSpec());

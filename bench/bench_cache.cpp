@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.addString("csv", "cache_sweep.csv", "output CSV path (empty = none)");
   bench::addRetrieversFlag(
       cli, "nccl_collective,pgas_fused,nccl_pipelined");
+  bench::addCoalesceFlag(cli);
   if (!cli.parseOrExit(argc, argv)) return 0;
 
   const int gpus = static_cast<int>(cli.getInt("gpus"));
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
       cfg.layer.zipf_alpha = alpha;
       cfg.cache_rows =
           static_cast<std::int64_t>(frac * static_cast<double>(rows));
+      bench::applyCoalesceFlag(cli, cfg);
       engine::ScenarioRunner runner(cfg);
       const auto runs = runner.runAll(retrievers);
       for (std::size_t r = 0; r < runs.size(); ++r) {

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   cli.addString("csv-fig10", "comm_volume_fig10.csv", "Fig 10 CSV path");
   bench::addRetrieversFlag(cli);
   bench::addCacheFlags(cli);
+  bench::addCoalesceFlag(cli);
   if (!cli.parseOrExit(argc, argv)) return 0;
 
   const auto retrievers = bench::retrieverList(cli);
@@ -119,6 +120,8 @@ int main(int argc, char** argv) {
   auto fig10 = engine::strongScalingConfig(4);
   bench::applyCacheFlags(cli, fig7);
   bench::applyCacheFlags(cli, fig10);
+  bench::applyCoalesceFlag(cli, fig7);
+  bench::applyCoalesceFlag(cli, fig10);
   runFigure("Figure 7: comm volume over time — weak scaling, 2 GPUs",
             fig7, retrievers, cli.getString("csv-fig7"));
   runFigure("Figure 10: comm volume over time — strong scaling, 4 GPUs",

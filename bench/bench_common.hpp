@@ -69,6 +69,21 @@ inline std::vector<std::string> retrieverList(const CliParser& cli) {
   return names;
 }
 
+/// Registers the shared --no-coalesce flag (TimingOnly fast-path escape
+/// hatch). Simulated results are identical either way — the flag exists
+/// for parity checks and for debugging with per-message event order.
+inline void addCoalesceFlag(CliParser& cli) {
+  cli.addBool("no-coalesce", false,
+              "disable the TimingOnly per-flow event-coalescing fast path "
+              "(simulated results are identical; runs are just slower)");
+}
+
+/// Applies the --no-coalesce flag to a config.
+inline void applyCoalesceFlag(const CliParser& cli,
+                              engine::ExperimentConfig& cfg) {
+  if (cli.getBool("no-coalesce")) cfg.coalesce_flows = false;
+}
+
 /// Registers the shared --simsan flag (opt-in dynamic checking).
 inline void addSimsanFlag(CliParser& cli) {
   cli.addBool("simsan", false,

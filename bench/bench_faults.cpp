@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   cli.addString("csv", "fault_sweep.csv", "output CSV path (empty = none)");
   bench::addRetrieversFlag(cli);
   bench::addSimsanFlag(cli);
+  bench::addCoalesceFlag(cli);
   if (!cli.parseOrExit(argc, argv)) return 0;
 
   const int gpus = static_cast<int>(cli.getInt("gpus"));
@@ -108,6 +109,7 @@ int main(int argc, char** argv) {
       }
       cfg.faults = fault::FaultPlan::parse(spec, seed, horizon);
     }
+    bench::applyCoalesceFlag(cli, cfg);
     engine::ScenarioRunner runner(cfg);
     trace::ScalingPoint point;
     point.gpus = gpus;

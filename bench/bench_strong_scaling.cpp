@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   bench::addSimsanFlag(cli);
   bench::addCacheFlags(cli);
   bench::addFaultFlags(cli);
+  bench::addCoalesceFlag(cli);
   if (!cli.parseOrExit(argc, argv)) return 0;
 
   bench::printHeader(
@@ -30,7 +31,10 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.getInt("batches")), bench::retrieverList(cli),
       cli.getBool("simsan"), cli.getInt("cache-rows"),
       cli.getDouble("zipf-alpha"),
-      [&](engine::ExperimentConfig& cfg) { bench::applyFaultFlags(cli, cfg); });
+      [&](engine::ExperimentConfig& cfg) {
+        bench::applyFaultFlags(cli, cfg);
+        bench::applyCoalesceFlag(cli, cfg);
+      });
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.95x / 2.55x / 2.44x, geo-mean 2.63x)\n");

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
                 "forward and backward EMB paths (4 GPUs, weak config).");
   cli.addInt("batches", 10, "steps per configuration");
   cli.addInt("gpus", 4, "GPU count");
+  bench::addCoalesceFlag(cli);
   if (!cli.parseOrExit(argc, argv)) return 0;
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int steps = static_cast<int>(cli.getInt("batches"));
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
               gpus, fabric::LinkParams{}));
       collective::Communicator comm(system, fabric);
       pgas::PgasRuntime runtime(system, fabric);
+      runtime.setCoalescingEnabled(!cli.getBool("no-coalesce"));
       emb::ShardedEmbeddingLayer layer(system, spec);
       dlrm::DlrmModel model(model_cfg, layer);
       std::unique_ptr<core::EmbeddingRetriever> retriever;

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Guardrail for the simulator fast path's recorded perf trajectory.
+
+Compares a freshly generated BENCH_*.json (bench_simcore --json /
+bench_weak_scaling --bench-json) against the committed baseline and
+fails when a metric regressed beyond the tolerance. Direction-aware:
+
+  sim_wall_ms_per_batch   lower is better  -> fail if fresh > base*(1+tol)
+  events_per_sec          higher is better -> fail if fresh < base*(1-tol)
+  events_processed        deterministic    -> fail if outside base*(1+-tol)
+                          (any drift here means simulated behaviour moved,
+                          not just the host clock; expect exact equality)
+
+Usage:
+  scripts/check_perf.py FRESH.json BASELINE.json [--tolerance 0.15]
+
+Exit 0 = within tolerance, 1 = regression, 2 = bad invocation/inputs.
+Run it locally after `bench_simcore --json fresh.json`, or let the
+`perf_smoke` ctest target do both steps (it uses a wider tolerance to
+ride out shared-machine noise).
+"""
+
+import argparse
+import json
+import sys
+
+# metric-group key -> (direction, human unit)
+METRICS = {
+    "sim_wall_ms_per_batch": ("lower", "ms/batch"),
+    "events_per_sec": ("higher", "events/s"),
+    "events_processed": ("exact", "events"),
+}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly generated BENCH_*.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drift (default 0.15)")
+    args = ap.parse_args()
+
+    fresh, base = load(args.fresh), load(args.baseline)
+    tol = args.tolerance
+    failures = []
+    checked = 0
+
+    for group, (direction, unit) in METRICS.items():
+        if group not in base:
+            continue
+        if group not in fresh:
+            failures.append(f"{group}: missing from {args.fresh}")
+            continue
+        for key, base_val in base[group].items():
+            if key not in fresh[group]:
+                failures.append(f"{group}.{key}: missing from {args.fresh}")
+                continue
+            fresh_val = fresh[group][key]
+            checked += 1
+            if base_val == 0:
+                continue
+            ratio = fresh_val / base_val
+            if direction == "lower":
+                bad = ratio > 1.0 + tol
+            elif direction == "higher":
+                bad = ratio < 1.0 - tol
+            else:  # exact (count drift means behaviour changed)
+                bad = not (1.0 - tol <= ratio <= 1.0 + tol)
+            verdict = "FAIL" if bad else "ok"
+            line = (f"  {verdict:4s} {group}.{key}: {fresh_val:.1f} vs "
+                    f"baseline {base_val:.1f} {unit} ({ratio:.2f}x, "
+                    f"{direction} is better)"
+                    if direction != "exact" else
+                    f"  {verdict:4s} {group}.{key}: {fresh_val:.0f} vs "
+                    f"baseline {base_val:.0f} {unit} ({ratio:.2f}x, "
+                    f"expect equal)")
+            print(line)
+            if bad:
+                failures.append(f"{group}.{key} drifted {ratio:.2f}x "
+                                f"(tolerance {tol:.2f})")
+
+    if checked == 0:
+        print("check_perf: no comparable metrics found", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"\ncheck_perf: {len(failures)} regression(s) beyond "
+              f"+-{tol:.0%}:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_perf: {checked} metric(s) within +-{tol:.0%} of baseline")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

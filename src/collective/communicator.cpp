@@ -37,7 +37,7 @@ Request Communicator::launch(
                     static_cast<int>(streams->size()) == system_.numGpus(),
                 "need one stream per GPU");
   const int n = system_.numGpus();
-  auto state = std::make_shared<detail::CollectiveState>();
+  auto state = state_pool_.make();
   state->devices_pending = n;
   state->on_complete = std::move(on_complete);
   state->done_callbacks.resize(static_cast<std::size_t>(n));
@@ -48,6 +48,13 @@ Request Communicator::launch(
     state->op_start.assign(static_cast<std::size_t>(n), SimTime::zero());
   }
 
+  // Share one copy of the injection function between the per-device ops
+  // — `inject` closes over the collective's payload description (e.g.
+  // the all-to-all byte matrix), which would otherwise be deep-copied
+  // once per device.
+  auto inject_fn = std::make_shared<std::function<SimTime(int, SimTime)>>(
+      std::move(inject));
+
   // The CPU triggers the collective once per device (proxy enqueue).
   for (int src = 0; src < n; ++src) {
     system_.hostAdvance(system_.costModel().collective_trigger_overhead);
@@ -56,9 +63,9 @@ Request Communicator::launch(
                               : system_.stream(src);
     stream.enqueue(
         system_.hostNow(), label,
-        [this, src, state, inject, stream_ptr = &stream](
+        [this, src, state, inject_fn, stream_ptr = &stream](
             SimTime start, std::function<void(SimTime)> done) {
-          const SimTime local_end = inject(src, start);
+          const SimTime local_end = (*inject_fn)(src, start);
           state->first_start = std::min(state->first_start, start);
           state->completion = std::max(state->completion, local_end);
           state->done_callbacks[static_cast<std::size_t>(src)] =

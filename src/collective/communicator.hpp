@@ -15,6 +15,7 @@
 #include "collective/request.hpp"
 #include "fabric/fabric.hpp"
 #include "gpu/system.hpp"
+#include "util/pool.hpp"
 
 namespace pgasemb::fault {
 class FaultInjector;
@@ -124,6 +125,8 @@ class Communicator {
   gpu::MultiGpuSystem& system_;
   fabric::Fabric& fabric_;
   fault::FaultInjector* injector_ = nullptr;
+  /// Recycles the per-collective completion records (one per launch).
+  util::SharedPool<detail::CollectiveState> state_pool_;
 };
 
 }  // namespace pgasemb::collective

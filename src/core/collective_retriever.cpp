@@ -117,9 +117,11 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
 
   // Phase 1: (probe +) lookup kernels into send buffers, plus the
   // replica serve kernel — all on the default stream (compute).
-  std::vector<std::vector<std::int64_t>> matrix(
-      static_cast<std::size_t>(p),
-      std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
+  send_matrix_.resize(static_cast<std::size_t>(p));
+  for (auto& row : send_matrix_) {
+    row.assign(static_cast<std::size_t>(p), 0);
+  }
+  auto& matrix = send_matrix_;
   for (int g = 0; g < p; ++g) {
     if (f != nullptr) {
       system.launchKernel(g, emb::buildCacheProbeKernel(layer_, *f, g));

@@ -40,6 +40,9 @@ class CollectiveRetriever final : public EmbeddingRetriever {
   std::vector<gpu::DeviceBuffer> send_buffers_;
   std::vector<gpu::DeviceBuffer> recv_buffers_;
   std::vector<gpu::DeviceBuffer> outputs_;
+  /// Per-batch all-to-all byte matrix, zeroed and reused across batches
+  /// instead of reallocated (p nested vectors per batch otherwise).
+  std::vector<std::vector<std::int64_t>> send_matrix_;
 };
 
 }  // namespace pgasemb::core

@@ -74,12 +74,14 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
     return *events_[ev_base + static_cast<std::size_t>(p + g)];
   };
   // The a2a of the batch that last used this slot must finish reading
-  // the send buffer before the new lookup overwrites it.
+  // the send buffer before the new lookup overwrites it.  Batches whose
+  // events were released at a drain() are fully complete — their slot
+  // needs no wait.
   gpu::GpuEvent* slot_free[64] = {};
-  if (submitted_ >= depth_) {
+  if (submitted_ >= depth_ && submitted_ - depth_ >= events_base_batch_) {
     const std::size_t old_base =
-        static_cast<std::size_t>(submitted_ - depth_) * 2 *
-        static_cast<std::size_t>(p);
+        static_cast<std::size_t>(submitted_ - depth_ - events_base_batch_) *
+        2 * static_cast<std::size_t>(p);
     for (int g = 0; g < p; ++g) {
       slot_free[g] = events_[old_base + static_cast<std::size_t>(p + g)]
                          .get();
@@ -105,9 +107,11 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
   }
   const emb::CacheFilter* f = filter_.get();
 
-  std::vector<std::vector<std::int64_t>> matrix(
-      static_cast<std::size_t>(p),
-      std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
+  send_matrix_.resize(static_cast<std::size_t>(p));
+  for (auto& row : send_matrix_) {
+    row.assign(static_cast<std::size_t>(p), 0);
+  }
+  auto& matrix = send_matrix_;
   for (int g = 0; g < p; ++g) {
     auto kernel =
         emb::buildBaselineLookupKernel(layer_, batch, g, nullptr, f);
@@ -228,6 +232,15 @@ SimTime PipelinedCollectiveRetriever::drain() {
   const SimTime t = layer_.system().syncAll();
   last_host_ = t;
   drained_through_ = submitted_;
+  // Everything enqueued so far has retired, so no stream op or pending
+  // simulator event references the event table any more — release it
+  // instead of letting it grow for the life of the run. Kept when the
+  // sanitizer is attached: recorded events still carry release/acquire
+  // provenance that later waits may join against.
+  if (layer_.system().sanitizer() == nullptr) {
+    events_.clear();
+    events_base_batch_ = submitted_;
+  }
   return t;
 }
 

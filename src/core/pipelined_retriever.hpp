@@ -72,7 +72,14 @@ class PipelinedCollectiveRetriever final : public EmbeddingRetriever {
   std::vector<Slot> slots_;
   std::vector<gpu::Stream*> comm_streams_;  // one per GPU
   // Events live until drain (the simulator may still reference them).
+  // A full drain() retires every reference, so the table is released
+  // there (see events_base_batch_) instead of growing for the whole run.
   std::vector<std::unique_ptr<gpu::GpuEvent>> events_;
+  // Batch index events_[0] belongs to; events of earlier batches were
+  // released at a drain() and are guaranteed complete.
+  std::int64_t events_base_batch_ = 0;
+  // Per-batch all-to-all byte matrix, reused across batches.
+  std::vector<std::vector<std::int64_t>> send_matrix_;
   std::int64_t submitted_ = 0;
   std::int64_t drained_through_ = 0;  // submitted_ at the last drain()
   SimTime last_host_ = SimTime::zero();

@@ -48,6 +48,13 @@ struct ExperimentConfig {
   fabric::LinkParams inter_node_link;
   /// Time-series bucket width for the comm-volume traces.
   SimTime counter_bucket = SimTime::us(20.0);
+  /// TimingOnly fast path: coalesce a kernel's per-slice injection
+  /// events into one synchronous per-flow pass when provably
+  /// result-identical (see PgasRuntime::setCoalescingEnabled). False =
+  /// the --no-coalesce escape hatch: always schedule one simulator
+  /// event per slice. Simulated results are identical either way; only
+  /// wall-clock differs.
+  bool coalesce_flows = true;
   std::uint64_t batch_seed = 0xbeef;
   /// Attach the simsan happens-before/bounds/lifetime checker to the
   /// run. Purely observational: timings and outputs are unchanged.

@@ -60,6 +60,7 @@ void SystemBuilder::build() {
 
   comm_ = std::make_unique<collective::Communicator>(*system_, *fabric_);
   runtime_ = std::make_unique<pgas::PgasRuntime>(*system_, *fabric_);
+  runtime_->setCoalescingEnabled(config_.coalesce_flows);
   layer_ = std::make_unique<emb::ShardedEmbeddingLayer>(
       *system_, config_.layer, config_.sharding);
   if (config_.cache_rows > 0) {

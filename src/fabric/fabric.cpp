@@ -75,6 +75,14 @@ Fabric::Delivery Fabric::transfer(int src, int dst,
   return d;
 }
 
+bool Fabric::coalescingSafe() const {
+  if (!topology_->dedicatedPairLinks() || flow_observer_) return false;
+  for (Link* link : topology_->links()) {
+    if (link->hasFaultWindows()) return false;
+  }
+  return true;
+}
+
 void Fabric::reset() {
   injected_.reset();
   delivered_.reset();

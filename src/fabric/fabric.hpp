@@ -77,6 +77,15 @@ class Fabric {
     flow_observer_ = std::move(observer);
   }
 
+  /// True when reordering one source's flow injections relative to other
+  /// simulator events cannot change any observable result: dedicated
+  /// per-pair links (no cross-source contention), no flow observer (who
+  /// would see the reordered callback sequence), and no armed link-fault
+  /// windows (drop/degrade decisions sample link state per flow). The
+  /// PGAS runtime combines this with its own conditions to decide
+  /// per-kernel slice coalescing.
+  bool coalescingSafe() const;
+
   /// Clear counters and link occupancy (new experiment, same topology).
   void reset();
 

@@ -31,6 +31,15 @@ class Topology {
 
   /// All links (for counters/reset/utilization reports).
   virtual std::vector<Link*> links() = 0;
+
+  /// True when every ordered (src, dst) pair routes over links used by
+  /// no other pair, so flows from different sources can never contend.
+  /// This is the topological safety condition for the TimingOnly
+  /// per-flow coalescing fast path: reordering one source's injections
+  /// relative to other sources' events cannot change any link grant.
+  /// Shared-resource topologies (NVSwitch ports, ring hops, NICs) must
+  /// keep the default `false`.
+  virtual bool dedicatedPairLinks() const { return false; }
 };
 
 /// Fully connected single-node NVLink system (the paper's DGX).
@@ -41,6 +50,7 @@ class NvlinkAllToAllTopology final : public Topology {
   int numGpus() const override { return num_gpus_; }
   std::vector<Link*> route(int src, int dst) override;
   std::vector<Link*> links() override;
+  bool dedicatedPairLinks() const override { return true; }
 
   Link& link(int src, int dst);
 

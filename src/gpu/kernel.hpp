@@ -31,6 +31,15 @@ struct KernelDesc {
   /// Slice `slices - 1` fires exactly at compute end.
   std::function<void(int slice, SimTime at)> on_slice;
 
+  /// Fast path (set by the PGAS runtime when provably safe): run every
+  /// slice callback synchronously at kernel start, passing each slice
+  /// its original future timestamp, instead of scheduling one simulator
+  /// event per slice. Timing-identical only when nothing else can
+  /// interleave with this kernel's flows between kernel start and
+  /// compute end (dedicated pair links, no simsan/faults/counters — see
+  /// PgasRuntime::attachMessagePlan).
+  bool coalesce_slices = false;
+
   /// Host-side functional data-plane work, run once when the kernel
   /// starts. Null in timing-only mode.
   std::function<void()> functional_body;

@@ -64,12 +64,31 @@ void Stream::opFinished(SimTime end) {
   tryStartNext();
 }
 
+namespace {
+
+/// Per-launch state shared between a kernel's op, its slice events and
+/// its completion event.  Holding the descriptor here (instead of
+/// copying it into every closure) is what keeps slice events at a
+/// shared_ptr + index + timestamp — small enough for EventFn's inline
+/// buffer, and free of the per-slice deep copy of the descriptor's
+/// capture (the message plan) that used to dominate hot-run profiles.
+struct KernelLaunch {
+  KernelDesc desc;
+  SimTime grant_start;
+  SimTime grant_end;
+  std::function<void(SimTime)> done;
+};
+
+}  // namespace
+
 void Stream::enqueueKernel(SimTime ready, KernelDesc desc) {
   PGASEMB_CHECK(desc.slices >= 1, "kernel needs >= 1 slice");
-  enqueue(ready, desc.name,
-          [this, desc = std::move(desc)](
-              SimTime start, std::function<void(SimTime)> done) {
-            SimTime duration = desc.duration;
+  auto state = std::make_shared<KernelLaunch>();
+  state->desc = std::move(desc);
+  enqueue(ready, state->desc.name,
+          [this, state](SimTime start, std::function<void(SimTime)> done) {
+            const KernelDesc& d = state->desc;
+            SimTime duration = d.duration;
             if (device_.hasSlowdownWindows()) {
               // Straggler fault: stretch the kernel by the slowdown in
               // force when its compute actually starts (deterministic —
@@ -78,39 +97,59 @@ void Stream::enqueueKernel(SimTime ready, KernelDesc desc) {
                   device_.computeResource().nextFreeTime(start));
               if (factor > 1.0) duration = duration * factor;
             }
-            auto grant = device_.computeResource().acquire(start, duration);
+            const auto grant =
+                device_.computeResource().acquire(start, duration);
+            state->grant_start = grant.start;
+            state->grant_end = grant.end;
             if (sanitizer_ != nullptr) {
-              for (const auto& effect : desc.mem_effects) {
+              for (const auto& effect : d.mem_effects) {
                 sanitizer_->access(actor_, effect.device, effect.range,
                                    effect.kind, grant.start, grant.end,
-                                   effect.label.empty() ? desc.name
+                                   effect.label.empty() ? d.name
                                                         : effect.label);
               }
             }
-            if (desc.functional_body) desc.functional_body();
-            if (desc.on_slice) {
+            if (d.functional_body) d.functional_body();
+            if (d.on_slice) {
               const std::int64_t dur = duration.count();
-              for (int i = 0; i < desc.slices; ++i) {
-                const SimTime at =
-                    grant.start +
-                    SimTime(dur * (i + 1) / desc.slices);
-                simulator_.scheduleAt(
-                    at, [i, at, fn = desc.on_slice] { fn(i, at); });
+              if (d.coalesce_slices) {
+                // Fast path: emit every slice synchronously with its
+                // original timestamp. The flows land on the fabric in
+                // the same order at the same times, so link grants —
+                // and therefore every simulated result — are identical
+                // (see KernelDesc::coalesce_slices for the safety
+                // conditions).
+                for (int i = 0; i < d.slices; ++i) {
+                  d.on_slice(i, grant.start +
+                                    SimTime(dur * (i + 1) / d.slices));
+                }
+              } else {
+                slice_batch_.reserve(static_cast<std::size_t>(d.slices));
+                for (int i = 0; i < d.slices; ++i) {
+                  const SimTime at =
+                      grant.start + SimTime(dur * (i + 1) / d.slices);
+                  slice_batch_.push_back(
+                      {at, [state, i, at] { state->desc.on_slice(i, at); }});
+                }
+                simulator_.scheduleBatch(slice_batch_);
               }
             }
-            simulator_.scheduleAt(
-                grant.end,
-                [this, grant, done = std::move(done),
-                 finalize = desc.finalize, name = desc.name] {
-                  const SimTime completion =
-                      finalize ? finalize(grant.end) : grant.end;
-                  PGASEMB_ASSERT(
-                      completion >= grant.end,
-                      "finalize moved completion before compute end");
-                  device_.notifyKernelSpan(name, grant.start, grant.end,
-                                           completion);
-                  done(completion);
-                });
+            state->done = std::move(done);
+            simulator_.scheduleAt(grant.end, [this, state] {
+              const SimTime completion =
+                  state->desc.finalize
+                      ? state->desc.finalize(state->grant_end)
+                      : state->grant_end;
+              PGASEMB_ASSERT(
+                  completion >= state->grant_end,
+                  "finalize moved completion before compute end");
+              device_.notifyKernelSpan(state->desc.name, state->grant_start,
+                                       state->grant_end, completion);
+              // Detach before invoking: done() may start the next op,
+              // which must not observe this launch's callback as live.
+              auto done_cb = std::move(state->done);
+              done_cb(completion);
+            });
           });
 }
 

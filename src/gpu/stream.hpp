@@ -11,6 +11,7 @@
 #include <string>
 
 #include "gpu/kernel.hpp"
+#include "sim/event_queue.hpp"
 #include "simsan/checker.hpp"
 #include "util/time.hpp"
 
@@ -85,6 +86,9 @@ class Stream {
   std::deque<Pending> queue_;
   bool busy_ = false;
   SimTime last_completion_ = SimTime::zero();
+  /// Staging buffer for per-slice events, reused across kernel launches
+  /// so the hot path does not reallocate it per kernel.
+  std::vector<sim::EventQueue::Batch> slice_batch_;
 };
 
 }  // namespace pgasemb::gpu

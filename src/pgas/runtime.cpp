@@ -29,12 +29,21 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
 
   desc.slices = plan.slices;
 
-  // Tracks the last remote delivery of this kernel's writes for quiet.
-  struct QuietState {
-    SimTime last_delivery = SimTime::zero();
-    simsan::ActorId side_actor = -1;  ///< this kernel's put engine
-  };
-  auto quiet = std::make_shared<QuietState>();
+  // Slice-coalescing eligibility: every condition under which running
+  // the slice callbacks synchronously at kernel start (with their
+  // original timestamps) is provably result-identical to one simulator
+  // event per slice.  Anything that observes per-message *event order*
+  // — the simsan checker, fault drop windows (via the injector or armed
+  // links), per-injection comm counters, flow observers — re-arms the
+  // per-message path; so does a shared-resource topology, where another
+  // source's flow could interleave on the same link.
+  desc.coalesce_slices = coalesce_enabled_ &&
+                         system_.mode() == gpu::ExecutionMode::kTimingOnly &&
+                         system_.sanitizer() == nullptr &&
+                         injector_ == nullptr && counter == nullptr &&
+                         fabric_.coalescingSafe();
+
+  auto quiet = quiet_pool_.make();
 
   desc.on_slice = [this, src, counter, quiet,
                    remote_writes = std::move(remote_writes),
@@ -47,6 +56,15 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
           "gpu" + std::to_string(src) + ".pgas_put",
           system_.stream(src).sanitizerActor());
     }
+    // One delivery-tracking callback per slice, not per put: the flow
+    // loop retargets `attempt_payload` instead of materializing a fresh
+    // std::function for every transfer.
+    std::int64_t attempt_payload = 0;
+    const fault::FaultInjector::AttemptFn on_attempt =
+        [counter, &attempt_payload](SimTime attempt_at,
+                                    const fabric::Fabric::Delivery&) {
+          if (counter != nullptr) counter->record(attempt_at, attempt_payload);
+        };
     for (const auto& f :
          plan.flows[static_cast<std::size_t>(slice)]) {
       if (injector_ == nullptr) {
@@ -66,11 +84,9 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
       // Delivery-tracked put: flap-dropped attempts are retransmitted
       // after timeout + backoff, every injection counts toward comm
       // volume, and quiet waits on the *acknowledged* delivery.
+      attempt_payload = f.payload_bytes;
       const auto r = injector_->reliablePut(
-          src, f.dst, f.payload_bytes, f.n_messages, at,
-          [&](SimTime attempt_at, const fabric::Fabric::Delivery&) {
-            if (counter != nullptr) counter->record(attempt_at, f.payload_bytes);
-          });
+          src, f.dst, f.payload_bytes, f.n_messages, at, on_attempt);
       const bool buggy = injector_->plan().bug_retransmit_without_quiet &&
                          r.retransmitted();
       // Seeded bug (simsan certification): quiet latches the loss time of

@@ -20,6 +20,7 @@
 #include "pgas/message_plan.hpp"
 #include "pgas/symmetric_heap.hpp"
 #include "simsan/access.hpp"
+#include "util/pool.hpp"
 
 namespace pgasemb::fault {
 class FaultInjector;
@@ -44,6 +45,15 @@ class PgasRuntime {
   void setFaultInjector(fault::FaultInjector* injector) {
     injector_ = injector;
   }
+
+  /// Master switch for the TimingOnly slice-coalescing fast path
+  /// (--no-coalesce escape hatch). Even when enabled, a kernel's slices
+  /// are only coalesced when it is provably result-identical: TimingOnly
+  /// mode, no simsan checker, no fault injector, no per-injection
+  /// counter, and Fabric::coalescingSafe() (dedicated pair links, no
+  /// flow observer, no armed fault windows). Default on.
+  void setCoalescingEnabled(bool enabled) { coalesce_enabled_ = enabled; }
+  bool coalescingEnabled() const { return coalesce_enabled_; }
 
   /// Wire `desc` so its slices emit `plan`'s flows from GPU `src` and its
   /// completion implements quiet (waits for the last delivery).  If
@@ -70,10 +80,20 @@ class PgasRuntime {
               std::int64_t n_messages);
 
  private:
+  /// Tracks the last remote delivery of one kernel's writes for quiet.
+  struct QuietState {
+    SimTime last_delivery = SimTime::zero();
+    simsan::ActorId side_actor = -1;  ///< this kernel's put engine
+  };
+
   gpu::MultiGpuSystem& system_;
   fabric::Fabric& fabric_;
   SymmetricHeap heap_;
   fault::FaultInjector* injector_ = nullptr;
+  bool coalesce_enabled_ = true;
+  /// Recycles the per-kernel quiet records (one per attachMessagePlan'd
+  /// launch) instead of hitting the allocator each time.
+  util::SharedPool<QuietState> quiet_pool_;
 };
 
 }  // namespace pgasemb::pgas

@@ -1,0 +1,66 @@
+#include "sim/event_fn.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace pgasemb::sim::detail {
+namespace {
+
+// Overflow size classes. Captures above the largest class are rare
+// (cold control-plane events) and go straight to the global heap.
+constexpr std::size_t kClassBytes[] = {64, 128, 256};
+constexpr int kNumClasses = 3;
+// Freelist cap per class: bounds idle memory at 256 KiB/thread worst
+// case while still absorbing the steady-state churn of a large run.
+constexpr std::size_t kMaxFreePerClass = 1024;
+
+int classOf(std::size_t bytes) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (bytes <= kClassBytes[c]) return c;
+  }
+  return -1;
+}
+
+struct Slab {
+  std::vector<void*> free_lists[kNumClasses];
+  ~Slab() {
+    for (auto& list : free_lists) {
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+};
+
+Slab& slab() {
+  thread_local Slab s;
+  return s;
+}
+
+}  // namespace
+
+void* slabAlloc(std::size_t bytes) {
+  const int c = classOf(bytes);
+  if (c < 0) return ::operator new(bytes);
+  auto& list = slab().free_lists[c];
+  if (!list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  return ::operator new(kClassBytes[c]);
+}
+
+void slabFree(void* p, std::size_t bytes) {
+  const int c = classOf(bytes);
+  if (c < 0) {
+    ::operator delete(p);
+    return;
+  }
+  auto& list = slab().free_lists[c];
+  if (list.size() < kMaxFreePerClass) {
+    list.push_back(p);
+  } else {
+    ::operator delete(p);
+  }
+}
+
+}  // namespace pgasemb::sim::detail

@@ -1,0 +1,135 @@
+// Small-buffer event callable for the discrete-event simulator.
+//
+// The event loop used to store callbacks as `std::function<void()>`,
+// which heap-allocates any capture larger than its 16-byte inline
+// buffer and copies the whole closure on every queue move.  Hot paths
+// (per-slice PGAS injections, stream op starts) capture 24-48 bytes, so
+// nearly every scheduled event paid one allocation plus a managed copy.
+//
+// `EventFn` is a move-only callable with a 48-byte inline buffer sized
+// for every hot-path closure in the simulator; captures that do not fit
+// fall back to a thread-local slab allocator (size-class freelists, so
+// steady-state overflow events recycle blocks instead of hitting the
+// global heap).  Moves are two pointer stores plus a memcpy of the
+// inline buffer — no allocation ever.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pgasemb::sim {
+
+namespace detail {
+/// Slab allocator for EventFn overflow captures: size-class freelists
+/// (64/128/256 bytes) that recycle blocks for the lifetime of the
+/// thread; larger captures go straight to operator new.
+void* slabAlloc(std::size_t bytes);
+void slabFree(void* p, std::size_t bytes);
+}  // namespace detail
+
+class EventFn {
+ public:
+  /// Sized so every hot-path closure (shared_ptr + slice index + time,
+  /// stream op start with an inline std::function) stays inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned event captures are not supported");
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = &invokeInline<Fn>;
+      manage_ = &manageInline<Fn>;
+    } else {
+      void* p = detail::slabAlloc(sizeof(Fn));
+      ::new (p) Fn(std::forward<F>(f));
+      heapPtr() = p;
+      invoke_ = &invokeHeap<Fn>;
+      manage_ = &manageHeap<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { moveFrom(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      moveFrom(o);
+    }
+    return *this;
+  }
+  EventFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroy the held callable (and release its captures) immediately.
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kMove };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void* self, void* other);
+
+  void*& heapPtr() { return *reinterpret_cast<void**>(buf_); }
+
+  void moveFrom(EventFn& o) noexcept {
+    if (o.manage_ != nullptr) o.manage_(Op::kMove, o.buf_, buf_);
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  template <typename Fn>
+  static void invokeInline(void* s) {
+    (*std::launder(reinterpret_cast<Fn*>(s)))();
+  }
+  template <typename Fn>
+  static void manageInline(Op op, void* self, void* other) {
+    Fn* f = std::launder(reinterpret_cast<Fn*>(self));
+    if (op == Op::kMove) ::new (other) Fn(std::move(*f));
+    f->~Fn();
+  }
+
+  template <typename Fn>
+  static void invokeHeap(void* s) {
+    (*static_cast<Fn*>(*reinterpret_cast<void**>(s)))();
+  }
+  template <typename Fn>
+  static void manageHeap(Op op, void* self, void* other) {
+    void* p = *reinterpret_cast<void**>(self);
+    if (op == Op::kMove) {
+      *reinterpret_cast<void**>(other) = p;
+      return;  // ownership transferred; source pointers are nulled out
+    }
+    static_cast<Fn*>(p)->~Fn();
+    detail::slabFree(p, sizeof(Fn));
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace pgasemb::sim

@@ -1,36 +1,105 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/expect.hpp"
 
 namespace pgasemb::sim {
 
-std::uint64_t EventQueue::push(SimTime at, EventFn fn) {
-  std::size_t slot;
+std::uint32_t EventQueue::allocSlot(EventFn fn) {
+  std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
     storage_[slot] = std::move(fn);
   } else {
-    slot = storage_.size();
+    slot = static_cast<std::uint32_t>(storage_.size());
     storage_.push_back(std::move(fn));
   }
+  return slot;
+}
+
+void EventQueue::siftUp(std::size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+std::uint64_t EventQueue::push(SimTime at, EventFn fn) {
+  const std::uint32_t slot = allocSlot(std::move(fn));
   const std::uint64_t seq = next_seq_++;
-  heap_.push(HeapEntry{at, seq, slot});
+  heap_.push_back(HeapEntry{at, seq, slot});
+  siftUp(heap_.size() - 1);
   return seq;
+}
+
+void EventQueue::pushBatch(std::vector<Batch>& events) {
+  // Geometric growth, never exact-fit: an exact reserve() per batch
+  // would realloc on every call and turn repeated batches quadratic.
+  const auto growTo = [](auto& vec, std::size_t need) {
+    if (need > vec.capacity()) {
+      vec.reserve(std::max(need, vec.capacity() * 2));
+    }
+  };
+  growTo(heap_, heap_.size() + events.size());
+  const std::size_t needed =
+      events.size() > free_slots_.size() ? events.size() - free_slots_.size()
+                                         : 0;
+  growTo(storage_, storage_.size() + needed);
+  for (auto& e : events) push(e.at, std::move(e.fn));
+  events.clear();  // capacity kept for the caller's next batch
 }
 
 SimTime EventQueue::nextTime() const {
   if (heap_.empty()) return SimTime::max();
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Entry EventQueue::pop() {
   PGASEMB_ASSERT(!heap_.empty(), "pop() on empty event queue");
-  const HeapEntry top = heap_.top();
-  heap_.pop();
+  const HeapEntry top = heap_.front();
+  // Clear the callable now: its captures (shared state, closures) must
+  // not be pinned until the slot happens to be reused.
   Entry e{top.time, top.seq, std::move(storage_[top.slot])};
-  storage_[top.slot] = nullptr;
+  storage_[top.slot].reset();
   free_slots_.push_back(top.slot);
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) siftDown(0);
+  if (heap_.empty() && storage_.size() > kShrinkSlots) {
+    // High-water shrink: the queue is fully drained and the arena grew
+    // past the threshold during a burst — release it rather than pin
+    // peak memory for the rest of the run.
+    storage_.clear();
+    storage_.shrink_to_fit();
+    free_slots_.clear();
+    free_slots_.shrink_to_fit();
+    heap_.shrink_to_fit();
+  }
   return e;
 }
 

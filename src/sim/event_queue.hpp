@@ -3,24 +3,46 @@
 // Events are ordered by (time, sequence number): two events at the same
 // simulated instant fire in insertion order, which makes every run fully
 // deterministic regardless of host scheduling.
+//
+// Layout: heap nodes are 24-byte (time, seq, slot) triples in a manual
+// 4-ary min-heap (shallower than binary for the same size, and sift
+// steps stay inside one cache line of children), while the callables
+// live in an open-addressed slot arena with a free list, so heap swaps
+// never touch a capture.  `pop()` clears the slot's callable immediately
+// — captures die when the event fires, not when the slot is recycled —
+// and a drained queue releases its arena once it has grown past the
+// shrink threshold (high-water shrink), so one pathological burst does
+// not pin memory for the rest of the run.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/time.hpp"
 
 namespace pgasemb::sim {
 
-using EventFn = std::function<void()>;
-
 class EventQueue {
  public:
+  /// Slot-arena size above which a fully drained queue releases its
+  /// buffers instead of keeping them warm for the next burst.
+  static constexpr std::size_t kShrinkSlots = 4096;
+
   /// Enqueue `fn` to fire at absolute time `at`. Returns the event's
   /// sequence number (monotonic), usable for debugging/tracing.
   std::uint64_t push(SimTime at, EventFn fn);
+
+  /// One pending (time, callable) pair for pushBatch().
+  struct Batch {
+    SimTime at;
+    EventFn fn;
+  };
+
+  /// Bulk enqueue: reserves heap and arena space once, then pushes every
+  /// entry (consuming its callable). `events` keeps its capacity so hot
+  /// callers can reuse the same staging vector across calls.
+  void pushBatch(std::vector<Batch>& events);
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -36,23 +58,31 @@ class EventQueue {
   };
   Entry pop();
 
+  /// Slots currently held by the arena (live + recyclable); test hook
+  /// for the high-water shrink behavior.
+  std::size_t storageSlots() const { return storage_.size(); }
+
  private:
   struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
     // Index into storage_ — keeps the heap nodes small and cheap to swap.
-    std::size_t slot;
-    bool operator>(const HeapEntry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+    std::uint32_t slot;
   };
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap_;
+  std::uint32_t allocSlot(EventFn fn);
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+
+  // Manual 4-ary min-heap over (time, seq); children of i are
+  // 4i+1 .. 4i+4.
+  std::vector<HeapEntry> heap_;
   std::vector<EventFn> storage_;
-  std::vector<std::size_t> free_slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -15,6 +15,14 @@ void Simulator::scheduleAfter(SimTime delay, EventFn fn) {
   queue_.push(now_ + delay, std::move(fn));
 }
 
+void Simulator::scheduleBatch(std::vector<EventQueue::Batch>& events) {
+  for (const auto& e : events) {
+    PGASEMB_ASSERT(e.at >= now_, "event scheduled in the past: at=",
+                   e.at.toString(), " now=", now_.toString());
+  }
+  queue_.pushBatch(events);
+}
+
 SimTime Simulator::run() {
   while (!queue_.empty()) {
     EventQueue::Entry e = queue_.pop();
@@ -38,8 +46,14 @@ SimTime Simulator::runUntil(SimTime until) {
 
 void Simulator::advanceClock(SimTime to) {
   if (to <= now_) return;
-  PGASEMB_ASSERT(queue_.empty() || queue_.nextTime() >= to,
-                 "advanceClock would skip pending events");
+  if (!queue_.empty() && queue_.nextTime() < to) {
+    throw Error(
+        "Simulator::advanceClock(" + to.toString() +
+        ") would skip the earliest pending event at " +
+        queue_.nextTime().toString() +
+        " — the host clock may not pass unfired events (silent time "
+        "travel); drain with run()/runUntil() first");
+  }
   now_ = to;
 }
 

@@ -29,6 +29,12 @@ class Simulator {
   /// Schedule `fn` `delay` after now().
   void scheduleAfter(SimTime delay, EventFn fn);
 
+  /// Bulk schedule: validates and enqueues every entry with one heap
+  /// reservation, so hot callers (e.g. a kernel scheduling one event per
+  /// timeline slice) amortize the per-push cost. Consumes the entries;
+  /// `events` is cleared but keeps its capacity for reuse.
+  void scheduleBatch(std::vector<EventQueue::Batch>& events);
+
   /// Drain all events. Returns the time of the last event processed.
   SimTime run();
 
@@ -41,8 +47,14 @@ class Simulator {
 
   /// Advance the clock without processing events. Used by host-side code
   /// to model CPU time (e.g. the latency of triggering a collective call)
-  /// passing between enqueues. Only valid when it does not move the clock
-  /// past the earliest pending event.
+  /// passing between enqueues.
+  ///
+  /// Precondition: `to` must not pass the earliest pending event — doing
+  /// so would let host code observe a clock beyond events that have not
+  /// fired (silent time travel), after which every subsequent timestamp
+  /// is suspect. Violations throw pgasemb::Error naming both times; the
+  /// caller should drain with run()/runUntil() first. Backwards calls
+  /// (to <= now()) are no-ops.
   void advanceClock(SimTime to);
 
  private:

@@ -1,0 +1,63 @@
+// Recycling allocator for hot-path shared control records.
+//
+// Simulation hot paths create one small shared record per kernel launch
+// (PGAS quiet tracking) or per collective (completion state); at
+// thousands of launches per run the one-make_shared-each churn shows up
+// in wall-clock profiles.  `SharedPool<T>::make` services those records
+// from a pooled arena instead.
+//
+// Lifetime: the arena itself is shared_ptr-owned and every allocation
+// holds a reference through the allocator stored in the shared_ptr
+// control block, so a record captured by a still-pending simulator
+// event outlives the subsystem that owns the pool.  Deallocated blocks
+// return to the arena's free lists and are recycled by the next make().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <memory_resource>
+#include <utility>
+
+namespace pgasemb::util {
+
+template <typename T>
+class SharedPool {
+ public:
+  SharedPool()
+      : arena_(std::make_shared<std::pmr::unsynchronized_pool_resource>()) {}
+
+  template <typename... Args>
+  std::shared_ptr<T> make(Args&&... args) {
+    return std::allocate_shared<T>(Alloc<T>{arena_},
+                                   std::forward<Args>(args)...);
+  }
+
+ private:
+  using Arena = std::shared_ptr<std::pmr::unsynchronized_pool_resource>;
+
+  template <typename U>
+  struct Alloc {
+    using value_type = U;
+
+    explicit Alloc(Arena a) : arena(std::move(a)) {}
+    template <typename V>
+    Alloc(const Alloc<V>& o) : arena(o.arena) {}  // NOLINT: rebind
+
+    U* allocate(std::size_t n) {
+      return static_cast<U*>(arena->allocate(n * sizeof(U), alignof(U)));
+    }
+    void deallocate(U* p, std::size_t n) {
+      arena->deallocate(p, n * sizeof(U), alignof(U));
+    }
+    template <typename V>
+    bool operator==(const Alloc<V>& o) const {
+      return arena == o.arena;
+    }
+
+    Arena arena;
+  };
+
+  Arena arena_;
+};
+
+}  // namespace pgasemb::util

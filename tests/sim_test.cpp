@@ -1,9 +1,13 @@
 // Unit tests for the discrete-event engine: ordering, determinism,
-// resource FIFO semantics.
+// resource FIFO semantics, the small-buffer EventFn callable, and the
+// event queue's slot arena (clear-on-pop, high-water shrink).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fifo_resource.hpp"
 #include "sim/simulator.hpp"
@@ -49,6 +53,107 @@ TEST(EventQueueTest, SlotRecyclingSurvivesManyEvents) {
     while (!q.empty()) q.pop().fn();
   }
   EXPECT_EQ(fired, 800);
+}
+
+TEST(EventFnTest, InlineCallableRuns) {
+  int hits = 0;
+  EventFn fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFnTest, OverflowCallableRunsAndDestroys) {
+  // A capture larger than the inline buffer forces the slab path; the
+  // shared_ptr use counts prove construction, move, and destruction.
+  auto tracker = std::make_shared<int>(0);
+  std::array<std::int64_t, 16> big{};  // 128 B > kInlineBytes
+  big[0] = 41;
+  {
+    EventFn fn([tracker, big] { *tracker = static_cast<int>(big[0]) + 1; });
+    EXPECT_EQ(tracker.use_count(), 2);
+    EventFn moved(std::move(fn));
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_EQ(tracker.use_count(), 2);  // move transfers, never copies
+    moved();
+  }
+  EXPECT_EQ(*tracker, 42);
+  EXPECT_EQ(tracker.use_count(), 1);  // destructor released the capture
+}
+
+TEST(EventFnTest, MoveAssignReleasesPreviousTarget) {
+  auto a = std::make_shared<int>(1);
+  auto b = std::make_shared<int>(2);
+  EventFn fn([a] {});
+  EventFn other([b] {});
+  fn = std::move(other);
+  EXPECT_EQ(a.use_count(), 1);  // old target destroyed on assignment
+  EXPECT_EQ(b.use_count(), 2);
+  EXPECT_FALSE(static_cast<bool>(other));
+}
+
+TEST(EventQueueTest, PopClearsStoredCallable) {
+  // The callable's captures must be released when the event fires, not
+  // when its arena slot happens to be reused by a later push.
+  EventQueue q;
+  auto payload = std::make_shared<int>(0);
+  q.push(SimTime::us(1), [payload] { *payload = 7; });
+  EXPECT_EQ(payload.use_count(), 2);
+  auto e = q.pop();
+  e.fn();
+  e.fn.reset();
+  EXPECT_EQ(*payload, 7);
+  EXPECT_EQ(payload.use_count(), 1);  // no copy left in storage_
+}
+
+TEST(EventQueueTest, DrainShrinksStorageAfterBurst) {
+  EventQueue q;
+  const std::size_t burst = EventQueue::kShrinkSlots + 100;
+  for (std::size_t i = 0; i < burst; ++i) {
+    q.push(SimTime(static_cast<std::int64_t>(i + 1)), [] {});
+  }
+  EXPECT_EQ(q.storageSlots(), burst);
+  while (!q.empty()) q.pop();
+  // Fully drained past the high-water mark: the arena is released
+  // instead of pinning burst-peak memory for the rest of the run.
+  EXPECT_EQ(q.storageSlots(), 0u);
+}
+
+TEST(EventQueueTest, SmallBurstsKeepTheirArena) {
+  EventQueue q;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 32; ++i) q.push(SimTime::us(round + 1), [] {});
+    while (!q.empty()) q.pop();
+  }
+  // Below the shrink threshold the slots stay allocated for reuse.
+  EXPECT_EQ(q.storageSlots(), 32u);
+}
+
+TEST(SimulatorTest, ScheduleBatchPreservesOrderAndDeterminism) {
+  // A batch with ties must fire in batch order, interleaved correctly
+  // with individually scheduled events at other times.
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(SimTime::us(2), [&] { order.push_back(100); });
+  std::vector<EventQueue::Batch> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back({SimTime::us(1), [&order, i] { order.push_back(i); }});
+  }
+  batch.push_back({SimTime::us(3), [&order] { order.push_back(200); }});
+  sim.scheduleBatch(batch);
+  EXPECT_TRUE(batch.empty());  // consumed, capacity kept for reuse
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 100, 200}));
+}
+
+TEST(SimulatorTest, ScheduleBatchInPastThrows) {
+  Simulator sim;
+  sim.scheduleAt(SimTime::us(5), [&] {
+    std::vector<EventQueue::Batch> batch;
+    batch.push_back({SimTime::us(1), [] {}});
+    EXPECT_THROW(sim.scheduleBatch(batch), Error);
+  });
+  sim.run();
 }
 
 TEST(SimulatorTest, RunAdvancesClock) {
@@ -109,6 +214,22 @@ TEST(SimulatorTest, AdvanceClockMovesForwardOnly) {
   EXPECT_EQ(sim.now(), SimTime::us(4));
   sim.advanceClock(SimTime::us(2));  // no-op backwards
   EXPECT_EQ(sim.now(), SimTime::us(4));
+}
+
+TEST(SimulatorTest, AdvanceClockPastPendingEventThrows) {
+  // Silently hopping the host clock over an unfired event would deliver
+  // it "in the past" — the precondition is a drained queue up to `to`.
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(SimTime::us(3), [&] { ++fired; });
+  EXPECT_THROW(sim.advanceClock(SimTime::us(10)), Error);
+  EXPECT_EQ(sim.now(), SimTime::zero());  // clock untouched on throw
+  // Advancing exactly to the earliest pending event is allowed: nothing
+  // is skipped, run() will still fire it at its own timestamp.
+  sim.advanceClock(SimTime::us(3));
+  EXPECT_EQ(sim.now(), SimTime::us(3));
+  sim.run();
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(FifoResourceTest, BackToBackRequestsQueue) {
