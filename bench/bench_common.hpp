@@ -156,6 +156,18 @@ inline void applyFaultFlags(const CliParser& cli,
   }
 }
 
+/// Cross-field config validation at flag-parse time. Fail fast and
+/// clean (exit 2, no uncaught-exception abort): an inconsistent flag
+/// combination is an operator error, not a library bug.
+inline void validateOrExit(const engine::ExperimentConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const Error& e) {
+    fprintf(stderr, "%s\n(run with --help for usage)\n", e.what());
+    std::exit(2);
+  }
+}
+
 /// Run every named retriever at 1..max_gpus for one scaling mode.
 /// `tweak` (optional) edits each point's config before the runner is
 /// built — fault plans, SLO policies, link overrides.

@@ -2,8 +2,9 @@
 """Guardrail for the simulator fast path's recorded perf trajectory.
 
 Compares a freshly generated BENCH_*.json (bench_simcore --json /
-bench_weak_scaling --bench-json) against the committed baseline and
-fails when a metric regressed beyond the tolerance. Direction-aware:
+bench_weak_scaling --bench-json / bench_serving --bench-json) against
+the committed baseline and fails when a metric regressed beyond the
+tolerance. Direction-aware:
 
   sim_wall_ms_per_batch   lower is better  -> fail if fresh > base*(1+tol)
   events_per_sec          higher is better -> fail if fresh < base*(1-tol)
@@ -29,6 +30,10 @@ METRICS = {
     "sim_wall_ms_per_batch": ("lower", "ms/batch"),
     "events_per_sec": ("higher", "events/s"),
     "events_processed": ("exact", "events"),
+    # Serving tails (bench_serving --bench-json): simulated, so any drift
+    # is a modeling change, not machine noise.
+    "serving_p99_ms": ("lower", "ms"),
+    "max_sustainable_qps": ("higher", "qps"),
 }
 
 

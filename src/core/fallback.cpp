@@ -1,5 +1,7 @@
 #include "core/fallback.hpp"
 
+#include <algorithm>
+
 #include "util/expect.hpp"
 
 namespace pgasemb::core {
@@ -28,6 +30,52 @@ bool SloTracker::record(SimTime batch_total) {
     return false;
   }
   if (batch_total > slo_) {
+    ++consecutive_over_;
+  } else {
+    consecutive_over_ = 0;
+  }
+  if (consecutive_over_ >= policy_.patience) {
+    fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+SimTime SloTracker::windowP95() const {
+  if (!window_full_) return SimTime::zero();
+  // Nearest-rank p95 over the window (small — default 64 entries).
+  std::vector<SimTime> sorted = window_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(0.95 * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return sorted[rank];
+}
+
+bool SloTracker::recordQuery(SimTime latency) {
+  if (!policy_.enabled() || fired_) return false;
+  if (window_.empty()) {
+    PGASEMB_CHECK(policy_.query_window >= 1,
+                  "fallback query window must be >= 1");
+    window_.assign(static_cast<std::size_t>(policy_.query_window),
+                   SimTime::zero());
+    window_next_ = 0;
+    window_full_ = false;
+  }
+  window_[window_next_] = latency;
+  window_next_ = (window_next_ + 1) % window_.size();
+  const bool just_filled = !window_full_ && window_next_ == 0;
+  if (just_filled) window_full_ = true;
+  if (!window_full_) return false;
+  const SimTime p95 = windowP95();
+  if (!calibrated_) {
+    // The first full window defines the healthy tail; degradation that
+    // develops under load shows up as multiples of it.
+    slo_ = p95 * policy_.slo_factor;
+    calibrated_ = true;
+    return false;
+  }
+  if (p95 > slo_) {
     ++consecutive_over_;
   } else {
     consecutive_over_ = 0;

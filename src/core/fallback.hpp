@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "util/time.hpp"
 
@@ -24,16 +25,24 @@ struct FallbackPolicy {
   /// When `slo_ms` is 0: SLO = first batch's total x this factor (the
   /// first batch calibrates "healthy"). 0 disables the policy entirely.
   double slo_factor = 0.0;
-  /// Consecutive over-SLO batches tolerated before switching.
+  /// Consecutive over-SLO batches (or over-SLO sliding-window p95
+  /// evaluations in query mode) tolerated before switching.
   int patience = 3;
   /// Registry name of the strategy to degrade to.
   std::string fallback_to = "nccl_collective";
+  /// Query mode (ServingRunner): the sliding window of most recent
+  /// per-query latencies whose p95 is held against the SLO. Tail-based
+  /// so one slow query cannot trip the switch — the window's p95 must
+  /// stay over the SLO for `patience` consecutive queries.
+  int query_window = 64;
 
   bool enabled() const { return slo_ms > 0.0 || slo_factor > 0.0; }
 };
 
-/// Feeds per-batch totals against the policy's SLO; fires exactly once
-/// (then disarms — one switch per run, no flip-flopping).
+/// Feeds per-batch totals (closed loop) or per-query latencies
+/// (serving) against the policy's SLO; fires exactly once (then
+/// disarms — one switch per run, no flip-flopping). A tracker is used
+/// in one mode per run.
 class SloTracker {
  public:
   explicit SloTracker(const FallbackPolicy& policy);
@@ -42,9 +51,19 @@ class SloTracker {
   /// patience budget — the caller should switch retrievers now.
   bool record(SimTime batch_total);
 
+  /// Record one query's end-to-end latency. Once the sliding window of
+  /// `query_window` latencies is full, its p95 is evaluated per query;
+  /// with `slo_factor` the first full window calibrates the SLO
+  /// (p95 x factor = "healthy tail"). Returns true on the query that
+  /// exhausts the patience budget.
+  bool recordQuery(SimTime latency);
+
   /// The resolved SLO (zero until calibrated when `slo_factor` derives
-  /// it from the first batch).
+  /// it from the first batch / first full query window).
   SimTime slo() const { return slo_; }
+
+  /// The current sliding window's p95 (zero until the window fills).
+  SimTime windowP95() const;
 
  private:
   FallbackPolicy policy_;
@@ -52,6 +71,10 @@ class SloTracker {
   int consecutive_over_ = 0;
   bool calibrated_ = false;
   bool fired_ = false;
+  // Query mode: circular window of the most recent latencies.
+  std::vector<SimTime> window_;
+  std::size_t window_next_ = 0;
+  bool window_full_ = false;
 };
 
 }  // namespace pgasemb::core

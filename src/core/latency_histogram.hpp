@@ -1,0 +1,63 @@
+// Fixed-layout log-spaced latency histogram for the serving path.
+//
+// Per-query latencies span four-plus orders of magnitude under load, so
+// tail percentiles need log-spaced bins: 12 bins per decade over
+// [1 us, 100 s) plus underflow/overflow, a fixed layout every run
+// shares. Exact count/min/max/sum ride along, so the mean is exact and
+// interpolated percentiles are clamped to observed extremes. All state
+// is integral or derived from integral SimTime, so same-seed runs
+// produce byte-identical histograms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pgasemb::core {
+
+class LatencyHistogram {
+ public:
+  /// Bin layout: bin 0 = underflow (< 1 us), bins 1..96 log-spaced with
+  /// 12 per decade over [1 us, 100 s), bin 97 = overflow.
+  static constexpr int kBinsPerDecade = 12;
+  static constexpr int kDecades = 8;
+  static constexpr double kMinMs = 1e-3;  ///< 1 us
+  static constexpr std::size_t kNumBins =
+      static_cast<std::size_t>(kBinsPerDecade) * kDecades + 2;
+
+  LatencyHistogram();
+
+  void add(SimTime latency);
+  void merge(const LatencyHistogram& other);
+
+  std::int64_t count() const { return count_; }
+  SimTime min() const { return count_ ? min_ : SimTime::zero(); }
+  SimTime max() const { return count_ ? max_ : SimTime::zero(); }
+  SimTime sum() const { return sum_; }
+  double meanMs() const;
+
+  /// Linear-interpolated percentile (p in [0, 100]) in milliseconds,
+  /// clamped to the exact observed [min, max]. Returns 0 when empty.
+  double percentileMs(double p) const;
+
+  std::size_t numBins() const { return bins_.size(); }
+  std::int64_t binCount(std::size_t bin) const;
+  /// Lower/upper edge of a bin in milliseconds (underflow starts at 0,
+  /// overflow is open-ended and reports the observed max).
+  double binLowMs(std::size_t bin) const;
+  double binHighMs(std::size_t bin) const;
+
+  bool operator==(const LatencyHistogram& other) const = default;
+
+ private:
+  std::size_t binIndex(double ms) const;
+
+  std::vector<std::int64_t> bins_;
+  std::int64_t count_ = 0;
+  SimTime min_ = SimTime::max();
+  SimTime max_ = SimTime::zero();
+  SimTime sum_ = SimTime::zero();
+};
+
+}  // namespace pgasemb::core

@@ -106,8 +106,13 @@ CacheFilter::CacheFilter(const ShardedEmbeddingLayer& layer,
     // served with probability h^L (empty bags trivially), so
     //   P(bag served)          = E[h^L]
     //   E[rows served per bag] = E[L h^L]
-    // over L ~ U(min_pooling, maxPoolingOf(t)).
+    // over L ~ U(min_pooling, maxPoolingOf(t)).  Padded samples past the
+    // serving fill (spec.activeSamples(); the mini-batches are
+    // contiguous sample ranges, so the first destinations hold the
+    // active samples) are NULL bags: trivially served with zero rows,
+    // exactly the materialized empty-bag case.
     const double h = cache.indexHitRate();
+    const std::int64_t active = spec.activeSamples();
     for (std::int64_t t = 0; t < tables; ++t) {
       const int owner = sharding.tableOwner(t);
       const int m = spec.min_pooling;
@@ -123,23 +128,26 @@ CacheFilter::CacheFilter(const ShardedEmbeddingLayer& layer,
       bag_hit /= range;
       hit_rows /= range;
       const double avg = spec.avgPoolingOf(t);
-      const double b = static_cast<double>(batch_size);
+      const double a = static_cast<double>(active);
       for (int d = 0; d < p; ++d) {
-        const double mb =
-            static_cast<double>(sharding.miniBatchSize(d));
+        const std::int64_t mb = sharding.miniBatchSize(d);
+        const std::int64_t active_d = std::clamp<std::int64_t>(
+            active - sharding.miniBatchBegin(d), 0, mb);
+        const double ad = static_cast<double>(active_d);
+        const double pad = static_cast<double>(mb - active_d);
         miss_out[static_cast<std::size_t>(owner)]
-                [static_cast<std::size_t>(d)] += mb * (1.0 - bag_hit);
-        serve_out[static_cast<std::size_t>(d)] += mb * bag_hit;
-        serve_rows[static_cast<std::size_t>(d)] += mb * hit_rows;
-        probed_[static_cast<std::size_t>(d)] += mb * avg;
+                [static_cast<std::size_t>(d)] += ad * (1.0 - bag_hit);
+        serve_out[static_cast<std::size_t>(d)] += ad * bag_hit + pad;
+        serve_rows[static_cast<std::size_t>(d)] += ad * hit_rows;
+        probed_[static_cast<std::size_t>(d)] += ad * avg;
         if (d != owner) {
-          saved_wire_bytes_ += mb * bag_hit * out_bytes;
+          saved_wire_bytes_ += (ad * bag_hit + pad) * out_bytes;
         }
       }
-      miss_rows[static_cast<std::size_t>(owner)] += b * (avg - hit_rows);
-      probed_[static_cast<std::size_t>(owner)] += b * avg;
-      lookups_ += b * avg;
-      hits_ += b * hit_rows;
+      miss_rows[static_cast<std::size_t>(owner)] += a * (avg - hit_rows);
+      probed_[static_cast<std::size_t>(owner)] += a * avg;
+      lookups_ += a * avg;
+      hits_ += a * hit_rows;
     }
   }
 

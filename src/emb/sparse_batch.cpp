@@ -25,6 +25,9 @@ void validate(const SparseBatchSpec& spec) {
     PGASEMB_CHECK(m >= spec.min_pooling,
                   "per-table max pooling below min pooling");
   }
+  PGASEMB_CHECK(spec.active_samples >= 0 &&
+                    spec.active_samples <= spec.batch_size,
+                "active samples outside [0, batch_size]");
 }
 
 }  // namespace
@@ -52,6 +55,9 @@ SparseBatch SparseBatch::generateUniform(const SparseBatchSpec& spec,
   if (spec.zipf_alpha > 0.0) {
     zipf.emplace(spec.index_space, spec.zipf_alpha);
   }
+  // Samples past the active fill are NULL inputs (empty bags): no RNG
+  // draws, so a fully active batch consumes the exact historical stream.
+  const std::int64_t active = spec.activeSamples();
   for (std::int64_t t = 0; t < spec.num_tables; ++t) {
     auto& offs = b.offsets_[static_cast<std::size_t>(t)];
     auto& idxs = b.indices_[static_cast<std::size_t>(t)];
@@ -59,7 +65,8 @@ SparseBatch SparseBatch::generateUniform(const SparseBatchSpec& spec,
     offs.push_back(0);
     for (std::int64_t s = 0; s < spec.batch_size; ++s) {
       const std::int64_t bag =
-          rng.uniformInt(spec.min_pooling, spec.maxPoolingOf(t));
+          s < active ? rng.uniformInt(spec.min_pooling, spec.maxPoolingOf(t))
+                     : 0;
       for (std::int64_t i = 0; i < bag; ++i) {
         idxs.push_back(zipf ? zipf->sample(rng) - 1
                             : rng.nextBounded(spec.index_space));
@@ -100,7 +107,7 @@ double SparseBatch::totalIndices(std::int64_t first,
   if (!materialized_) {
     double total = 0.0;
     for (std::int64_t t = first; t < first + count; ++t) {
-      total += static_cast<double>(spec_.batch_size) *
+      total += static_cast<double>(spec_.activeSamples()) *
                spec_.avgPoolingOf(t);
     }
     return total;

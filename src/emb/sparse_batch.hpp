@@ -34,6 +34,17 @@ struct SparseBatchSpec {
   /// with probability proportional to r^-zipf_alpha. 0 = uniform (the
   /// historical path, RNG-identical to before the knob existed).
   double zipf_alpha = 0.0;
+  /// Serving fill: only the first `active_samples` samples carry real
+  /// bags; the trailing samples are NULL (empty-bag) padding so a
+  /// partially filled serving batch keeps the fixed shape the kernels
+  /// and retriever buffers were sized for. 0 = fully active (the
+  /// closed-loop path, behaviour-identical to before the knob existed).
+  std::int64_t active_samples = 0;
+
+  /// Samples that carry real bags (batch_size when not padding).
+  std::int64_t activeSamples() const {
+    return active_samples > 0 ? active_samples : batch_size;
+  }
 
   int maxPoolingOf(std::int64_t table) const {
     if (per_table_max_pooling.empty()) return max_pooling;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <exception>
 
 #include "util/expect.hpp"
 
@@ -44,6 +46,24 @@ EmbLayerSpec tinyLayerSpec() {
   spec.max_pooling = 6;
   spec.seed = 0x5eed'0003;
   spec.index_space = 1u << 16;
+  return spec;
+}
+
+EmbLayerSpec servingLayerSpec(int num_gpus, std::int64_t max_batch_size) {
+  PGASEMB_CHECK(num_gpus >= 1, "need at least one GPU");
+  PGASEMB_CHECK(max_batch_size >= 1, "need a positive max batch size");
+  EmbLayerSpec spec;
+  // Inference-sized layer: the serving sweeps run thousands of batches
+  // per point, so the per-batch work is kept ~1/16 of the weak-scaling
+  // training shape (8 tables/GPU, pooling U(1, 32)).
+  spec.total_tables = 8LL * num_gpus;
+  spec.rows_per_table = 1'000'000;
+  spec.dim = 64;
+  spec.batch_size = max_batch_size;
+  spec.min_pooling = 1;
+  spec.max_pooling = 32;
+  spec.seed = 0x5eed'0005;
+  spec.index_space = 1ULL << 40;
   return spec;
 }
 
@@ -130,6 +150,152 @@ double ZipfSampler::prefixMass(std::uint64_t k) const {
   return prefix_.back() +
          harmonicTail(static_cast<double>(prefix_.size()),
                       static_cast<double>(k), alpha_);
+}
+
+namespace {
+
+/// Strict integer/double field parsers for the query-size grammar:
+/// the whole field must consume, so "uniform:16-64x" fails at parse
+/// time instead of silently truncating.
+std::int64_t parseSizeField(const std::string& field,
+                            const std::string& spec) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(field, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  PGASEMB_CHECK(!field.empty() && used == field.size(),
+                "bad query-size number '", field, "' in '", spec, "'");
+  return value;
+}
+
+double parseAlphaField(const std::string& field, const std::string& spec) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(field, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  PGASEMB_CHECK(!field.empty() && used == field.size(),
+                "bad query-size alpha '", field, "' in '", spec, "'");
+  return value;
+}
+
+/// Splits "LO-HI" (or a bare "N" meaning N-N) into the spec's range.
+void parseSizeRange(const std::string& field, const std::string& spec,
+                    QuerySizeSpec& out) {
+  const auto dash = field.find('-');
+  if (dash == std::string::npos) {
+    out.lo = out.hi = parseSizeField(field, spec);
+  } else {
+    out.lo = parseSizeField(field.substr(0, dash), spec);
+    out.hi = parseSizeField(field.substr(dash + 1), spec);
+  }
+  PGASEMB_CHECK(out.lo >= 1, "query sizes must be >= 1 in '", spec, "'");
+  PGASEMB_CHECK(out.hi >= out.lo, "query-size range is inverted in '", spec,
+                "'");
+}
+
+}  // namespace
+
+double QuerySizeSpec::meanSize() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return static_cast<double>(lo);
+    case Kind::kUniform:
+      return static_cast<double>(lo + hi) / 2.0;
+    case Kind::kZipf: {
+      // E[size] = lo - 1 + E[rank]; E[rank] over Zipf(alpha) on [1, n]
+      // is sum r^-(alpha-1) / H(n, alpha). The numerator's exponent can
+      // be negative (alpha < 1), which the midpoint-tail continuation
+      // handles just like any other exponent.
+      const auto n = static_cast<std::uint64_t>(hi - lo + 1);
+      double num = 0.0;
+      const std::uint64_t head = std::min<std::uint64_t>(n, kZipfExactPrefix);
+      for (std::uint64_t r = 1; r <= head; ++r) {
+        num += std::pow(static_cast<double>(r), 1.0 - alpha);
+      }
+      if (n > head) {
+        num += harmonicTail(static_cast<double>(head),
+                            static_cast<double>(n), alpha - 1.0);
+      }
+      return static_cast<double>(lo) - 1.0 + num / zipfHarmonic(n, alpha);
+    }
+  }
+  return static_cast<double>(lo);
+}
+
+QuerySizeSpec parseQuerySizeSpec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  PGASEMB_CHECK(colon != std::string::npos,
+                "query-size spec '", spec,
+                "' needs kind:params (fixed:N | uniform:LO-HI | "
+                "zipf:ALPHA:LO-HI)");
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+  QuerySizeSpec out;
+  if (kind == "fixed") {
+    out.kind = QuerySizeSpec::Kind::kFixed;
+    out.lo = out.hi = parseSizeField(rest, spec);
+    PGASEMB_CHECK(out.lo >= 1, "query sizes must be >= 1 in '", spec, "'");
+  } else if (kind == "uniform") {
+    out.kind = QuerySizeSpec::Kind::kUniform;
+    parseSizeRange(rest, spec, out);
+  } else if (kind == "zipf") {
+    out.kind = QuerySizeSpec::Kind::kZipf;
+    const auto second = rest.find(':');
+    PGASEMB_CHECK(second != std::string::npos,
+                  "zipf query-size spec '", spec, "' needs zipf:ALPHA:LO-HI");
+    out.alpha = parseAlphaField(rest.substr(0, second), spec);
+    PGASEMB_CHECK(out.alpha >= 0.0,
+                  "negative zipf alpha in '", spec, "'");
+    parseSizeRange(rest.substr(second + 1), spec, out);
+  } else {
+    PGASEMB_CHECK(false, "unknown query-size kind '", kind, "' in '", spec,
+                  "' (fixed | uniform | zipf)");
+  }
+  return out;
+}
+
+std::string formatQuerySizeSpec(const QuerySizeSpec& spec) {
+  switch (spec.kind) {
+    case QuerySizeSpec::Kind::kFixed:
+      return "fixed:" + std::to_string(spec.lo);
+    case QuerySizeSpec::Kind::kUniform:
+      return "uniform:" + std::to_string(spec.lo) + "-" +
+             std::to_string(spec.hi);
+    case QuerySizeSpec::Kind::kZipf: {
+      char alpha[32];
+      snprintf(alpha, sizeof(alpha), "%g", spec.alpha);
+      return std::string("zipf:") + alpha + ":" + std::to_string(spec.lo) +
+             "-" + std::to_string(spec.hi);
+    }
+  }
+  return "fixed:" + std::to_string(spec.lo);
+}
+
+QuerySizeSampler::QuerySizeSampler(const QuerySizeSpec& spec) : spec_(spec) {
+  PGASEMB_CHECK(spec.lo >= 1, "query sizes must be >= 1");
+  PGASEMB_CHECK(spec.hi >= spec.lo, "query-size range is inverted");
+  if (spec.kind == QuerySizeSpec::Kind::kZipf) {
+    zipf_.emplace(static_cast<std::uint64_t>(spec.hi - spec.lo + 1),
+                  spec.alpha);
+  }
+}
+
+std::int64_t QuerySizeSampler::sample(Rng& rng) const {
+  switch (spec_.kind) {
+    case QuerySizeSpec::Kind::kFixed:
+      return spec_.lo;
+    case QuerySizeSpec::Kind::kUniform:
+      return rng.uniformInt(spec_.lo, spec_.hi);
+    case QuerySizeSpec::Kind::kZipf:
+      return spec_.lo + static_cast<std::int64_t>(zipf_->sample(rng)) - 1;
+  }
+  return spec_.lo;
 }
 
 std::uint64_t ZipfSampler::sample(Rng& rng) const {

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "emb/layer.hpp"
@@ -33,6 +35,12 @@ EmbLayerSpec tinyLayerSpec();
 /// the row space so "capacity = x% of rows" maps directly onto the
 /// analytic top-x% mass.
 EmbLayerSpec cacheServingLayerSpec(int num_gpus);
+
+/// Open-loop serving workload (bench_serving): per GPU, 8 tables x 1M
+/// rows, dim 64, pooling U(1, 32), batch shape = the dynamic batcher's
+/// max batch size (retriever buffers are sized once; partially filled
+/// batches pad with NULL inputs).
+EmbLayerSpec servingLayerSpec(int num_gpus, std::int64_t max_batch_size);
 
 // --- Zipf(alpha) row popularity -------------------------------------------
 //
@@ -70,6 +78,49 @@ class ZipfSampler {
   double alpha_;
   double total_;                 ///< H(n, alpha)
   std::vector<double> prefix_;   ///< H(1..kZipfExactPrefix, alpha)
+};
+
+// --- Per-query size distributions (serving) -------------------------------
+//
+// A query is one inference request carrying `size` candidate samples
+// (DeepRecSys-style: the ranking model scores `size` items per user
+// request). The dynamic batcher concatenates whole queries into one
+// retrieval batch, so a batch's active sample count is the sum of its
+// queries' sizes.
+
+struct QuerySizeSpec {
+  enum class Kind { kFixed, kUniform, kZipf };
+  Kind kind = Kind::kFixed;
+  /// kFixed: every query has `lo` samples. kUniform: U(lo, hi)
+  /// inclusive. kZipf: size lo + (r - 1) with rank r ~ Zipf(alpha)
+  /// over [1, hi - lo + 1] — most queries small, a heavy tail of large
+  /// ones.
+  std::int64_t lo = 1;
+  std::int64_t hi = 1;
+  double alpha = 1.0;  ///< kZipf only
+
+  double meanSize() const;
+};
+
+/// Parses "fixed:N", "uniform:LO-HI", or "zipf:ALPHA:LO-HI" (e.g.
+/// "zipf:1.2:1-256"). Throws InvalidArgumentError on malformed specs.
+QuerySizeSpec parseQuerySizeSpec(const std::string& spec);
+
+/// Round-trip of parseQuerySizeSpec, for reports and CSV keys.
+std::string formatQuerySizeSpec(const QuerySizeSpec& spec);
+
+/// Deterministic per-query sample-count sampler over a QuerySizeSpec
+/// (one rng draw per query for the non-fixed kinds).
+class QuerySizeSampler {
+ public:
+  explicit QuerySizeSampler(const QuerySizeSpec& spec);
+
+  std::int64_t sample(Rng& rng) const;
+  const QuerySizeSpec& spec() const { return spec_; }
+
+ private:
+  QuerySizeSpec spec_;
+  std::optional<ZipfSampler> zipf_;  ///< kZipf: rank 1 = size `lo`
 };
 
 }  // namespace pgasemb::emb

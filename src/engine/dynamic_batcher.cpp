@@ -1,0 +1,106 @@
+#include "engine/dynamic_batcher.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::engine {
+
+DynamicBatcher::DynamicBatcher(LoadGenerator& generator,
+                               std::int64_t max_batch, SimTime max_wait)
+    : generator_(generator), max_batch_(max_batch), max_wait_(max_wait) {
+  PGASEMB_CHECK(max_batch >= 1, "need a positive max batch size");
+  PGASEMB_CHECK(max_wait >= SimTime::zero(), "negative max wait");
+}
+
+void DynamicBatcher::pullArrivals(SimTime until) {
+  while (true) {
+    if (!lookahead_) {
+      if (exhausted_) return;
+      auto q = generator_.next();
+      if (!q) {
+        exhausted_ = true;
+        return;
+      }
+      lookahead_ = *q;
+    }
+    if (lookahead_->arrival > until) return;
+    pending_.push_back(*lookahead_);
+    lookahead_.reset();
+  }
+}
+
+std::optional<FormedBatch> DynamicBatcher::nextBatch(SimTime free_at) {
+  // Anchor the window on the earliest unserved query.
+  if (pending_.empty()) {
+    if (!lookahead_) {
+      if (exhausted_) return std::nullopt;
+      auto q = generator_.next();
+      if (!q) {
+        exhausted_ = true;
+        return std::nullopt;
+      }
+      lookahead_ = *q;
+    }
+    pending_.push_back(*lookahead_);
+    lookahead_.reset();
+  }
+  const SimTime open = std::max(free_at, pending_.front().arrival);
+  pullArrivals(open);
+
+  FormedBatch batch;
+  batch.close_time = open;
+  // FIFO-pack whole queries that already arrived. Every query fits an
+  // empty batch (the generator caps sizes at the batch shape), so the
+  // batch always takes at least the front query.
+  while (!pending_.empty() &&
+         batch.samples + pending_.front().samples <= max_batch_) {
+    batch.samples += pending_.front().samples;
+    batch.queries.push_back(pending_.front());
+    pending_.pop_front();
+  }
+
+  if (pending_.empty() && batch.samples < max_batch_) {
+    // Not full and no backlog: hold the batch open under the latency
+    // budget of its first query, admitting arrivals as they come.
+    const SimTime deadline =
+        std::max(open, batch.queries.front().arrival + max_wait_);
+    batch.close_time = deadline;
+    while (batch.samples < max_batch_) {
+      if (!lookahead_) {
+        if (exhausted_) break;  // stream over; still wait out the budget
+        auto q = generator_.next();
+        if (!q) {
+          exhausted_ = true;
+          break;
+        }
+        lookahead_ = *q;
+      }
+      if (lookahead_->arrival > deadline) break;
+      if (batch.samples + lookahead_->samples <= max_batch_) {
+        batch.samples += lookahead_->samples;
+        batch.queries.push_back(*lookahead_);
+        if (batch.samples >= max_batch_) {
+          // Filled mid-wait: dispatch at the achieving arrival.
+          batch.close_time = lookahead_->arrival;
+        }
+        lookahead_.reset();
+      } else {
+        // The arrival overflows the batch: dispatch now; it leads the
+        // next batch.
+        batch.close_time = lookahead_->arrival;
+        pending_.push_back(*lookahead_);
+        lookahead_.reset();
+        break;
+      }
+    }
+  }
+
+  // Backlog accounting: everything that had arrived by the close and
+  // is still unserved.
+  pullArrivals(batch.close_time);
+  batch.queue_depth_at_close = static_cast<std::int64_t>(pending_.size());
+  return batch;
+}
+
+}  // namespace pgasemb::engine

@@ -1,0 +1,53 @@
+// Dynamic batcher: forms fixed-shape retrieval batches from the query
+// stream under a latency budget, on the simulated clock.
+//
+// A batch closes when it holds `max_batch` samples, when an arriving
+// query would overflow it, or when the first query in it has waited
+// `max_wait` — whichever comes first once the executor is free. Whole
+// queries are packed FIFO (a query's samples never split across
+// batches), so per-query latency is well-defined: arrival -> its
+// batch's completion.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "engine/load_generator.hpp"
+
+namespace pgasemb::engine {
+
+/// One closed batch: the queries it carries, the simulated time it
+/// closed (dispatch time), and the backlog left behind.
+struct FormedBatch {
+  std::vector<Query> queries;
+  SimTime close_time = SimTime::zero();
+  std::int64_t samples = 0;
+  /// Queries that had arrived by close_time but did not fit.
+  std::int64_t queue_depth_at_close = 0;
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(LoadGenerator& generator, std::int64_t max_batch,
+                 SimTime max_wait);
+
+  /// Forms the next batch given that the executor is busy until
+  /// `free_at`: the batching window opens at max(free_at, first pending
+  /// arrival), and the close rules run from there. nullopt when the
+  /// query stream is exhausted.
+  std::optional<FormedBatch> nextBatch(SimTime free_at);
+
+ private:
+  /// Pulls generator arrivals <= `until` into the pending queue.
+  void pullArrivals(SimTime until);
+
+  LoadGenerator& generator_;
+  std::int64_t max_batch_;
+  SimTime max_wait_;
+  std::deque<Query> pending_;
+  std::optional<Query> lookahead_;  ///< pulled but not yet <= the window
+  bool exhausted_ = false;
+};
+
+}  // namespace pgasemb::engine

@@ -1,0 +1,60 @@
+#include "engine/experiment.hpp"
+
+#include "util/expect.hpp"
+
+namespace pgasemb::engine {
+
+ArrivalPattern parseArrivalPattern(const std::string& name) {
+  if (name == "poisson") return ArrivalPattern::kPoisson;
+  if (name == "bursty") return ArrivalPattern::kBursty;
+  PGASEMB_CHECK(false, "unknown arrival pattern '", name,
+                "' (poisson | bursty)");
+  return ArrivalPattern::kPoisson;
+}
+
+std::string formatArrivalPattern(ArrivalPattern pattern) {
+  return pattern == ArrivalPattern::kPoisson ? "poisson" : "bursty";
+}
+
+void ExperimentConfig::validate() const {
+  PGASEMB_CHECK(num_batches >= 1, "need at least one batch");
+  if (!serving.enabled()) return;
+  PGASEMB_CHECK(serving.qps > 0.0, "serving qps must be positive");
+  PGASEMB_CHECK(serving.max_wait_ms >= 0.0,
+                "serving max-wait must be >= 0");
+  PGASEMB_CHECK(serving.slo_ms >= 0.0, "serving SLO must be >= 0");
+  PGASEMB_CHECK(serving.timeline_window >= 1,
+                "serving timeline window must be >= 1");
+  if (serving.arrival == ArrivalPattern::kBursty) {
+    PGASEMB_CHECK(serving.burst_on_ms > 0.0 && serving.burst_off_ms >= 0.0,
+                  "bursty arrivals need burst-on > 0 and burst-off >= 0");
+  }
+  PGASEMB_CHECK(serving.query_size.lo >= 1,
+                "query sizes must be >= 1");
+  PGASEMB_CHECK(serving.query_size.hi >= serving.query_size.lo,
+                "query-size range is inverted");
+  const std::int64_t max_batch = serving.max_batch_size > 0
+                                     ? serving.max_batch_size
+                                     : layer.batch_size;
+  // The retriever buffers and kernel shapes are sized once from the
+  // layer's batch_size; the batcher pads partially filled batches up to
+  // that fixed shape, so its cap cannot exceed it.
+  PGASEMB_CHECK(max_batch <= layer.batch_size,
+                "serving max-batch ", max_batch,
+                " exceeds the layer batch size ", layer.batch_size);
+}
+
+double ExperimentResult::avgBatchMs() const {
+  return stats.batches ? stats.total.toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgComputeMs() const {
+  return stats.batches ? stats.compute_phase.toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgCommunicationMs() const {
+  return stats.batches ? stats.communication().toMs() / stats.batches : 0.0;
+}
+double ExperimentResult::avgSyncUnpackMs() const {
+  return stats.batches ? stats.syncUnpack().toMs() / stats.batches : 0.0;
+}
+
+}  // namespace pgasemb::engine

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/fallback.hpp"
+#include "core/latency_histogram.hpp"
 #include "core/retriever.hpp"
 #include "emb/workload.hpp"
 #include "fabric/link.hpp"
@@ -22,6 +24,48 @@
 #include "simsan/checker.hpp"
 
 namespace pgasemb::engine {
+
+/// Query arrival process of the open-loop load generator.
+enum class ArrivalPattern {
+  kPoisson,  ///< exponential inter-arrivals at `qps`
+  kBursty,   ///< on/off: Poisson bursts at an elevated rate, then silence
+};
+
+/// Parses "poisson" / "bursty" (throws InvalidArgumentError otherwise).
+ArrivalPattern parseArrivalPattern(const std::string& name);
+std::string formatArrivalPattern(ArrivalPattern pattern);
+
+/// Open-loop serving front end (ServingRunner): a timestamped query
+/// stream feeding a dynamic batcher in front of the retriever. Default
+/// num_queries = 0 keeps serving off and every closed-loop code path
+/// untouched.
+struct ServingConfig {
+  /// Queries to generate; 0 disables the serving path entirely.
+  std::int64_t num_queries = 0;
+  /// Offered load in queries per second (of simulated time).
+  double qps = 1000.0;
+  ArrivalPattern arrival = ArrivalPattern::kPoisson;
+  /// kBursty: burst / silence window lengths. The in-burst rate is
+  /// scaled up so the long-run average stays `qps`.
+  double burst_on_ms = 5.0;
+  double burst_off_ms = 5.0;
+  /// Samples (candidate items) per query.
+  emb::QuerySizeSpec query_size;
+  /// Dynamic-batcher close rules: a batch dispatches when it holds
+  /// `max_batch_size` samples (0 = the layer's batch_size) or the first
+  /// query in it has waited `max_wait_ms` of simulated time.
+  std::int64_t max_batch_size = 0;
+  double max_wait_ms = 0.1;
+  /// Absolute per-query latency SLO for violation counting (and the
+  /// knee-of-the-curve summaries); 0 = no SLO accounting.
+  double slo_ms = 0.0;
+  /// Seed of the arrival/size stream (independent of batch_seed).
+  std::uint64_t seed = 0x5e12;
+  /// Queries per non-overlapping window of the p95-over-time timeline.
+  int timeline_window = 100;
+
+  bool enabled() const { return num_queries > 0; }
+};
 
 struct ExperimentConfig {
   emb::EmbLayerSpec layer;
@@ -63,10 +107,71 @@ struct ExperimentConfig {
   /// injector is built and every code path stays bit-identical to a
   /// fault-free build.
   fault::FaultPlan faults;
-  /// SLO degradation policy: when enabled, ScenarioRunner swaps the
-  /// active retriever for `fallback.fallback_to` after `patience`
-  /// consecutive over-SLO batches.
+  /// SLO degradation policy: when enabled, the closed-loop path swaps
+  /// the active retriever for `fallback.fallback_to` after `patience`
+  /// consecutive over-SLO batches; the serving path fires on the
+  /// sliding-window per-query p95 instead.
   core::FallbackPolicy fallback;
+  /// Open-loop serving front end; `serving.enabled()` == false keeps
+  /// every closed-loop code path untouched.
+  ServingConfig serving;
+
+  /// Cross-field validation shared by benches (at flag-parse time) and
+  /// runners (before a run). Throws InvalidArgumentError with a pointed
+  /// message on the first violation.
+  void validate() const;
+};
+
+/// One drained retriever at a mid-run SLO fallback: the swap's
+/// finish() time, which the run total absorbs but no batch timing
+/// carries (satellite of the tail-latency work — without it the
+/// post-fallback tail understates the switch cost).
+struct DrainEntry {
+  int after_batch = 0;        ///< batches completed when the drain ran
+  std::string retriever;      ///< the strategy that was drained
+  SimTime drain_time = SimTime::zero();
+};
+
+/// Serving-path results (per-query tails); populated only when
+/// ServingConfig::enabled().
+struct ServingResult {
+  std::int64_t queries = 0;
+  std::int64_t batches = 0;
+
+  /// End-to-end per-query latency (arrival -> batch completion) and its
+  /// queueing component (arrival -> batch close).
+  core::LatencyHistogram latency;
+  core::LatencyHistogram queue_latency;
+
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_queue_ms = 0.0;
+
+  /// Offered vs sustained load: achieved = queries / (last completion -
+  /// first arrival). Achieved far below offered = the system fell
+  /// behind (the queue grew without bound over the run).
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+
+  /// Dynamic-batcher shape: mean fill of the fixed-size batch and the
+  /// per-batch active-sample counts (the batch-size histogram).
+  double mean_batch_fill = 0.0;
+  std::vector<std::int64_t> per_batch_samples;
+
+  /// Queries still queued when each batch closed (mean/max over
+  /// batches) — the backlog the batcher could not drain.
+  double mean_queue_depth = 0.0;
+  std::int64_t max_queue_depth = 0;
+
+  /// Queries whose end-to-end latency exceeded ServingConfig::slo_ms.
+  std::int64_t slo_violations = 0;
+
+  /// p95 (ms) per non-overlapping window of `timeline_window` queries,
+  /// in completion order — brownout recovery is visible here.
+  std::vector<double> window_p95_ms;
 };
 
 struct ExperimentResult {
@@ -93,6 +198,14 @@ struct ExperimentResult {
   /// Resilience accounting; populated only when a fault plan was armed
   /// or the SLO fallback policy fired.
   std::optional<fault::ResilienceStats> resilience;
+
+  /// Mid-run SLO fallback drains (empty unless a switch happened). The
+  /// drained time is already inside stats.total; these entries say
+  /// where it came from.
+  std::vector<DrainEntry> drains;
+
+  /// Per-query serving results; populated only when serving was on.
+  std::optional<ServingResult> serving;
 
   double avgBatchMs() const;
   double avgComputeMs() const;

@@ -1,0 +1,47 @@
+#include "engine/load_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::engine {
+
+LoadGenerator::LoadGenerator(const ServingConfig& config,
+                             std::int64_t max_samples)
+    : config_(config),
+      max_samples_(max_samples),
+      sizes_(config.query_size),
+      rng_(config.seed) {
+  PGASEMB_CHECK(config.qps > 0.0, "serving qps must be positive");
+  PGASEMB_CHECK(max_samples >= 1, "need a positive sample cap");
+}
+
+SimTime LoadGenerator::nextArrival() {
+  // Inverse-CDF exponential inter-arrival: -ln(1 - u) / rate. In burst
+  // mode the draw runs at the elevated in-burst rate on the "burst
+  // time" axis (off-windows excised), then maps back to wall time.
+  const double u = rng_.uniformDouble();
+  if (config_.arrival == ArrivalPattern::kPoisson) {
+    clock_s_ += -std::log1p(-u) / config_.qps;
+    return SimTime::sec(clock_s_);
+  }
+  const double on_s = config_.burst_on_ms * 1e-3;
+  const double off_s = config_.burst_off_ms * 1e-3;
+  const double burst_rate = config_.qps * (on_s + off_s) / on_s;
+  clock_s_ += -std::log1p(-u) / burst_rate;
+  const double full_windows = std::floor(clock_s_ / on_s);
+  return SimTime::sec(clock_s_ + full_windows * off_s);
+}
+
+std::optional<Query> LoadGenerator::next() {
+  if (produced_ >= config_.num_queries) return std::nullopt;
+  Query q;
+  q.id = produced_;
+  q.arrival = nextArrival();
+  q.samples = std::min(sizes_.sample(rng_), max_samples_);
+  ++produced_;
+  return q;
+}
+
+}  // namespace pgasemb::engine

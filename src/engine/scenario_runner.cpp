@@ -1,26 +1,8 @@
 #include "engine/scenario_runner.hpp"
 
-#include <memory>
-
-#include "emb/lookup_kernel.hpp"
-#include "fabric/fabric.hpp"
-#include "fault/injector.hpp"
-#include "util/expect.hpp"
+#include "engine/batch_executor.hpp"
 
 namespace pgasemb::engine {
-
-double ExperimentResult::avgBatchMs() const {
-  return stats.batches ? stats.total.toMs() / stats.batches : 0.0;
-}
-double ExperimentResult::avgComputeMs() const {
-  return stats.batches ? stats.compute_phase.toMs() / stats.batches : 0.0;
-}
-double ExperimentResult::avgCommunicationMs() const {
-  return stats.batches ? stats.communication().toMs() / stats.batches : 0.0;
-}
-double ExperimentResult::avgSyncUnpackMs() const {
-  return stats.batches ? stats.syncUnpack().toMs() / stats.batches : 0.0;
-}
 
 ExperimentConfig weakScalingConfig(int num_gpus) {
   ExperimentConfig cfg;
@@ -53,12 +35,11 @@ ScenarioRunner::ScenarioRunner(const ExperimentConfig& config)
 
 ExperimentResult ScenarioRunner::run(const std::string& retriever_name) {
   const ExperimentConfig& config = builder_.config();
-  PGASEMB_CHECK(config.num_batches >= 1, "need at least one batch");
+  config.validate();
 
   builder_.reset();
-  std::unique_ptr<core::EmbeddingRetriever> retriever =
-      core::RetrieverRegistry::instance().create(retriever_name,
-                                                 builder_.context());
+  BatchExecutor exec(builder_, retriever_name,
+                     BatchExecutor::SloMode::kPerBatch);
 
   ExperimentResult result;
   Rng rng(config.batch_seed);
@@ -68,99 +49,18 @@ ExperimentResult ScenarioRunner::run(const std::string& retriever_name) {
   // synthetic inputs.
   emb::SparseBatch statistical =
       emb::SparseBatch::statistical(config.layer.batchSpec());
-  core::SloTracker slo(config.fallback);
-  std::string active = retriever_name;
-  std::int64_t fallback_switches = 0;
   for (int b = 0; b < config.num_batches; ++b) {
-    core::BatchTiming t;
     if (functional) {
       const auto batch =
           emb::SparseBatch::generateUniform(config.layer.batchSpec(), rng);
-      t = retriever->runBatch(batch);
+      exec.runOne(batch, result);
     } else {
-      t = retriever->runBatch(statistical);
-    }
-    result.stats.add(t);
-    result.per_batch.push_back(t);
-    if (slo.record(t.total) && config.fallback.fallback_to != active &&
-        core::RetrieverRegistry::instance().contains(
-            config.fallback.fallback_to)) {
-      // Degradation policy: the active strategy keeps blowing its SLO —
-      // drain it and finish the run on the fallback strategy.
-      result.stats.total += retriever->finish();
-      retriever.reset();
-      active = config.fallback.fallback_to;
-      retriever = core::RetrieverRegistry::instance().create(
-          active, builder_.context());
-      ++fallback_switches;
+      exec.runOne(statistical, result);
     }
   }
-  // Epilogue: pipelined strategies still have batches in flight; their
-  // drain time belongs to the run total. No-op (zero) for the rest.
-  result.stats.total += retriever->finish();
+  exec.finishRun(result);
 
-  {
-    fault::ResilienceStats resilience;
-    auto* injector = builder_.faultInjector();
-    if (injector != nullptr) resilience = injector->stats();
-    resilience.fallback_switches = fallback_switches;
-    if (fallback_switches > 0) resilience.fallback_retriever = active;
-    if (injector != nullptr || resilience.any()) {
-      result.resilience = resilience;
-    }
-  }
-
-  if (auto* san = builder_.sanitizer()) {
-    // The host consumes every GPU's final output tensor (standing in for
-    // the downstream interaction layer) — the reader the last batch's
-    // writes must be ordered against.
-    const SimTime now = builder_.system().hostNow();
-    for (int g = 0; g < config.num_gpus; ++g) {
-      const auto& out = retriever->output(g);
-      san->access(simsan::Checker::kHost, g,
-                  simsan::StridedRange::contiguous(out.offset(), out.size()),
-                  simsan::AccessKind::kRead, now, now,
-                  "host.consume_output.gpu" + std::to_string(g));
-    }
-    // Destroy the retriever (frees its working buffers), then audit.
-    retriever.reset();
-    san->leakCheck();
-    result.sanitizer = san->summary();
-  }
-
-  // Delivery (wire-occupancy) counter: for PGAS this matches the paper's
-  // in-kernel issue counter; for the baseline it spreads each chunk over
-  // its serialization window, exactly the paper's "linearly interpolated
-  // over the communication time" dashed line.
-  const auto& counter = builder_.fabric().deliveryCounter();
-  result.bucket_width = counter.bucketWidth();
-  result.wire_bytes_over_time.resize(counter.numBuckets());
-  for (std::size_t i = 0; i < counter.numBuckets(); ++i) {
-    result.wire_bytes_over_time[i] = counter.bucket(i);
-  }
-  result.total_wire_bytes = builder_.fabric().totalPayloadBytes();
-  result.total_wire_messages = builder_.fabric().totalMessages();
-
-  // ncu-style throughput of the lookup kernel on GPU 0.
-  {
-    auto& layer = builder_.layer();
-    const auto work = layer.lookupWork(statistical, 0);
-    const double dim = static_cast<double>(config.layer.dim);
-    const double outputs = static_cast<double>(work.totalOutputs());
-    const double bytes = outputs * 8.0 + work.gathered_rows * 8.0 +
-                         work.gathered_rows * dim * 4.0 +
-                         outputs * dim * 4.0;
-    // ncu's SM throughput counts all scalar instructions (index math,
-    // addressing), not just the pooling adds.
-    const double instructions =
-        work.gathered_rows * dim *
-        config.cost_model.compute_instructions_per_element;
-    const SimTime duration = emb::lookupComputeTime(layer, work);
-    const auto tp =
-        config.cost_model.kernelThroughput(instructions, bytes, duration);
-    result.lookup_compute_throughput = tp.compute;
-    result.lookup_memory_throughput = tp.memory;
-  }
+  finalizeResult(builder_, exec, statistical, result);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 
 #include "util/ascii_chart.hpp"
@@ -353,6 +354,164 @@ void writeScalingCsv(const std::string& path,
       }
     }
     csv.addRow(row);
+  }
+}
+
+namespace {
+
+/// The serving section of a run; throws when the run was closed-loop.
+const engine::ServingResult& servingOf(const engine::NamedResult& run) {
+  PGASEMB_CHECK(run.result.serving.has_value(),
+                "run '" + run.retriever + "' carries no serving results");
+  return *run.result.serving;
+}
+
+/// Sustained = the system kept up with the offered load (achieved
+/// within 5% of offered) and, when an SLO is set, met it at the tail.
+bool sustained(const engine::ServingResult& sv, double slo_ms) {
+  if (sv.achieved_qps < 0.95 * sv.offered_qps) return false;
+  return slo_ms <= 0.0 || sv.p99_ms <= slo_ms;
+}
+
+}  // namespace
+
+std::string renderServingTable(const std::vector<ServingPoint>& points) {
+  ConsoleTable table({"Serving", "arrival", "qps", "queries", "p50 ms",
+                      "p95 ms", "p99 ms", "max ms", "achieved", "fill",
+                      "queue", "viol"});
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      const auto& sv = servingOf(run);
+      table.addRow({runStyle(run.retriever).short_name, p.arrival,
+                    ConsoleTable::num(p.qps, 0),
+                    std::to_string(sv.queries),
+                    ConsoleTable::num(sv.p50_ms, 3),
+                    ConsoleTable::num(sv.p95_ms, 3),
+                    ConsoleTable::num(sv.p99_ms, 3),
+                    ConsoleTable::num(sv.max_ms, 3),
+                    ConsoleTable::num(sv.achieved_qps, 0),
+                    ConsoleTable::num(sv.mean_batch_fill * 100.0, 0) + "%",
+                    ConsoleTable::num(sv.mean_queue_depth, 1),
+                    std::to_string(sv.slo_violations)});
+    }
+  }
+  return table.render();
+}
+
+std::string renderServingSummary(const std::vector<ServingPoint>& points,
+                                 double slo_ms) {
+  PGASEMB_CHECK(!points.empty() && !points.front().runs.empty(),
+                "no serving points to summarize");
+  // Preserve first-appearance order of arrivals and retrievers.
+  std::vector<std::string> arrivals;
+  for (const auto& p : points) {
+    if (std::find(arrivals.begin(), arrivals.end(), p.arrival) ==
+        arrivals.end()) {
+      arrivals.push_back(p.arrival);
+    }
+  }
+
+  ConsoleTable table({"Max sustainable QPS", "arrival", "knee qps",
+                      "p99 ms at knee"});
+  for (const auto& named : points.front().runs) {
+    for (const auto& arrival : arrivals) {
+      const engine::ServingResult* knee = nullptr;
+      double knee_qps = 0.0;
+      for (const auto& p : points) {
+        if (p.arrival != arrival) continue;
+        for (const auto& run : p.runs) {
+          if (run.retriever != named.retriever) continue;
+          const auto& sv = servingOf(run);
+          if (sustained(sv, slo_ms) && p.qps > knee_qps) {
+            knee = &sv;
+            knee_qps = p.qps;
+          }
+        }
+      }
+      table.addRow({runStyle(named.retriever).short_name, arrival,
+                    knee ? ConsoleTable::num(knee_qps, 0) : "-",
+                    knee ? ConsoleTable::num(knee->p99_ms, 3) : "-"});
+    }
+  }
+  return table.render();
+}
+
+std::string renderLatencyHistogram(const engine::ExperimentResult& result,
+                                   const std::string& title) {
+  PGASEMB_CHECK(result.serving.has_value(),
+                "latency histogram needs serving results");
+  const auto& hist = result.serving->latency;
+  AsciiLineChart chart(title);
+  chart.setAxisLabels("log10(latency ms)", "queries per bin");
+  ChartSeries series{"queries", {}, {}, '*'};
+  // Span the occupied bins (zeros in between included, so queueing gaps
+  // show as valleys).
+  std::size_t lo = hist.numBins();
+  std::size_t hi = 0;
+  for (std::size_t b = 0; b < hist.numBins(); ++b) {
+    if (hist.binCount(b) == 0) continue;
+    if (lo == hist.numBins()) lo = b;
+    hi = b;
+  }
+  for (std::size_t b = lo; b < hist.numBins() && b <= hi; ++b) {
+    const double center =
+        0.5 * (hist.binLowMs(b) + hist.binHighMs(b));
+    series.x.push_back(std::log10(std::max(center, 1e-6)));
+    series.y.push_back(static_cast<double>(hist.binCount(b)));
+  }
+  if (!series.x.empty()) chart.addSeries(series);
+  return chart.render();
+}
+
+std::string renderP95Timeline(const std::vector<engine::NamedResult>& runs,
+                              const std::string& title) {
+  AsciiLineChart chart(title);
+  chart.setAxisLabels("window #", "p95 (ms)");
+  for (const auto& named : runs) {
+    const auto& sv = servingOf(named);
+    const RunStyle style = runStyle(named.retriever);
+    ChartSeries series{style.display, {}, {}, style.marker};
+    for (std::size_t w = 0; w < sv.window_p95_ms.size(); ++w) {
+      series.x.push_back(static_cast<double>(w + 1));
+      series.y.push_back(sv.window_p95_ms[w]);
+    }
+    if (!series.x.empty()) chart.addSeries(series);
+  }
+  return chart.render();
+}
+
+void writeServingCsv(const std::string& path,
+                     const std::vector<ServingPoint>& points) {
+  PGASEMB_CHECK(!points.empty() && !points.front().runs.empty(),
+                "no serving points to write");
+  CsvWriter csv(
+      path,
+      {"arrival", "qps", "retriever", "queries", "batches", "p50_ms",
+       "p95_ms", "p99_ms", "mean_ms", "max_ms", "mean_queue_ms",
+       "offered_qps", "achieved_qps", "mean_batch_fill",
+       "mean_queue_depth", "max_queue_depth", "slo_violations",
+       "fallback_switches"});
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      const auto& sv = servingOf(run);
+      const auto& rs = run.result.resilience;
+      csv.addRow({p.arrival, ConsoleTable::num(p.qps, 1),
+                  runKey(run.retriever), std::to_string(sv.queries),
+                  std::to_string(sv.batches),
+                  ConsoleTable::num(sv.p50_ms, 4),
+                  ConsoleTable::num(sv.p95_ms, 4),
+                  ConsoleTable::num(sv.p99_ms, 4),
+                  ConsoleTable::num(sv.mean_ms, 4),
+                  ConsoleTable::num(sv.max_ms, 4),
+                  ConsoleTable::num(sv.mean_queue_ms, 4),
+                  ConsoleTable::num(sv.offered_qps, 1),
+                  ConsoleTable::num(sv.achieved_qps, 1),
+                  ConsoleTable::num(sv.mean_batch_fill, 4),
+                  ConsoleTable::num(sv.mean_queue_depth, 2),
+                  std::to_string(sv.max_queue_depth),
+                  std::to_string(sv.slo_violations),
+                  std::to_string(rs ? rs->fallback_switches : 0)});
+    }
   }
 }
 

@@ -88,4 +88,38 @@ std::string renderResilienceTable(const std::vector<ScalingPoint>& points);
 void writeScalingCsv(const std::string& path,
                      const std::vector<ScalingPoint>& points);
 
+// --- Serving (open-loop) reporters ----------------------------------------
+
+/// One serving sweep point: every retriever's result at (arrival
+/// pattern, offered qps). Each run must carry a populated
+/// ExperimentResult::serving section.
+struct ServingPoint {
+  std::string arrival;  ///< "poisson" / "bursty"
+  double qps = 0.0;
+  std::vector<engine::NamedResult> runs;
+};
+
+/// Per-point tail-latency table: p50/p95/p99, achieved vs offered QPS,
+/// batch fill, queue depth, SLO violations per retriever.
+std::string renderServingTable(const std::vector<ServingPoint>& points);
+
+/// Knee-of-the-curve summary: per (arrival, retriever), the largest
+/// offered QPS the system sustains — achieved >= 95% of offered and
+/// (when slo_ms > 0) p99 <= slo_ms. "-" when no point qualifies.
+std::string renderServingSummary(const std::vector<ServingPoint>& points,
+                                 double slo_ms);
+
+/// Latency histogram chart of one run (count per log-spaced bin).
+std::string renderLatencyHistogram(const engine::ExperimentResult& result,
+                                   const std::string& title);
+
+/// p95-over-time chart (one point per timeline window of queries), one
+/// series per run — brownout dips and fallback recovery show up here.
+std::string renderP95Timeline(const std::vector<engine::NamedResult>& runs,
+                              const std::string& title);
+
+/// Serving sweep CSV: one row per (arrival, qps, retriever).
+void writeServingCsv(const std::string& path,
+                     const std::vector<ServingPoint>& points);
+
 }  // namespace pgasemb::trace
