@@ -84,11 +84,23 @@ inline void applyCoalesceFlag(const CliParser& cli,
   if (cli.getBool("no-coalesce")) cfg.coalesce_flows = false;
 }
 
-/// Registers the shared --simsan flag (opt-in dynamic checking).
+/// Registers the shared --simsan flag (opt-in dynamic checking) and its
+/// strict-effects escalation.
 inline void addSimsanFlag(CliParser& cli) {
   cli.addBool("simsan", false,
               "attach the simsan happens-before race / bounds / lifetime "
               "checker and print its per-run report (timings unchanged)");
+  cli.addBool("simsan-strict", false,
+              "strict-effects mode (implies --simsan): record actual "
+              "simulated-memory touches per kernel/transfer and fail when "
+              "an access escapes the declared MemEffect footprint");
+}
+
+/// Applies --simsan / --simsan-strict to a config.
+inline void applySimsanFlags(const CliParser& cli,
+                             engine::ExperimentConfig& cfg) {
+  cfg.simsan = cli.getBool("simsan");
+  cfg.simsan_strict = cli.getBool("simsan-strict");
 }
 
 /// Registers the shared replica-cache flags. Defaults (0, 0.0) keep
@@ -175,13 +187,15 @@ inline std::vector<trace::ScalingPoint> sweepScaling(
     bool weak, int max_gpus, int num_batches,
     const std::vector<std::string>& retrievers, bool simsan = false,
     std::int64_t cache_rows = 0, double zipf_alpha = 0.0,
-    const std::function<void(engine::ExperimentConfig&)>& tweak = nullptr) {
+    const std::function<void(engine::ExperimentConfig&)>& tweak = nullptr,
+    bool simsan_strict = false) {
   std::vector<trace::ScalingPoint> points;
   for (int gpus = 1; gpus <= max_gpus; ++gpus) {
     engine::ExperimentConfig cfg = weak ? engine::weakScalingConfig(gpus)
                                         : engine::strongScalingConfig(gpus);
     cfg.num_batches = num_batches;
     cfg.simsan = simsan;
+    cfg.simsan_strict = simsan_strict;
     cfg.cache_rows = cache_rows;
     cfg.layer.zipf_alpha = zipf_alpha;
     if (tweak) tweak(cfg);

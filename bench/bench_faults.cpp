@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
   for (const Severity& sev : kSeverities) {
     engine::ExperimentConfig cfg = engine::weakScalingConfig(gpus);
     cfg.num_batches = batches;
-    cfg.simsan = cli.getBool("simsan");
+    bench::applySimsanFlags(cli, cfg);
     if (sev.spec[0] != '\0') {
       std::string spec = sev.spec;
       const auto marker = spec.find("+flap");

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   cfg.layer.total_tables = 48LL * gpus;
   cfg.num_batches = static_cast<int>(cli.getInt("batches"));
   cfg.pipeline_depth = depth;
-  cfg.simsan = cli.getBool("simsan");
+  bench::applySimsanFlags(cli, cfg);
 
   engine::ScenarioRunner runner(cfg);
   const auto runs = runner.runAll(bench::retrieverList(cli));

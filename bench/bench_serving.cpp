@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
     engine::ExperimentConfig cfg;
     cfg.num_gpus = gpus;
     cfg.layer = emb::servingLayerSpec(gpus, max_batch);
-    cfg.simsan = cli.getBool("simsan");
+    bench::applySimsanFlags(cli, cfg);
     cfg.serving.num_queries = cli.getInt("queries");
     cfg.serving.qps = qps;
     cfg.serving.arrival = arrival;

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
       [&](engine::ExperimentConfig& cfg) {
         bench::applyFaultFlags(cli, cfg);
         bench::applyCoalesceFlag(cli, cfg);
-      });
+      },
+      cli.getBool("simsan-strict"));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.95x / 2.55x / 2.44x, geo-mean 2.63x)\n");

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
       [&](engine::ExperimentConfig& cfg) {
         bench::applyFaultFlags(cli, cfg);
         bench::applyCoalesceFlag(cli, cfg);
-      });
+      },
+      cli.getBool("simsan-strict"));
 
   printf("\n%s\n", trace::renderSpeedupTable(points).c_str());
   printf("(paper: 2.10x / 1.95x / 1.87x, geo-mean 1.97x)\n");
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
     const int batches = static_cast<int>(cli.getInt("batches"));
     engine::ExperimentConfig cfg = engine::weakScalingConfig(gpus);
     cfg.num_batches = batches;
-    cfg.simsan = cli.getBool("simsan");
+    bench::applySimsanFlags(cli, cfg);
     bench::applyCacheFlags(cli, cfg);
     bench::applyFaultFlags(cli, cfg);
     bench::applyCoalesceFlag(cli, cfg);

@@ -18,6 +18,9 @@ fabric::Fabric::Delivery Communicator::xfer(int src, int dst,
                                             std::int64_t payload_bytes,
                                             std::int64_t n_messages,
                                             SimTime at) {
+  if (strict_active_ != nullptr) {
+    strict_active_->transfer(src, dst, payload_bytes);
+  }
   if (injector_ != nullptr) {
     return injector_->reliableCollective(src, dst, payload_bytes, n_messages,
                                          at, protoEff());
@@ -47,6 +50,21 @@ Request Communicator::launch(
     state->actors.assign(static_cast<std::size_t>(n), -1);
     state->op_start.assign(static_cast<std::size_t>(n), SimTime::zero());
   }
+  if (auto* strict = system_.strictEffects()) {
+    // Translate the declared per-rank staging ranges into the tracker's
+    // effect lists (device doubles as the rank key for collectives).
+    std::vector<simsan::MemEffect> send;
+    std::vector<simsan::MemEffect> recv;
+    if (memory != nullptr) {
+      for (const auto& mem : memory->ranks) {
+        if (mem.device < 0) continue;
+        send.push_back({mem.device, mem.send, simsan::AccessKind::kRead, ""});
+        recv.push_back({mem.device, mem.recv, simsan::AccessKind::kWrite, ""});
+      }
+    }
+    state->strict =
+        strict->trackCollective(label, std::move(send), std::move(recv));
+  }
 
   // Share one copy of the injection function between the per-device ops
   // — `inject` closes over the collective's payload description (e.g.
@@ -65,7 +83,12 @@ Request Communicator::launch(
         system_.hostNow(), label,
         [this, src, state, inject_fn, stream_ptr = &stream](
             SimTime start, std::function<void(SimTime)> done) {
+          // Attribute this rank's transfers to this collective (injects
+          // run synchronously; save/restore tolerates nesting).
+          auto* const prev_strict = strict_active_;
+          strict_active_ = state->strict.get();
           const SimTime local_end = (*inject_fn)(src, start);
+          strict_active_ = prev_strict;
           state->first_start = std::min(state->first_start, start);
           state->completion = std::max(state->completion, local_end);
           state->done_callbacks[static_cast<std::size_t>(src)] =

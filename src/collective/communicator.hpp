@@ -125,6 +125,12 @@ class Communicator {
   gpu::MultiGpuSystem& system_;
   fabric::Fabric& fabric_;
   fault::FaultInjector* injector_ = nullptr;
+  /// Strict-effects attribution cursor: points at the tracker of the
+  /// collective whose inject function is currently executing (the sim
+  /// is single-threaded; injects run synchronously inside stream ops),
+  /// so xfer() can charge transfers to the right collective. Null
+  /// outside inject windows and without --simsan-strict.
+  simsan::StrictCollectiveTracker* strict_active_ = nullptr;
   /// Recycles the per-collective completion records (one per launch).
   util::SharedPool<detail::CollectiveState> state_pool_;
 };

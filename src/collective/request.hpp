@@ -12,6 +12,7 @@
 
 #include "simsan/access.hpp"
 #include "simsan/checker.hpp"
+#include "simsan/strict.hpp"
 #include "util/time.hpp"
 
 namespace pgasemb::gpu {
@@ -50,6 +51,10 @@ struct CollectiveState {
   CollectiveMemory memory;
   std::vector<simsan::ActorId> actors;  ///< per-rank op (stream) actor
   std::vector<SimTime> op_start;        ///< per-rank op start time
+  /// Strict-effects tracker for this collective's transfers (null unless
+  /// --simsan-strict): the communicator points its active-scope cursor
+  /// here around each rank's synchronous inject call.
+  std::shared_ptr<simsan::StrictCollectiveTracker> strict;
 };
 
 }  // namespace detail

@@ -88,13 +88,10 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
 
   if (p == 1) {
     // Single GPU: no layout conversion — the lookup writes the final
-    // tensor directly (as PyTorch does without a process group).
-    auto fused = emb::buildFusedLookupKernel(
-        layer_, batch, 0, functional ? &outputs_ : nullptr, /*slices=*/1);
-    if (san != nullptr) {
-      fused.desc.mem_effects.push_back(
-          {0, wholeBuffer(outputs_[0]), simsan::AccessKind::kWrite, ""});
-    }
+    // tensor directly (as PyTorch does without a process group). The
+    // builder declares the kernel's write effect from the output view.
+    auto fused =
+        emb::buildFusedLookupKernel(layer_, batch, 0, &outputs_, /*slices=*/1);
     system.launchKernel(0, std::move(fused.desc));
     const SimTime t1 = system.syncAll();
     timing.compute_phase = t1 - t0;
@@ -127,33 +124,18 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
       system.launchKernel(g, emb::buildCacheProbeKernel(layer_, *f, g));
     }
     auto kernel = emb::buildBaselineLookupKernel(
-        layer_, batch, g,
-        functional ? &send_buffers_[static_cast<std::size_t>(g)] : nullptr,
-        f);
+        layer_, batch, g, &send_buffers_[static_cast<std::size_t>(g)], f);
     for (int d = 0; d < p; ++d) {
       if (d != g) {
         matrix[static_cast<std::size_t>(g)][static_cast<std::size_t>(d)] =
             kernel.send_bytes[static_cast<std::size_t>(d)];
       }
     }
-    if (san != nullptr) {
-      kernel.desc.mem_effects.push_back(
-          {g, wholeBuffer(send_buffers_[static_cast<std::size_t>(g)]),
-           simsan::AccessKind::kWrite, ""});
-    }
     system.launchKernel(g, std::move(kernel.desc));
     if (f != nullptr) {
       auto serve = emb::buildCacheServeKernel(
-          layer_, batch, *f, g,
-          functional ? &outputs_[static_cast<std::size_t>(g)] : nullptr);
-      if (san != nullptr) {
-        serve.mem_effects.push_back(
-            {g, wholeBuffer(cache_->replica(g)), simsan::AccessKind::kRead,
-             ""});
-        serve.mem_effects.push_back(
-            {g, wholeBuffer(outputs_[static_cast<std::size_t>(g)]),
-             simsan::AccessKind::kWrite, ""});
-      }
+          layer_, batch, *f, g, &cache_->replica(g),
+          &outputs_[static_cast<std::size_t>(g)]);
       system.launchKernel(g, std::move(serve));
     }
   }
@@ -182,17 +164,8 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
   // Phase 3: unpack/rearrangement kernels + sync.
   for (int g = 0; g < p; ++g) {
     auto desc = emb::buildUnpackKernel(
-        layer_, g,
-        functional ? &recv_buffers_[static_cast<std::size_t>(g)] : nullptr,
-        functional ? &outputs_[static_cast<std::size_t>(g)] : nullptr, f);
-    if (san != nullptr) {
-      desc.mem_effects.push_back(
-          {g, wholeBuffer(recv_buffers_[static_cast<std::size_t>(g)]),
-           simsan::AccessKind::kRead, ""});
-      desc.mem_effects.push_back(
-          {g, wholeBuffer(outputs_[static_cast<std::size_t>(g)]),
-           simsan::AccessKind::kWrite, ""});
-    }
+        layer_, g, &recv_buffers_[static_cast<std::size_t>(g)],
+        &outputs_[static_cast<std::size_t>(g)], f);
     system.launchKernel(g, std::move(desc));
   }
   const SimTime t3 = system.syncAll();

@@ -51,14 +51,6 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
   BatchTiming timing;
   const SimTime t0 = system.hostNow();
   auto* san = system.sanitizer();
-  // Footprint of src's writes into dst's output, shifted from
-  // tensor-relative to device-address elements (symmetric-heap offset).
-  const auto footprint = [this](int src, int dst) {
-    auto range = emb::fusedWriteFootprint(layer_.sharding(), src, dst,
-                                          layer_.dim());
-    range.begin += outputs_view_[static_cast<std::size_t>(dst)].offset();
-    return range;
-  };
 
   if (row_wise) {
     // Row-wise partial sums accumulate: outputs must start at zero. A
@@ -99,36 +91,18 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
   // One fused lookup kernel per device (paper Listing 2's launch loop);
   // in-kernel one-sided writes are attached via the PGAS runtime.  With
   // a cache, a probe kernel partitions the indices first and the fused
-  // kernel computes/puts misses only.
+  // kernel computes/puts misses only.  The builder declares the local
+  // write effect and the remote put footprints from the output views.
   for (int g = 0; g < p; ++g) {
     if (f != nullptr) {
       system.launchKernel(g, emb::buildCacheProbeKernel(layer_, *f, g));
     }
-    auto fused = emb::buildFusedLookupKernel(
-        layer_, batch, g, functional ? &outputs_view_ : nullptr,
-        options_.slices, f);
-    std::vector<simsan::MemEffect> remote_writes;
-    if (san != nullptr) {
-      // Local slice of the fused write runs under the stream actor; the
-      // one-sided remote writes run under the kernel's put actor until
-      // quiet joins them back (PgasRuntime::attachMessagePlan).
-      fused.desc.mem_effects.push_back(
-          {g, footprint(g, g),
-           row_wise ? simsan::AccessKind::kAtomicAdd
-                    : simsan::AccessKind::kWrite,
-           ""});
-      for (int d = 0; d < p; ++d) {
-        if (d == g) continue;
-        remote_writes.push_back(
-            {d, footprint(g, d),
-             row_wise ? simsan::AccessKind::kAtomicAdd
-                      : simsan::AccessKind::kRemoteWrite,
-             fused.desc.name + ".put"});
-      }
-    }
+    auto fused = emb::buildFusedLookupKernel(layer_, batch, g,
+                                             &outputs_view_,
+                                             options_.slices, f);
     runtime_.attachMessagePlan(fused.desc, g, std::move(fused.plan),
                                options_.counter, options_.aggregator,
-                               std::move(remote_writes));
+                               std::move(fused.remote_writes));
     system.launchKernel(g, std::move(fused.desc));
   }
 
@@ -139,18 +113,8 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
     system.syncAll();
     for (int g = 0; g < p; ++g) {
       auto serve = emb::buildCacheServeKernel(
-          layer_, batch, *f, g, functional ? &outputs_view_[
-              static_cast<std::size_t>(g)] : nullptr);
-      if (san != nullptr) {
-        const auto& rep = options_.cache->replica(g);
-        const auto& out = outputs_view_[static_cast<std::size_t>(g)];
-        serve.mem_effects.push_back(
-            {g, simsan::StridedRange::contiguous(rep.offset(), rep.size()),
-             simsan::AccessKind::kRead, ""});
-        serve.mem_effects.push_back(
-            {g, simsan::StridedRange::contiguous(out.offset(), out.size()),
-             simsan::AccessKind::kWrite, ""});
-      }
+          layer_, batch, *f, g, &options_.cache->replica(g),
+          &outputs_view_[static_cast<std::size_t>(g)]);
       system.launchKernel(g, std::move(serve));
     }
   }

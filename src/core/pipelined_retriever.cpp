@@ -89,7 +89,7 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
   }
 
   auto* san = system.sanitizer();
-  const Slot& slot = slots_[static_cast<std::size_t>(submitted_ % depth_)];
+  Slot& slot = slots_[static_cast<std::size_t>(submitted_ % depth_)];
   const auto wholeBuffer = [](const gpu::DeviceBuffer& buf) {
     return simsan::StridedRange::contiguous(buf.offset(), buf.size());
   };
@@ -113,18 +113,16 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
   }
   auto& matrix = send_matrix_;
   for (int g = 0; g < p; ++g) {
-    auto kernel =
-        emb::buildBaselineLookupKernel(layer_, batch, g, nullptr, f);
+    // Slot buffers are recycled across in-flight batches, so the slot —
+    // not the builder's caller-agnostic default — names this batch's
+    // send buffer for the kernel's declared write effect.
+    auto kernel = emb::buildBaselineLookupKernel(
+        layer_, batch, g, &slot.send[static_cast<std::size_t>(g)], f);
     for (int d = 0; d < p; ++d) {
       if (d != g) {
         matrix[static_cast<std::size_t>(g)][static_cast<std::size_t>(d)] =
             kernel.send_bytes[static_cast<std::size_t>(d)];
       }
-    }
-    if (san != nullptr) {
-      kernel.desc.mem_effects.push_back(
-          {g, wholeBuffer(slot.send[static_cast<std::size_t>(g)]),
-           simsan::AccessKind::kWrite, ""});
     }
     auto& stream = system.stream(g);
     if (slot_free[g] != nullptr) {
@@ -142,16 +140,9 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
     if (f != nullptr) {
       // Serve the hit bags on the compute stream while the all-to-all
       // of the misses rides the comm stream.
-      auto serve = emb::buildCacheServeKernel(layer_, batch, *f, g,
-                                              nullptr);
-      if (san != nullptr) {
-        serve.mem_effects.push_back(
-            {g, wholeBuffer(cache_->replica(g)), simsan::AccessKind::kRead,
-             ""});
-        serve.mem_effects.push_back(
-            {g, wholeBuffer(slot.out[static_cast<std::size_t>(g)]),
-             simsan::AccessKind::kWrite, ""});
-      }
+      auto serve = emb::buildCacheServeKernel(
+          layer_, batch, *f, g, &cache_->replica(g),
+          &slot.out[static_cast<std::size_t>(g)]);
       system.launchKernel(g, std::move(serve));
     }
   }
@@ -197,31 +188,17 @@ BatchTiming PipelinedCollectiveRetriever::runBatch(
 void PipelinedCollectiveRetriever::enqueuePendingUnpack() {
   if (pending_unpack_ev_base_ < 0) return;
   auto& system = layer_.system();
-  auto* san = system.sanitizer();
   const int p = system.numGpus();
   const std::size_t base =
       static_cast<std::size_t>(pending_unpack_ev_base_);
-  const Slot& slot = slots_[static_cast<std::size_t>(pending_slot_)];
+  Slot& slot = slots_[static_cast<std::size_t>(pending_slot_)];
   for (int g = 0; g < p; ++g) {
     system.stream(g).enqueueWaitEvent(
         system.hostNow(),
         *events_[base + static_cast<std::size_t>(p + g)]);
-    auto desc = emb::buildUnpackKernel(layer_, g, nullptr, nullptr,
-                                       pending_filter_.get());
-    if (san != nullptr) {
-      desc.mem_effects.push_back(
-          {g,
-           simsan::StridedRange::contiguous(
-               slot.recv[static_cast<std::size_t>(g)].offset(),
-               slot.recv[static_cast<std::size_t>(g)].size()),
-           simsan::AccessKind::kRead, ""});
-      desc.mem_effects.push_back(
-          {g,
-           simsan::StridedRange::contiguous(
-               slot.out[static_cast<std::size_t>(g)].offset(),
-               slot.out[static_cast<std::size_t>(g)].size()),
-           simsan::AccessKind::kWrite, ""});
-    }
+    auto desc = emb::buildUnpackKernel(
+        layer_, g, &slot.recv[static_cast<std::size_t>(g)],
+        &slot.out[static_cast<std::size_t>(g)], pending_filter_.get());
     system.launchKernel(g, std::move(desc));
   }
   pending_unpack_ev_base_ = -1;

@@ -120,6 +120,8 @@ gpu::KernelDesc InteractionLayer::buildKernel(
     const std::string& name) const {
   const auto& cm = system.costModel();
   gpu::KernelDesc desc;
+  // Pure-compute pairwise-dot cost model; callers pass "interaction.*"
+  // names from the pure allowlist. pgaslint:allow(kernel-mem-effects)
   desc.name = name;
   const double n = static_cast<double>(num_sparse_ + 1);
   const double flops =

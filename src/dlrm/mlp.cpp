@@ -226,6 +226,8 @@ gpu::KernelDesc Mlp::buildForwardKernel(const gpu::MultiGpuSystem& system,
                                         const std::string& name) const {
   const auto& cm = system.costModel();
   gpu::KernelDesc desc;
+  // Pure-compute GEMM cost model; callers pass "mlp_*" names from the
+  // pure allowlist. pgaslint:allow(kernel-mem-effects)
   desc.name = name;
   const double flops = forwardFlops(batch);
   const double bytes = forwardBytes(batch);

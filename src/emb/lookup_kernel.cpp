@@ -57,10 +57,20 @@ BaselineLookupKernel buildBaselineLookupKernel(
         work.outputs_to[static_cast<std::size_t>(d)] * dim * 4;
   }
 
-  if (send_buffer != nullptr && batch.materialized()) {
+  if (send_buffer != nullptr) {
     PGASEMB_CHECK(send_buffer->size() >=
                       sendBufferElements(sharding, gpu, dim),
                   "send buffer too small");
+    if (layer.system().sanitizer() != nullptr) {
+      out.desc.mem_effects.push_back(
+          {gpu,
+           simsan::StridedRange::contiguous(send_buffer->offset(),
+                                            send_buffer->size()),
+           simsan::AccessKind::kWrite, ""});
+    }
+  }
+  if (send_buffer != nullptr && send_buffer->backed() &&
+      batch.materialized()) {
     out.desc.functional_body = [&layer, &batch, gpu, send_buffer, filter] {
       const auto& sh = layer.sharding();
       const std::int64_t first = sh.firstTableOn(gpu);
@@ -108,10 +118,36 @@ FusedLookupKernel buildFusedLookupKernel(
   out.plan = pgas::makeUniformPlan(payload, gpu, slices,
                                    kCoalescedMessageBytes);
 
-  if (outputs != nullptr && batch.materialized()) {
+  const bool row_wise = sharding.scheme() == ShardingScheme::kRowWise;
+  if (outputs != nullptr) {
     PGASEMB_CHECK(static_cast<int>(outputs->size()) == p,
                   "need one output tensor per GPU");
-    const bool row_wise = sharding.scheme() == ShardingScheme::kRowWise;
+    if (layer.system().sanitizer() != nullptr) {
+      // Local slice of the fused write runs under the stream actor; the
+      // one-sided remote writes run under the kernel's put actor until
+      // quiet joins them back (PgasRuntime::attachMessagePlan).
+      for (int d = 0; d < p; ++d) {
+        auto range = fusedWriteFootprint(sharding, gpu, d, dim);
+        range.begin += (*outputs)[static_cast<std::size_t>(d)].offset();
+        if (d == gpu) {
+          out.desc.mem_effects.push_back(
+              {d, range,
+               row_wise ? simsan::AccessKind::kAtomicAdd
+                        : simsan::AccessKind::kWrite,
+               ""});
+        } else {
+          out.remote_writes.push_back(
+              {d, range,
+               row_wise ? simsan::AccessKind::kAtomicAdd
+                        : simsan::AccessKind::kRemoteWrite,
+               out.desc.name + ".put"});
+        }
+      }
+    }
+  }
+  if (outputs != nullptr &&
+      (*outputs)[static_cast<std::size_t>(gpu)].backed() &&
+      batch.materialized()) {
     out.desc.functional_body = [&layer, &batch, gpu, outputs, row_wise,
                                 filter] {
       const auto& sh = layer.sharding();

@@ -32,11 +32,14 @@ struct BaselineLookupKernel {
   std::vector<std::int64_t> send_bytes;
 };
 
-/// Build GPU `gpu`'s baseline lookup kernel. In functional mode
-/// `send_buffer` receives the pooled embeddings laid out
-/// [dst][local table][dst-local sample][col].  With a cache `filter`
-/// only the miss bags are computed and shipped (served bags never enter
-/// the send buffer); the filter must outlive the kernel's execution.
+/// Build GPU `gpu`'s baseline lookup kernel. `send_buffer` receives the
+/// pooled embeddings laid out [dst][local table][dst-local sample][col];
+/// pass it in every mode — the builder declares the kernel's simsan
+/// write effect from it when a checker is attached and runs the
+/// functional body only when the buffer is backed and the batch is
+/// materialized.  With a cache `filter` only the miss bags are computed
+/// and shipped (served bags never enter the send buffer); the filter
+/// must outlive the kernel's execution.
 BaselineLookupKernel buildBaselineLookupKernel(
     ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
     gpu::DeviceBuffer* send_buffer, const CacheFilter* filter = nullptr);
@@ -44,15 +47,23 @@ BaselineLookupKernel buildBaselineLookupKernel(
 struct FusedLookupKernel {
   gpu::KernelDesc desc;  ///< message plan not yet attached (PgasRuntime)
   pgas::MessagePlan plan;
+  /// One-sided write footprints into the other GPUs' output tensors
+  /// (device-address elements), declared by the builder when a checker
+  /// is attached. Hand to PgasRuntime::attachMessagePlan, which logs
+  /// them per delivered flow and rides them on KernelDesc::put_effects.
+  std::vector<simsan::MemEffect> remote_writes;
 };
 
-/// Build GPU `gpu`'s PGAS fused lookup kernel. In functional mode
-/// `outputs[d]` is GPU d's final output tensor
-/// ([mini-batch sample][global table][col]); remote entries are written
-/// directly (row-wise sharding accumulates partial sums instead).  With
-/// a cache `filter` only the miss bags are computed and put — fewer
-/// one-sided messages AND fewer per-message headers, so a shorter
-/// quiet; the filter must outlive the kernel's execution.
+/// Build GPU `gpu`'s PGAS fused lookup kernel. `outputs[d]` is GPU d's
+/// final output tensor ([mini-batch sample][global table][col]); pass
+/// the views in every mode — the builder declares the local write
+/// effect and the remote put footprints from them when a checker is
+/// attached, and runs the functional body (direct remote stores;
+/// row-wise sharding accumulates partial sums instead) only when the
+/// local view is backed and the batch is materialized.  With a cache
+/// `filter` only the miss bags are computed and put — fewer one-sided
+/// messages AND fewer per-message headers, so a shorter quiet; the
+/// filter must outlive the kernel's execution.
 FusedLookupKernel buildFusedLookupKernel(
     ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
     std::vector<gpu::DeviceBuffer>* outputs, int slices,

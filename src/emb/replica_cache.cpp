@@ -212,12 +212,25 @@ gpu::KernelDesc buildCacheProbeKernel(const ShardedEmbeddingLayer& layer,
 gpu::KernelDesc buildCacheServeKernel(ShardedEmbeddingLayer& layer,
                                       const SparseBatch& batch,
                                       const CacheFilter& filter, int gpu,
+                                      const gpu::DeviceBuffer* replica,
                                       gpu::DeviceBuffer* output) {
   gpu::KernelDesc desc;
   desc.name = "emb_cache_serve.gpu" + std::to_string(gpu);
   desc.duration = lookupComputeTime(layer, filter.serveWork(gpu));
 
-  if (output != nullptr && batch.materialized()) {
+  if (replica != nullptr && output != nullptr &&
+      layer.system().sanitizer() != nullptr) {
+    desc.mem_effects.push_back(
+        {gpu,
+         simsan::StridedRange::contiguous(replica->offset(),
+                                          replica->size()),
+         simsan::AccessKind::kRead, ""});
+    desc.mem_effects.push_back(
+        {gpu,
+         simsan::StridedRange::contiguous(output->offset(), output->size()),
+         simsan::AccessKind::kWrite, ""});
+  }
+  if (output != nullptr && output->backed() && batch.materialized()) {
     desc.functional_body = [&layer, &batch, &filter, gpu, output] {
       // The replica holds bit-identical copies of the hot rows, so
       // pooling through the table yields exactly the served value.

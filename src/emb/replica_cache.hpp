@@ -112,13 +112,16 @@ gpu::KernelDesc buildCacheProbeKernel(const ShardedEmbeddingLayer& layer,
                                       const CacheFilter& filter, int gpu);
 
 /// Build GPU `gpu`'s replica-serve kernel: pools every served bag of
-/// its own mini-batch from the local replica straight into `output`
-/// (the final [sample][table][col] tensor) — local HBM reads instead of
-/// exchange traffic. Functional when `output` is non-null and the batch
-/// is materialized.
+/// its own mini-batch from the local `replica` block straight into
+/// `output` (the final [sample][table][col] tensor) — local HBM reads
+/// instead of exchange traffic. Pass both buffers in every mode — the
+/// builder declares the kernel's simsan replica-read / output-write
+/// effects from them when a checker is attached and runs the functional
+/// body only when `output` is backed and the batch is materialized.
 gpu::KernelDesc buildCacheServeKernel(ShardedEmbeddingLayer& layer,
                                       const SparseBatch& batch,
                                       const CacheFilter& filter, int gpu,
+                                      const gpu::DeviceBuffer* replica,
                                       gpu::DeviceBuffer* output);
 
 }  // namespace pgasemb::emb

@@ -45,6 +45,21 @@ gpu::KernelDesc buildUnpackKernel(ShardedEmbeddingLayer& layer, int gpu,
   desc.duration = cm.unpackKernelTime(bytes);
 
   if (recv_buffer != nullptr && output != nullptr) {
+    if (layer.system().sanitizer() != nullptr) {
+      desc.mem_effects.push_back(
+          {gpu,
+           simsan::StridedRange::contiguous(recv_buffer->offset(),
+                                            recv_buffer->size()),
+           simsan::AccessKind::kRead, ""});
+      desc.mem_effects.push_back(
+          {gpu,
+           simsan::StridedRange::contiguous(output->offset(),
+                                            output->size()),
+           simsan::AccessKind::kWrite, ""});
+    }
+  }
+  if (recv_buffer != nullptr && output != nullptr &&
+      recv_buffer->backed() && output->backed()) {
     desc.functional_body = [&layer, gpu, recv_buffer, output, filter] {
       const auto& sh = layer.sharding();
       const int dim2 = layer.dim();

@@ -26,11 +26,14 @@ std::int64_t recvBufferIndex(const Sharding& sharding, int dst, int src,
 /// Elements in GPU `dst`'s receive buffer (all sources, local included).
 std::int64_t recvBufferElements(const Sharding& sharding, int dst, int dim);
 
-/// Build GPU `gpu`'s unpack kernel. In functional mode it rearranges
-/// `recv_buffer` into `output` (the final [sample][table][col] tensor).
-/// With a cache `filter` only the miss bags are rearranged (the served
-/// bags never crossed the wire — the serve kernel wrote them straight
-/// into `output`); the filter must outlive the kernel's execution.
+/// Build GPU `gpu`'s unpack kernel: rearranges `recv_buffer` into
+/// `output` (the final [sample][table][col] tensor). Pass both buffers
+/// in every mode — the builder declares the kernel's simsan read/write
+/// effects from them when a checker is attached and runs the functional
+/// body only when they are backed.  With a cache `filter` only the miss
+/// bags are rearranged (the served bags never crossed the wire — the
+/// serve kernel wrote them straight into `output`); the filter must
+/// outlive the kernel's execution.
 gpu::KernelDesc buildUnpackKernel(ShardedEmbeddingLayer& layer, int gpu,
                                   gpu::DeviceBuffer* recv_buffer,
                                   gpu::DeviceBuffer* output,

@@ -3,6 +3,7 @@
 #include "emb/lookup_kernel.hpp"
 #include "fabric/fabric.hpp"
 #include "fault/injector.hpp"
+#include "simsan/strict.hpp"
 
 namespace pgasemb::engine {
 
@@ -106,6 +107,11 @@ void finalizeResult(SystemBuilder& builder, BatchExecutor& exec,
     exec.destroyRetriever();
     san->leakCheck();
     result.sanitizer = san->summary();
+    if (auto* strict = builder.strictEffects()) {
+      // Fold undeclared-effect findings into the same verdict (clean()
+      // goes false when any kernel or transfer escaped its declaration).
+      strict->mergeInto(*result.sanitizer);
+    }
   }
 
   // Delivery (wire-occupancy) counter: for PGAS this matches the paper's

@@ -103,6 +103,11 @@ struct ExperimentConfig {
   /// Attach the simsan happens-before/bounds/lifetime checker to the
   /// run. Purely observational: timings and outputs are unchanged.
   bool simsan = false;
+  /// Strict-effects mode (--simsan-strict, implies `simsan`): record the
+  /// simulated-memory ranges each kernel/transfer actually touches and
+  /// fail the run when an access escapes the declared MemEffect
+  /// footprint. Purely observational: timings and outputs are unchanged.
+  bool simsan_strict = false;
   /// Deterministic fault plan (--faults/--fault-seed). Empty = no
   /// injector is built and every code path stays bit-identical to a
   /// fault-free build.

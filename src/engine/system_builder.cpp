@@ -6,6 +6,7 @@
 #include "fault/injector.hpp"
 #include "pgas/runtime.hpp"
 #include "simsan/checker.hpp"
+#include "simsan/strict.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::engine {
@@ -28,13 +29,17 @@ void SystemBuilder::reset() {
   comm_.reset();
   fabric_.reset();
   system_.reset();
+  strict_.reset();
   sanitizer_.reset();
   build();
 }
 
 void SystemBuilder::build() {
-  if (config_.simsan) {
+  if (config_.simsan || config_.simsan_strict) {
     sanitizer_ = std::make_unique<simsan::Checker>();
+  }
+  if (config_.simsan_strict) {
+    strict_ = std::make_unique<simsan::StrictEffects>();
   }
   gpu::SystemConfig sys_cfg;
   sys_cfg.num_gpus = config_.num_gpus;
@@ -42,6 +47,7 @@ void SystemBuilder::build() {
   sys_cfg.mode = config_.mode;
   sys_cfg.cost_model = config_.cost_model;
   sys_cfg.sanitizer = sanitizer_.get();
+  sys_cfg.strict_effects = strict_.get();
   system_ = std::make_unique<gpu::MultiGpuSystem>(sys_cfg);
 
   std::unique_ptr<fabric::Topology> topo;

@@ -32,6 +32,7 @@ class PgasRuntime;
 }
 namespace simsan {
 class Checker;
+class StrictEffects;
 }
 }  // namespace pgasemb
 
@@ -68,6 +69,10 @@ class SystemBuilder {
   /// when ExperimentConfig::simsan is off. Invalidated by reset().
   simsan::Checker* sanitizer() { return sanitizer_.get(); }
 
+  /// The strict-effects recorder, or nullptr when
+  /// ExperimentConfig::simsan_strict is off. Invalidated by reset().
+  simsan::StrictEffects* strictEffects() { return strict_.get(); }
+
   /// The armed fault injector of the current assembly, or nullptr when
   /// ExperimentConfig::faults is empty. Invalidated by reset().
   fault::FaultInjector* faultInjector() { return injector_.get(); }
@@ -82,6 +87,7 @@ class SystemBuilder {
   ExperimentConfig config_;
   // Destroyed after the system (teardown frees report into it).
   std::unique_ptr<simsan::Checker> sanitizer_;
+  std::unique_ptr<simsan::StrictEffects> strict_;
   std::unique_ptr<gpu::MultiGpuSystem> system_;
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<collective::Communicator> comm_;

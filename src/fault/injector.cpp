@@ -1,7 +1,7 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
-#include <set>
+#include <vector>
 
 #include "fabric/topology.hpp"
 #include "util/expect.hpp"
@@ -78,14 +78,19 @@ void FaultInjector::arm(gpu::MultiGpuSystem& system, fabric::Fabric& fabric) {
         }
         // Install on every link of every matching route, once per link
         // (shared hops — NVSwitch ports, NIC up-links — degrade for all
-        // routes through them, as on real hardware).
-        std::set<fabric::Link*> seen;
+        // routes through them, as on real hardware). Dedup via a vector
+        // scan: route sets are small, and a pointer-keyed std::set would
+        // order by allocation address (pgaslint: ptr-key-ordered).
+        std::vector<fabric::Link*> seen;
         for (int src = 0; src < n; ++src) {
           if (spec.a >= 0 && src != spec.a) continue;
           for (int dst = 0; dst < n; ++dst) {
             if (dst == src || (spec.b >= 0 && dst != spec.b)) continue;
             for (fabric::Link* link : fabric.topology().route(src, dst)) {
-              if (seen.insert(link).second) link->addFaultWindow(window);
+              if (std::find(seen.begin(), seen.end(), link) == seen.end()) {
+                seen.push_back(link);
+                link->addFaultWindow(window);
+              }
             }
           }
         }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "simsan/checker.hpp"
+#include "simsan/strict.hpp"
 
 namespace pgasemb::gpu {
 
@@ -12,6 +13,12 @@ std::span<float> DeviceBuffer::span() {
   PGASEMB_CHECK(backed_,
                 "span() on an unbacked buffer (timing-only mode or virtual "
                 "allocation)");
+  // Strict-effects shadow touch: a mutable span materialized while a
+  // kernel's functional body runs is an observed write-capable access
+  // of this buffer's range (reads use the const overload).
+  if (auto* strict = device_->strictEffects()) {
+    strict->touch(device_->id(), offset_, size_);
+  }
   return device_->storageSpan(offset_, size_);
 }
 
@@ -22,11 +29,13 @@ std::span<const float> DeviceBuffer::span() const {
 }
 
 Device::Device(int id, std::int64_t memory_capacity_bytes, ExecutionMode mode,
-               simsan::Checker* sanitizer)
+               simsan::Checker* sanitizer,
+               simsan::StrictEffects* strict_effects)
     : id_(id),
       capacity_bytes_(memory_capacity_bytes),
       mode_(mode),
       sanitizer_(sanitizer),
+      strict_effects_(strict_effects),
       compute_("gpu" + std::to_string(id) + ".compute") {
   PGASEMB_CHECK(memory_capacity_bytes > 0, "device needs positive capacity");
 }

@@ -16,6 +16,7 @@
 
 namespace pgasemb::simsan {
 class Checker;
+class StrictEffects;
 }
 
 namespace pgasemb::gpu {
@@ -66,7 +67,8 @@ class DeviceBuffer {
 class Device {
  public:
   Device(int id, std::int64_t memory_capacity_bytes, ExecutionMode mode,
-         simsan::Checker* sanitizer = nullptr);
+         simsan::Checker* sanitizer = nullptr,
+         simsan::StrictEffects* strict_effects = nullptr);
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -96,6 +98,7 @@ class Device {
   std::int64_t addressSpaceEnd() const { return next_offset_; }
 
   simsan::Checker* sanitizer() const { return sanitizer_; }
+  simsan::StrictEffects* strictEffects() const { return strict_effects_; }
 
   /// The FIFO resource kernels serialize on (one kernel in flight at a
   /// time per device, as with a single busy CUDA stream).
@@ -151,6 +154,7 @@ class Device {
   std::int64_t capacity_bytes_;
   ExecutionMode mode_;
   simsan::Checker* sanitizer_ = nullptr;
+  simsan::StrictEffects* strict_effects_ = nullptr;
   std::int64_t used_bytes_ = 0;
   std::int64_t next_offset_ = 0;
   std::int64_t alloc_seq_ = 0;

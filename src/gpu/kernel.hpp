@@ -53,6 +53,13 @@ struct KernelDesc {
   /// is off). Remote one-sided writes are NOT listed here — the PGAS
   /// runtime logs those under its own put actor as slices deliver.
   std::vector<simsan::MemEffect> mem_effects;
+
+  /// Declared one-sided put footprint (set by
+  /// PgasRuntime::attachMessagePlan from the retriever's remote_writes;
+  /// empty otherwise). Logged by the PGAS put actor, not the stream —
+  /// kept on the descriptor so strict-effects mode can treat remote
+  /// output ranges as declared while the functional body runs.
+  std::vector<simsan::MemEffect> put_effects;
 };
 
 }  // namespace pgasemb::gpu

@@ -5,6 +5,7 @@
 
 #include "gpu/device.hpp"
 #include "gpu/gpu_event.hpp"
+#include "simsan/strict.hpp"
 #include "sim/simulator.hpp"
 #include "util/expect.hpp"
 
@@ -109,7 +110,19 @@ void Stream::enqueueKernel(SimTime ready, KernelDesc desc) {
                                                         : effect.label);
               }
             }
-            if (d.functional_body) d.functional_body();
+            if (d.functional_body) {
+              // Strict-effects scope: every mutable span materialized
+              // inside the body is checked against the declared
+              // footprint (mem_effects plus attached put_effects).
+              auto* strict = device_.strictEffects();
+              if (strict != nullptr) {
+                strict->beginKernel(d.name, d.mem_effects, d.put_effects);
+                d.functional_body();
+                strict->endKernel();
+              } else {
+                d.functional_body();
+              }
+            }
             if (d.on_slice) {
               const std::int64_t dur = duration.count();
               if (d.coalesce_slices) {

@@ -13,7 +13,8 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig& config) : config_(config) {
   default_streams_.reserve(static_cast<std::size_t>(config.num_gpus));
   for (int i = 0; i < config.num_gpus; ++i) {
     devices_.push_back(std::make_unique<Device>(
-        i, config.memory_capacity_bytes, config.mode, config.sanitizer));
+        i, config.memory_capacity_bytes, config.mode, config.sanitizer,
+        config.strict_effects));
     default_streams_.push_back(std::make_unique<Stream>(
         simulator_, *devices_.back(), "gpu" + std::to_string(i) + ".default"));
     if (config.sanitizer != nullptr) {

@@ -27,6 +27,11 @@ struct SystemConfig {
   /// owned; must outlive the system. Null (the default) disables every
   /// hook — the simulation is bit-identical either way.
   simsan::Checker* sanitizer = nullptr;
+  /// Optional strict-effects recorder (--simsan-strict): observed
+  /// memory touches are checked against declared MemEffect footprints.
+  /// Not owned; must outlive the system. Requires `sanitizer` (the
+  /// findings surface through its Summary). Null disables every hook.
+  simsan::StrictEffects* strict_effects = nullptr;
 };
 
 class MultiGpuSystem {
@@ -43,6 +48,11 @@ class MultiGpuSystem {
 
   /// The attached simsan checker, or null when checking is off.
   simsan::Checker* sanitizer() const { return config_.sanitizer; }
+
+  /// The attached strict-effects recorder, or null (plain simsan / off).
+  simsan::StrictEffects* strictEffects() const {
+    return config_.strict_effects;
+  }
 
   /// Create an extra stream on device `id` (e.g. a side stream for the
   /// data-parallel MLP so it time-shares with the EMB kernel).

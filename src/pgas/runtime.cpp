@@ -4,6 +4,7 @@
 #include <string>
 
 #include "fault/injector.hpp"
+#include "simsan/strict.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::pgas {
@@ -45,7 +46,19 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
 
   auto quiet = quiet_pool_.make();
 
-  desc.on_slice = [this, src, counter, quiet,
+  // The declared put footprint rides on the descriptor so strict mode
+  // can treat remote output ranges as declared while the functional
+  // body runs (the body writes them directly; the flows model timing).
+  desc.put_effects = remote_writes;
+  // Strict-effects put tracker: totals each launch's *logical* flows
+  // per destination against the declared footprint (a retransmitted
+  // put re-sends the same logical flow, so attempts are not re-counted).
+  std::shared_ptr<simsan::StrictPutTracker> strict_puts;
+  if (auto* strict = system_.strictEffects()) {
+    strict_puts = strict->trackPuts(desc.name, remote_writes);
+  }
+
+  desc.on_slice = [this, src, counter, quiet, strict_puts,
                    remote_writes = std::move(remote_writes),
                    plan = std::move(plan)](int slice, SimTime at) {
     auto* san = system_.sanitizer();
@@ -67,6 +80,7 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
         };
     for (const auto& f :
          plan.flows[static_cast<std::size_t>(slice)]) {
+      if (strict_puts != nullptr) strict_puts->flow(f.dst, f.payload_bytes);
       if (injector_ == nullptr) {
         const auto d =
             fabric_.transfer(src, f.dst, f.payload_bytes, f.n_messages, at);

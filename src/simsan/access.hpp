@@ -44,6 +44,12 @@ struct StridedRange {
     return begin + (count > 1 ? (count - 1) * stride : 0) + len;
   }
 
+  /// Number of element slots across all runs (runs of a well-formed
+  /// range do not overlap: stride >= len whenever count > 1).
+  std::int64_t totalElements() const {
+    return empty() ? 0 : len * count;
+  }
+
   std::string toString() const;
 };
 

@@ -100,6 +100,8 @@ const char* violationKindName(Violation::Kind kind) {
       return "double-free";
     case Violation::Kind::kLeak:
       return "leak";
+    case Violation::Kind::kUndeclaredEffect:
+      return "undeclared-effect";
   }
   return "?";
 }
@@ -113,8 +115,13 @@ std::string Summary::report() const {
   }
   oss << "simsan: " << violations_total << " violation(s): " << races
       << " race(s), " << out_of_bounds << " out-of-bounds, "
-      << lifetime_errors << " lifetime error(s), " << leaks << " leak(s) ("
-      << accesses_logged << " accesses checked)";
+      << lifetime_errors << " lifetime error(s), " << leaks << " leak(s)";
+  // Strict-effects findings only appear in --simsan-strict runs, so the
+  // report stays byte-identical for plain --simsan output.
+  if (undeclared_effects > 0) {
+    oss << ", " << undeclared_effects << " undeclared effect(s)";
+  }
+  oss << " (" << accesses_logged << " accesses checked)";
   for (const auto& v : violations) {
     oss << "\n  [" << violationKindName(v.kind) << "] " << v.message;
   }

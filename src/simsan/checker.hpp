@@ -47,7 +47,15 @@ using ActorId = int;
 using VectorClock = std::vector<std::uint64_t>;
 
 struct Violation {
-  enum class Kind { kRace, kOutOfBounds, kUseAfterFree, kDoubleFree, kLeak };
+  enum class Kind {
+    kRace,
+    kOutOfBounds,
+    kUseAfterFree,
+    kDoubleFree,
+    kLeak,
+    kUndeclaredEffect,  ///< strict-effects mode: observed access escaped
+                        ///< the declared MemEffect footprint
+  };
   Kind kind;
   std::string message;
 };
@@ -60,6 +68,7 @@ struct Summary {
   int out_of_bounds = 0;
   int lifetime_errors = 0;  ///< use-after-free + double-free
   int leaks = 0;
+  int undeclared_effects = 0;  ///< strict-effects findings (simsan-strict)
   std::size_t accesses_logged = 0;
   std::size_t violations_total = 0;
   /// First `kMaxRecordedViolations` violations, in detection order.
@@ -67,7 +76,7 @@ struct Summary {
 
   bool clean() const {
     return races == 0 && out_of_bounds == 0 && lifetime_errors == 0 &&
-           leaks == 0;
+           leaks == 0 && undeclared_effects == 0;
   }
   std::string report() const;
 };

@@ -1,0 +1,207 @@
+#include "simsan/strict.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::simsan {
+
+// ---- StrictPutTracker ----------------------------------------------------
+
+StrictPutTracker::StrictPutTracker(StrictEffects* owner, std::string kernel,
+                                   const std::vector<MemEffect>& declared)
+    : owner_(owner), kernel_(std::move(kernel)) {
+  for (const auto& effect : declared) {
+    PerDst* entry = find(effect.device);
+    if (entry == nullptr) {
+      per_dst_.push_back(PerDst{effect.device, 0, 0, "", false});
+      entry = &per_dst_.back();
+    }
+    // Declared footprints are fp32 elements; flows carry bytes.
+    entry->budget_bytes += effect.range.totalElements() * 4;
+    if (!entry->declared.empty()) entry->declared += " + ";
+    entry->declared += effect.range.toString();
+  }
+}
+
+StrictPutTracker::PerDst* StrictPutTracker::find(int dst) {
+  for (auto& entry : per_dst_) {
+    if (entry.dst == dst) return &entry;
+  }
+  return nullptr;
+}
+
+void StrictPutTracker::flow(int dst, std::int64_t payload_bytes) {
+  PerDst* entry = find(dst);
+  if (entry == nullptr) {
+    if (!reported_undeclared_dst_) {
+      reported_undeclared_dst_ = true;
+      std::ostringstream oss;
+      oss << "kernel " << kernel_ << ": one-sided put of " << payload_bytes
+          << " B to gpu" << dst
+          << " with no declared put effect for that destination";
+      owner_->addFinding(oss.str());
+    }
+    return;
+  }
+  entry->sent_bytes += payload_bytes;
+  if (entry->sent_bytes > entry->budget_bytes && !entry->reported) {
+    entry->reported = true;
+    std::ostringstream oss;
+    oss << "kernel " << kernel_ << ": one-sided puts to gpu" << entry->dst
+        << " total " << entry->sent_bytes
+        << " B, escaping the declared footprint " << entry->declared << " ("
+        << entry->budget_bytes << " B)";
+    owner_->addFinding(oss.str());
+  }
+}
+
+// ---- StrictCollectiveTracker ---------------------------------------------
+
+StrictCollectiveTracker::StrictCollectiveTracker(StrictEffects* owner,
+                                                 std::string label,
+                                                 std::vector<MemEffect> send,
+                                                 std::vector<MemEffect> recv)
+    : owner_(owner),
+      label_(std::move(label)),
+      send_(std::move(send)),
+      recv_(std::move(recv)) {}
+
+namespace {
+
+/// Total declared byte budget for `rank` across `effects` (device is
+/// the rank for collective memory declarations), with a rendered range
+/// list for messages.
+std::int64_t rankBudget(const std::vector<MemEffect>& effects, int rank,
+                        std::string* rendered) {
+  std::int64_t bytes = 0;
+  for (const auto& effect : effects) {
+    if (effect.device != rank) continue;
+    bytes += effect.range.totalElements() * 4;
+    if (rendered != nullptr) {
+      if (!rendered->empty()) *rendered += " + ";
+      *rendered += effect.range.toString();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void StrictCollectiveTracker::transfer(int src, int dst,
+                                       std::int64_t payload_bytes) {
+  if (payload_bytes <= StrictEffects::kControlPlaneBytes) return;
+  if (send_.empty() && recv_.empty()) {
+    if (!reported_no_memory_) {
+      reported_no_memory_ = true;
+      std::ostringstream oss;
+      oss << "collective " << label_ << ": payload transfer gpu" << src
+          << " -> gpu" << dst << " (" << payload_bytes
+          << " B) with no declared CollectiveMemory ranges";
+      owner_->addFinding(oss.str());
+    }
+    return;
+  }
+  const auto check = [&](std::vector<PerRank>& per_rank,
+                         const std::vector<MemEffect>& declared, int rank,
+                         const char* role) {
+    if (rank < 0) return;
+    if (per_rank.size() <= static_cast<std::size_t>(rank)) {
+      per_rank.resize(static_cast<std::size_t>(rank) + 1);
+    }
+    PerRank& entry = per_rank[static_cast<std::size_t>(rank)];
+    entry.bytes += payload_bytes;
+    std::string rendered;
+    const std::int64_t budget = rankBudget(declared, rank, &rendered);
+    if (entry.bytes > budget && !entry.reported) {
+      entry.reported = true;
+      std::ostringstream oss;
+      oss << "collective " << label_ << ": rank " << rank << " " << role
+          << " " << entry.bytes << " B, escaping the declared "
+          << (rendered.empty() ? std::string("(nothing)") : rendered) << " ("
+          << budget << " B)";
+      owner_->addFinding(oss.str());
+    }
+  };
+  check(sent_, send_, src, "sent");
+  check(received_, recv_, dst, "received");
+}
+
+// ---- StrictEffects -------------------------------------------------------
+
+void StrictEffects::beginKernel(const std::string& name,
+                                const std::vector<MemEffect>& effects,
+                                const std::vector<MemEffect>& put_effects) {
+  PGASEMB_ASSERT(!in_kernel_, "strict kernel scopes do not nest");
+  in_kernel_ = true;
+  kernel_name_ = name;
+  kernel_effects_ = &effects;
+  kernel_put_effects_ = &put_effects;
+}
+
+void StrictEffects::endKernel() {
+  in_kernel_ = false;
+  kernel_effects_ = nullptr;
+  kernel_put_effects_ = nullptr;
+}
+
+void StrictEffects::touch(int device, std::int64_t offset,
+                          std::int64_t size) {
+  if (!in_kernel_ || size <= 0) return;
+  const StridedRange touched = StridedRange::contiguous(offset, size);
+  const auto covers = [&](const std::vector<MemEffect>* effects) {
+    if (effects == nullptr) return false;
+    return std::any_of(effects->begin(), effects->end(),
+                       [&](const MemEffect& effect) {
+                         return effect.device == device &&
+                                overlaps(effect.range, touched);
+                       });
+  };
+  if (covers(kernel_effects_) || covers(kernel_put_effects_)) return;
+  // One finding per distinct (kernel, device, range), not one per batch.
+  std::ostringstream key;
+  key << kernel_name_ << '/' << device << '/' << offset << '+' << size;
+  if (std::find(reported_touches_.begin(), reported_touches_.end(),
+                key.str()) != reported_touches_.end()) {
+    return;
+  }
+  reported_touches_.push_back(key.str());
+  std::ostringstream oss;
+  oss << "kernel " << kernel_name_ << " touched gpu" << device << " "
+      << touched.toString()
+      << " with no declared mem_effect covering that range";
+  addFinding(oss.str());
+}
+
+std::shared_ptr<StrictPutTracker> StrictEffects::trackPuts(
+    std::string kernel, const std::vector<MemEffect>& declared) {
+  return std::shared_ptr<StrictPutTracker>(
+      new StrictPutTracker(this, std::move(kernel), declared));
+}
+
+std::shared_ptr<StrictCollectiveTracker> StrictEffects::trackCollective(
+    std::string label, std::vector<MemEffect> send,
+    std::vector<MemEffect> recv) {
+  return std::shared_ptr<StrictCollectiveTracker>(new StrictCollectiveTracker(
+      this, std::move(label), std::move(send), std::move(recv)));
+}
+
+void StrictEffects::addFinding(std::string message) {
+  ++findings_total_;
+  if (violations_.size() < Checker::kMaxRecordedViolations) {
+    violations_.push_back(
+        Violation{Violation::Kind::kUndeclaredEffect, std::move(message)});
+  }
+}
+
+void StrictEffects::mergeInto(Summary& summary) const {
+  summary.undeclared_effects += findings_total_;
+  summary.violations_total += static_cast<std::size_t>(findings_total_);
+  for (const auto& violation : violations_) {
+    if (summary.violations.size() >= Checker::kMaxRecordedViolations) break;
+    summary.violations.push_back(violation);
+  }
+}
+
+}  // namespace pgasemb::simsan

@@ -701,8 +701,8 @@ class BrokenCachedNoBarrier final : public core::EmbeddingRetriever {
     // BUG: no system.syncAll() here — the serve overlay runs concurrent
     // with the other GPUs' one-sided miss writes into the same tensor.
     for (int g = 0; g < p; ++g) {
-      auto serve =
-          emb::buildCacheServeKernel(layer_, batch, filter, g, nullptr);
+      auto serve = emb::buildCacheServeKernel(layer_, batch, filter, g,
+                                              nullptr, nullptr);
       if (san != nullptr) {
         const auto& rep = cache_->replica(g);
         const auto& out = outputs_view_[static_cast<std::size_t>(g)];
