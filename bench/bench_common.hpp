@@ -168,6 +168,36 @@ inline void applyFaultFlags(const CliParser& cli,
   }
 }
 
+/// Registers the shared multi-node flags (DESIGN.md §12). Defaults
+/// (flat all-to-all, no compression, per-flow NIC queues) keep every
+/// code path — and all stdout/CSV output — identical to earlier builds.
+inline void addMultinodeFlags(CliParser& cli) {
+  cli.addBool("hierarchical-a2a", false,
+              "route inter-node traffic hierarchically: NVLink gather to "
+              "the node leader, one aggregated flow per node pair, NVLink "
+              "scatter (no effect on a single node)");
+  cli.addDouble("compress-bound", 0.0,
+                "absolute error bound for lossy compression of inter-node "
+                "flows (0 = off); Functional runs really transcode, so "
+                "the reported error is measured, not estimated");
+  cli.addBool("compress-adaptive", false,
+              "pick the per-window quantization width from observed NIC "
+              "egress utilization instead of always using the tightest "
+              "width the bound allows (requires --compress-bound > 0)");
+  cli.addBool("nic-shared-queue", false,
+              "serialize each node's inter-node flows through one shared "
+              "NIC injection queue instead of per-flow queues");
+}
+
+/// Applies the multi-node flags to a config.
+inline void applyMultinodeFlags(const CliParser& cli,
+                                engine::ExperimentConfig& cfg) {
+  cfg.hierarchical_a2a = cli.getBool("hierarchical-a2a");
+  cfg.compress_bound = cli.getDouble("compress-bound");
+  cfg.compress_adaptive = cli.getBool("compress-adaptive");
+  cfg.nic_shared_queue = cli.getBool("nic-shared-queue");
+}
+
 /// Cross-field config validation at flag-parse time. Fail fast and
 /// clean (exit 2, no uncaught-exception abort): an inconsistent flag
 /// combination is an operator error, not a library bug.

@@ -34,6 +34,13 @@ METRICS = {
     # is a modeling change, not machine noise.
     "serving_p99_ms": ("lower", "ms"),
     "max_sustainable_qps": ("higher", "qps"),
+    # Multi-node sweep (bench_multinode --sweep --bench-json): modeled
+    # batch time and inter-node wire-equivalent bytes at the largest
+    # swept node count, for flat / hierarchical / hierarchical+compressed
+    # runs. Both simulated; the byte counts are deterministic, so drift
+    # there means the traffic model itself moved.
+    "multinode_ms_per_batch": ("lower", "ms/batch"),
+    "multinode_inter_bytes_per_batch": ("exact", "bytes"),
 }
 
 

@@ -21,18 +21,62 @@ fabric::Fabric::Delivery Communicator::xfer(int src, int dst,
   if (strict_active_ != nullptr) {
     strict_active_->transfer(src, dst, payload_bytes);
   }
+  std::int64_t wire_bytes = payload_bytes;
+  auto& topo = fabric_.topology();
+  // Only fp32 payloads compress; control messages (e.g. barrier flags)
+  // pass through.
+  if (hier_.codec != nullptr && payload_bytes > 0 && payload_bytes % 4 == 0 &&
+      topo.routeClass(src, dst) == fabric::LinkClass::kInter) {
+    const int src_node = topo.nodeOf(src);
+    const int bits = hier_.codec->aggregateBits(src_node, at);
+    wire_bytes = fabric::InterNodeCodec::compressedBytes(payload_bytes, bits);
+    hier_.codec->recordFlow(payload_bytes, wire_bytes);
+    hier_.codec->recordEgress(src_node, at, wire_bytes);
+  }
   if (injector_ != nullptr) {
-    return injector_->reliableCollective(src, dst, payload_bytes, n_messages,
+    return injector_->reliableCollective(src, dst, wire_bytes, n_messages,
                                          at, protoEff());
   }
-  return fabric_.transfer(src, dst, payload_bytes, n_messages, at, nullptr,
+  return fabric_.transfer(src, dst, wire_bytes, n_messages, at, nullptr,
                           protoEff());
+}
+
+fabric::Fabric::Delivery Communicator::hierXfer(int src, int dst,
+                                                std::int64_t payload_bytes,
+                                                std::int64_t n_messages,
+                                                SimTime at,
+                                                double bandwidth_fraction) {
+  if (injector_ != nullptr) {
+    return injector_->reliableCollective(src, dst, payload_bytes, n_messages,
+                                         at, bandwidth_fraction);
+  }
+  return fabric_.transfer(src, dst, payload_bytes, n_messages, at, nullptr,
+                          bandwidth_fraction);
+}
+
+SimTime Communicator::sendChunked(int from, int to, std::int64_t bytes,
+                                  SimTime& inject_at,
+                                  const ChunkingParams& chunking,
+                                  SimTime chunk_overhead,
+                                  double bandwidth_fraction) {
+  SimTime done = inject_at;
+  std::int64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::int64_t chunk = std::min(remaining, chunking.chunk_bytes);
+    inject_at += chunk_overhead;  // proxy progression per chunk
+    const auto d = hierXfer(from, to, chunk, /*n_messages=*/1, inject_at,
+                            bandwidth_fraction);
+    done = std::max(done, d.delivered);
+    remaining -= chunk;
+  }
+  return done;
 }
 
 
 Request Communicator::launch(
     const std::string& label,
-    std::function<SimTime(int src, SimTime start)> inject,
+    std::function<SimTime(int src, SimTime start,
+                          detail::CollectiveState& state)> inject,
     std::function<void()> on_complete,
     const std::vector<gpu::Stream*>* streams,
     const CollectiveMemory* memory) {
@@ -44,6 +88,13 @@ Request Communicator::launch(
   state->devices_pending = n;
   state->on_complete = std::move(on_complete);
   state->done_callbacks.resize(static_cast<std::size_t>(n));
+  // Pool-recycled states may carry a previous collective's hierarchical
+  // bookkeeping.
+  state->hier_pairs.clear();
+  state->hier_gathers.clear();
+  state->hier_inters.clear();
+  state->hier_scatters.clear();
+  state->hier_sync.clear();
   if (system_.sanitizer() != nullptr) {
     state->label = label;
     if (memory != nullptr) state->memory = *memory;
@@ -70,7 +121,8 @@ Request Communicator::launch(
   // — `inject` closes over the collective's payload description (e.g.
   // the all-to-all byte matrix), which would otherwise be deep-copied
   // once per device.
-  auto inject_fn = std::make_shared<std::function<SimTime(int, SimTime)>>(
+  auto inject_fn = std::make_shared<
+      std::function<SimTime(int, SimTime, detail::CollectiveState&)>>(
       std::move(inject));
 
   // The CPU triggers the collective once per device (proxy enqueue).
@@ -87,7 +139,7 @@ Request Communicator::launch(
           // run synchronously; save/restore tolerates nesting).
           auto* const prev_strict = strict_active_;
           strict_active_ = state->strict.get();
-          const SimTime local_end = (*inject_fn)(src, start);
+          const SimTime local_end = (*inject_fn)(src, start, *state);
           strict_active_ = prev_strict;
           state->first_start = std::min(state->first_start, start);
           state->completion = std::max(state->completion, local_end);
@@ -104,6 +156,7 @@ Request Communicator::launch(
             // retires together, like an NCCL kernel waiting on its peers).
             system_.simulator().scheduleAt(state->completion, [this, state] {
               state->completed = true;
+              sanitizeHierarchical(*state);
               sanitizeCompletion(*state);
               for (auto& cb : state->done_callbacks) cb(state->completion);
             });
@@ -141,6 +194,219 @@ void Communicator::sanitizeCompletion(detail::CollectiveState& state) {
   }
 }
 
+void Communicator::sanitizeHierarchical(detail::CollectiveState& state) {
+  auto* san = system_.sanitizer();
+  if (san == nullptr || state.actors.empty() || state.hier_sync.empty() ||
+      hier_.staging.empty()) {
+    return;
+  }
+  auto& topo = fabric_.topology();
+  const int nodes = topo.numNodes();
+  const auto actor_of = [&](int gpu) {
+    return state.actors[static_cast<std::size_t>(gpu)];
+  };
+  const auto gkey = [&](int node) {
+    return static_cast<void*>(&state.hier_sync[static_cast<std::size_t>(node)]);
+  };
+  const auto ikey = [&](int s, int d) {
+    return static_cast<void*>(
+        &state.hier_sync[static_cast<std::size_t>(nodes + s * nodes + d)]);
+  };
+  // Member contributions land in disjoint per-member slots of the leader
+  // staging buffer.
+  for (const auto& g : state.hier_gathers) {
+    const int node = topo.nodeOf(g.src);
+    const int local = g.src - topo.nodeLeader(node);
+    const auto& stg = hier_.staging[static_cast<std::size_t>(node)];
+    san->access(actor_of(g.src), stg.device,
+                stg.gather_slots[static_cast<std::size_t>(local)],
+                simsan::AccessKind::kWrite, g.at, g.delivered,
+                state.label + ".hier_gather.gpu" + std::to_string(g.src));
+    san->release(actor_of(g.src), gkey(node));
+  }
+  // The leader's aggregated inter flow reads every member slot (ordered
+  // behind the gathers by the per-node sync) and writes one per-source
+  // slot of the destination leader's recv staging.
+  for (const auto& i : state.hier_inters) {
+    const simsan::ActorId leader = actor_of(topo.nodeLeader(i.src_node));
+    san->acquire(leader, gkey(i.src_node));
+    const auto& src_stg = hier_.staging[static_cast<std::size_t>(i.src_node)];
+    for (const auto& slot : src_stg.gather_slots) {
+      san->access(leader, src_stg.device, slot, simsan::AccessKind::kRead,
+                  i.at, i.delivered,
+                  state.label + ".hier_inter.read.node" +
+                      std::to_string(i.src_node));
+    }
+    const auto& dst_stg = hier_.staging[static_cast<std::size_t>(i.dst_node)];
+    san->access(leader, dst_stg.device,
+                dst_stg.recv_slots[static_cast<std::size_t>(i.src_node)],
+                simsan::AccessKind::kWrite, i.at, i.delivered,
+                state.label + ".hier_inter.node" + std::to_string(i.src_node) +
+                    "->" + std::to_string(i.dst_node));
+    san->release(leader, ikey(i.src_node, i.dst_node));
+  }
+  // Each destination rank scatters out of the recv slot its source node
+  // filled; the acquire mirrors the inter-flow-delivered dependency the
+  // timing model enforces (dropped by the seeded bug).
+  for (const auto& s : state.hier_scatters) {
+    const simsan::ActorId dst_actor = actor_of(s.dst);
+    const int dst_node = topo.nodeOf(s.dst);
+    if (s.synced) san->acquire(dst_actor, ikey(s.src_node, dst_node));
+    const auto& stg = hier_.staging[static_cast<std::size_t>(dst_node)];
+    san->access(dst_actor, stg.device,
+                stg.recv_slots[static_cast<std::size_t>(s.src_node)],
+                simsan::AccessKind::kRead, s.at, s.delivered,
+                state.label + ".hier_scatter.gpu" + std::to_string(s.dst));
+  }
+}
+
+SimTime Communicator::hierarchicalInject(
+    int src, SimTime start,
+    const std::vector<std::vector<std::int64_t>>& matrix,
+    const ChunkingParams& chunking, SimTime chunk_overhead,
+    detail::CollectiveState& state) {
+  auto& topo = fabric_.topology();
+  const int n = system_.numGpus();
+  const int nodes = topo.numNodes();
+  const int my_node = topo.nodeOf(src);
+  const int my_leader = topo.nodeLeader(my_node);
+  const bool log = system_.sanitizer() != nullptr && !state.actors.empty();
+  if (state.hier_pairs.empty()) {
+    state.hier_pairs.resize(static_cast<std::size_t>(nodes) * nodes);
+    if (log) {
+      state.hier_sync.resize(static_cast<std::size_t>(nodes) +
+                             static_cast<std::size_t>(nodes) * nodes);
+    }
+  }
+  const auto row = [&](int s) -> const std::vector<std::int64_t>& {
+    return matrix[static_cast<std::size_t>(s)];
+  };
+
+  SimTime last = start;
+  SimTime inject_at = start;
+  // Intra-node destinations keep the flat chunked path (xfer also
+  // charges the strict tracker, intra logical == physical).
+  for (int dst = 0; dst < n; ++dst) {
+    if (dst == src || topo.nodeOf(dst) != my_node) continue;
+    std::int64_t remaining = row(src)[static_cast<std::size_t>(dst)];
+    SimTime at = start;
+    while (remaining > 0) {
+      const std::int64_t chunk = std::min(remaining, chunking.chunk_bytes);
+      at += chunk_overhead;
+      const auto d = xfer(src, dst, chunk, /*n_messages=*/1, at);
+      last = std::max(last, d.delivered);
+      remaining -= chunk;
+    }
+    inject_at = std::max(inject_at, at);
+  }
+  // Strict-effects accounting is logical: each (src, dst) pair is
+  // charged its original payload exactly once, regardless of the 3-hop
+  // physical route (forwarded hops would overdraw the leader's budget).
+  if (strict_active_ != nullptr) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (topo.nodeOf(dst) == my_node) continue;
+      const std::int64_t bytes = row(src)[static_cast<std::size_t>(dst)];
+      if (bytes > 0) strict_active_->transfer(src, dst, bytes);
+    }
+  }
+  // Stage this member's per-destination-node contribution at the leader.
+  SimTime gather_first = inject_at;
+  SimTime gather_last = inject_at;
+  bool gathered = false;
+  for (int dst_node = 0; dst_node < nodes; ++dst_node) {
+    if (dst_node == my_node) continue;
+    std::int64_t to_node = 0;
+    for (int dst = topo.nodeLeader(dst_node);
+         dst < topo.nodeLeader(dst_node) + topo.gpusPerNode(); ++dst) {
+      to_node += row(src)[static_cast<std::size_t>(dst)];
+    }
+    SimTime delivered = inject_at;
+    if (to_node > 0 && src != my_leader) {
+      if (!gathered) gather_first = inject_at;
+      delivered = sendChunked(src, my_leader, to_node, inject_at, chunking,
+                              chunk_overhead, protoEff());
+      gather_last = std::max(gather_last, delivered);
+      gathered = true;
+    }
+    auto& pair = state.hier_pairs[static_cast<std::size_t>(my_node) * nodes +
+                                  dst_node];
+    ++pair.contributions;
+    pair.ready = std::max(pair.ready, delivered);
+    pair.raw_bytes += to_node;
+    last = std::max(last, delivered);
+    if (pair.contributions == topo.gpusPerNode() && pair.raw_bytes > 0) {
+      last = std::max(last, injectInterAndScatter(my_node, dst_node, pair,
+                                                  matrix, chunking,
+                                                  chunk_overhead, state));
+    }
+  }
+  // One staging-slot write record per member (the leader's own slot is
+  // filled by its emb_hier_gather kernel before the collective; the
+  // zero-cost local record keeps the slot ordered under its actor).
+  if (log) {
+    state.hier_gathers.push_back(
+        {src, gathered ? gather_first : start,
+         gathered ? gather_last : start});
+  }
+  return last;
+}
+
+SimTime Communicator::injectInterAndScatter(
+    int src_node, int dst_node, const detail::HierPair& pair,
+    const std::vector<std::vector<std::int64_t>>& matrix,
+    const ChunkingParams& chunking, SimTime chunk_overhead,
+    detail::CollectiveState& state) {
+  auto& topo = fabric_.topology();
+  const int leader_s = topo.nodeLeader(src_node);
+  const int leader_d = topo.nodeLeader(dst_node);
+  const bool log = system_.sanitizer() != nullptr && !state.actors.empty();
+  // Compress the aggregated payload for the wire (the staged buffer is
+  // contiguous, so the codec sees one flow per node pair).
+  std::int64_t wire_bytes = pair.raw_bytes;
+  if (hier_.codec != nullptr) {
+    const int bits = hier_.codec->aggregateBits(src_node, pair.ready);
+    wire_bytes =
+        fabric::InterNodeCodec::compressedBytes(pair.raw_bytes, bits);
+    hier_.codec->recordFlow(pair.raw_bytes, wire_bytes);
+    hier_.codec->recordEgress(src_node, pair.ready, wire_bytes);
+  }
+  // The aggregated flow is a one-sided bulk RDMA out of a pre-staged
+  // contiguous buffer: no per-peer protocol staging, so it rides the NIC
+  // at full fraction (contrast protoEff() on the flat path).
+  SimTime inject_at = pair.ready;
+  const SimTime inter_done =
+      sendChunked(leader_s, leader_d, wire_bytes, inject_at, chunking,
+                  chunk_overhead, /*bandwidth_fraction=*/1.0);
+  if (log) {
+    state.hier_inters.push_back({src_node, dst_node, pair.ready, inter_done});
+  }
+  // Destination-side scatter over NVLink. The seeded bug fires the
+  // scatter when the inter flow is injected instead of delivered.
+  const bool buggy = hier_.bug_scatter_before_interflow;
+  const SimTime scatter_start = buggy ? pair.ready : inter_done;
+  SimTime last = inter_done;
+  for (int dst = leader_d; dst < leader_d + topo.gpusPerNode(); ++dst) {
+    std::int64_t bytes = 0;
+    for (int src = leader_s; src < leader_s + topo.gpusPerNode(); ++src) {
+      bytes += matrix[static_cast<std::size_t>(src)]
+                     [static_cast<std::size_t>(dst)];
+    }
+    if (bytes == 0) continue;
+    SimTime done = scatter_start;
+    if (dst != leader_d) {
+      SimTime at = scatter_start;
+      done = sendChunked(leader_d, dst, bytes, at, chunking, chunk_overhead,
+                         protoEff());
+    }
+    last = std::max(last, done);
+    if (log) {
+      state.hier_scatters.push_back({dst, src_node, scatter_start, done,
+                                     !buggy});
+    }
+  }
+  return last;
+}
+
 Request Communicator::allToAllSingle(
     const std::vector<std::vector<std::int64_t>>& send_bytes,
     std::function<void()> on_complete, const ChunkingParams& chunking,
@@ -160,7 +426,12 @@ Request Communicator::allToAllSingle(
   auto matrix = send_bytes;  // keep alive in the closure
   return launch(
       "all_to_all_single",
-      [this, matrix, chunk_overhead, chunking](int src, SimTime start) {
+      [this, matrix, chunk_overhead, chunking](
+          int src, SimTime start, detail::CollectiveState& state) {
+        if (hierActive()) {
+          return hierarchicalInject(src, start, matrix, chunking,
+                                    chunk_overhead, state);
+        }
         SimTime last = start;
         for (int dst = 0; dst < system_.numGpus(); ++dst) {
           if (dst == src) continue;
@@ -190,7 +461,7 @@ Request Communicator::allGather(std::int64_t bytes_per_rank,
   // its successor. Steps on a rank chain on their own deliveries.
   return launch(
       "all_gather",
-      [this, bytes_per_rank, n](int src, SimTime start) {
+      [this, bytes_per_rank, n](int src, SimTime start, detail::CollectiveState&) {
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int step = 0; step < n - 1; ++step) {
@@ -209,7 +480,7 @@ Request Communicator::reduceScatter(std::int64_t total_bytes,
   const std::int64_t block = n > 0 ? total_bytes / n : 0;
   return launch(
       "reduce_scatter",
-      [this, block, n](int src, SimTime start) {
+      [this, block, n](int src, SimTime start, detail::CollectiveState&) {
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int step = 0; step < n - 1; ++step) {
@@ -229,7 +500,7 @@ Request Communicator::allReduce(std::int64_t total_bytes,
   // Ring all-reduce: reduce-scatter then all-gather, 2(p-1) chained steps.
   return launch(
       "all_reduce",
-      [this, block, n](int src, SimTime start) {
+      [this, block, n](int src, SimTime start, detail::CollectiveState&) {
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int step = 0; step < 2 * (n - 1); ++step) {
@@ -247,7 +518,7 @@ Request Communicator::broadcast(int root, std::int64_t bytes,
   PGASEMB_CHECK(bytes >= 0, "negative broadcast size");
   return launch(
       "broadcast",
-      [this, root, bytes](int src, SimTime start) {
+      [this, root, bytes](int src, SimTime start, detail::CollectiveState&) {
         if (src != root) return start;
         SimTime last = start;
         for (int dst = 0; dst < system_.numGpus(); ++dst) {
@@ -266,7 +537,7 @@ Request Communicator::gather(int root, std::int64_t bytes_per_rank,
   PGASEMB_CHECK(bytes_per_rank >= 0, "negative gather size");
   return launch(
       "gather",
-      [this, root, bytes_per_rank](int src, SimTime start) {
+      [this, root, bytes_per_rank](int src, SimTime start, detail::CollectiveState&) {
         if (src == root) return start;
         const auto d = xfer(src, root, bytes_per_rank, 1, start);
         return d.delivered;
@@ -280,7 +551,7 @@ Request Communicator::scatter(int root, std::int64_t bytes_per_rank,
   PGASEMB_CHECK(bytes_per_rank >= 0, "negative scatter size");
   return launch(
       "scatter",
-      [this, root, bytes_per_rank](int src, SimTime start) {
+      [this, root, bytes_per_rank](int src, SimTime start, detail::CollectiveState&) {
         if (src != root) return start;
         SimTime last = start;
         for (int dst = 0; dst < system_.numGpus(); ++dst) {
@@ -298,7 +569,7 @@ Request Communicator::barrier(std::function<void()> on_complete) {
   // message each way dominates by link latency, plus the control path.
   return launch(
       "barrier",
-      [this](int src, SimTime start) {
+      [this](int src, SimTime start, detail::CollectiveState&) {
         const int next = (src + 1) % system_.numGpus();
         if (next == src) return start;
         const auto d = xfer(src, next, 1, 1, start);
@@ -320,8 +591,8 @@ Request Communicator::ringShiftRounds(std::int64_t bytes_per_round,
   // control-path overhead repeatedly.
   return launch(
       "ring_shift",
-      [this, bytes_per_round, rounds, n, round_sync](int src,
-                                                     SimTime start) {
+      [this, bytes_per_round, rounds, n, round_sync](
+          int src, SimTime start, detail::CollectiveState&) {
         const int next = (src + 1) % n;
         SimTime t = start;
         for (int r = 0; r < rounds; ++r) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "collective/request.hpp"
+#include "fabric/compression.hpp"
 #include "fabric/fabric.hpp"
 #include "gpu/system.hpp"
 #include "util/pool.hpp"
@@ -28,6 +29,34 @@ struct ChunkingParams {
   std::int64_t chunk_bytes = 4 * 1024 * 1024;
 };
 
+/// Per-node staging buffer ranges of the hierarchical all-to-all,
+/// declared by the builder so simsan can log the gather/scatter
+/// interleavings.  Empty when no checker is attached.
+struct HierStaging {
+  int device = -1;  ///< leader GPU of the node
+  std::vector<simsan::StridedRange> gather_slots;  ///< one per local rank
+  std::vector<simsan::StridedRange> recv_slots;    ///< one per source node
+};
+
+/// Hierarchical all-to-all configuration (see DESIGN.md §12): members
+/// stage their inter-node contributions at the node leader over NVLink,
+/// the leader ships exactly one aggregated flow per destination node —
+/// a one-sided bulk RDMA from a pre-staged contiguous buffer, so it runs
+/// at full NIC fraction instead of the collective protocol efficiency —
+/// and the destination leader scatters over NVLink.
+struct HierarchicalParams {
+  bool enabled = false;
+  /// Optional error-bounded codec applied to inter-node wire bytes (also
+  /// compresses flat-mode inter-node chunks when hierarchy is off).
+  fabric::InterNodeCodec* codec = nullptr;
+  /// Seeded bug for simsan certification: inject the intra-node scatter
+  /// when the inter-node flow is *injected* instead of delivered, and
+  /// skip the happens-before edge — the classic scatter-before-
+  /// interflow-complete race.
+  bool bug_scatter_before_interflow = false;
+  std::vector<HierStaging> staging;  ///< per node; may be empty
+};
+
 class Communicator {
  public:
   Communicator(gpu::MultiGpuSystem& system, fabric::Fabric& fabric);
@@ -41,6 +70,14 @@ class Communicator {
   void setFaultInjector(fault::FaultInjector* injector) {
     injector_ = injector;
   }
+
+  /// Arm (or disarm) the hierarchical all-to-all path and the inter-node
+  /// codec.  Defaults keep every collective on the flat path,
+  /// bit-identical to earlier builds.
+  void setHierarchical(HierarchicalParams params) {
+    hier_ = std::move(params);
+  }
+  const HierarchicalParams& hierarchical() const { return hier_; }
 
   /// Asynchronous all-to-all: `send_bytes[src][dst]` payload bytes move
   /// from src to dst (diagonal = local, free). Equivalent of
@@ -98,18 +135,50 @@ class Communicator {
                           std::function<void()> on_complete = nullptr);
 
  private:
-  /// Shared scaffolding: enqueue one op per device; `inject(src, start)`
-  /// returns the time src's part of the wire traffic is fully delivered.
-  Request launch(const std::string& label,
-                 std::function<SimTime(int src, SimTime start)> inject,
-                 std::function<void()> on_complete,
-                 const std::vector<gpu::Stream*>* streams = nullptr,
-                 const CollectiveMemory* memory = nullptr);
+  /// Shared scaffolding: enqueue one op per device; `inject(src, start,
+  /// state)` returns the time src's part of the wire traffic is fully
+  /// delivered (state carries cross-rank hierarchical bookkeeping).
+  Request launch(
+      const std::string& label,
+      std::function<SimTime(int src, SimTime start,
+                            detail::CollectiveState& state)> inject,
+      std::function<void()> on_complete,
+      const std::vector<gpu::Stream*>* streams = nullptr,
+      const CollectiveMemory* memory = nullptr);
 
   /// simsan hook run at a collective's completion event: logs each
   /// rank's declared send-read/recv-write and applies the retire-together
   /// barrier between all participating rank ops. No-op without a checker.
   void sanitizeCompletion(detail::CollectiveState& state);
+
+  /// simsan hook for the hierarchical path: logs the staging-buffer
+  /// gather writes, aggregated inter-flow read/write, and scatter reads,
+  /// with release/acquire edges mirroring the real synchronization (the
+  /// seeded bug drops the inter-flow→scatter edge). Runs before
+  /// sanitizeCompletion's retire-together barrier.
+  void sanitizeHierarchical(detail::CollectiveState& state);
+
+  /// True when collectives should take the hierarchical path.
+  bool hierActive() { return hier_.enabled && topologyNodes() > 1; }
+  int topologyNodes() { return fabric_.topology().numNodes(); }
+
+  /// One source rank's hierarchical all-to-all injection: flat intra
+  /// flows, gather-to-leader, and — for whichever member contributes
+  /// last — the aggregated inter flow plus the destination-side scatter.
+  SimTime hierarchicalInject(
+      int src, SimTime start,
+      const std::vector<std::vector<std::int64_t>>& matrix,
+      const ChunkingParams& chunking, SimTime chunk_overhead,
+      detail::CollectiveState& state);
+
+  /// Inject the aggregated (src_node → dst_node) inter flow at the
+  /// pair's ready time, then the destination-side scatter; returns the
+  /// last scatter delivery.
+  SimTime injectInterAndScatter(
+      int src_node, int dst_node, const detail::HierPair& pair,
+      const std::vector<std::vector<std::int64_t>>& matrix,
+      const ChunkingParams& chunking, SimTime chunk_overhead,
+      detail::CollectiveState& state);
 
   /// NCCL protocol efficiency applied to all collective wire traffic
   /// (staging copies, handshakes) — see CostModel.
@@ -117,14 +186,33 @@ class Communicator {
     return system_.costModel().collective_protocol_efficiency;
   }
 
-  /// All collective wire traffic funnels through here: direct fabric
-  /// transfer normally, reissue-on-drop when a fault injector is set.
+  /// All flat collective wire traffic funnels through here: direct
+  /// fabric transfer normally, reissue-on-drop when a fault injector is
+  /// set.  Charges the strict tracker with the logical payload and
+  /// compresses inter-node flows when a codec is armed.
   fabric::Fabric::Delivery xfer(int src, int dst, std::int64_t payload_bytes,
                                 std::int64_t n_messages, SimTime at);
+
+  /// Physical hop of a hierarchical transfer: same fault handling as
+  /// xfer(), but no strict charge (the logical (src, dst) transfer is
+  /// charged once, separately — forwarded hops would otherwise blow the
+  /// leader's declared budget) and an explicit bandwidth fraction.
+  fabric::Fabric::Delivery hierXfer(int src, int dst,
+                                    std::int64_t payload_bytes,
+                                    std::int64_t n_messages, SimTime at,
+                                    double bandwidth_fraction);
+
+  /// Chunked hierarchical hop: split `bytes` into pipeline chunks,
+  /// advancing `inject_at` by the per-chunk proxy overhead; returns the
+  /// last chunk's delivery.
+  SimTime sendChunked(int from, int to, std::int64_t bytes,
+                      SimTime& inject_at, const ChunkingParams& chunking,
+                      SimTime chunk_overhead, double bandwidth_fraction);
 
   gpu::MultiGpuSystem& system_;
   fabric::Fabric& fabric_;
   fault::FaultInjector* injector_ = nullptr;
+  HierarchicalParams hier_;
   /// Strict-effects attribution cursor: points at the tracker of the
   /// collective whose inject function is currently executing (the sim
   /// is single-threaded; injects run synchronously inside stream ops),

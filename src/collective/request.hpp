@@ -36,6 +36,36 @@ struct CollectiveMemory {
 
 namespace detail {
 
+/// Per-(src-node, dst-node) accumulator of a hierarchical all-to-all:
+/// once every member of the source node has staged its contribution at
+/// the node leader, the aggregated inter-node flow is injected.
+struct HierPair {
+  int contributions = 0;           ///< member injects seen so far
+  SimTime ready = SimTime::zero(); ///< latest gather delivery
+  std::int64_t raw_bytes = 0;      ///< aggregated (uncompressed) payload
+};
+
+/// simsan bookkeeping of one hierarchical transfer (logged at the
+/// collective's completion, when all timings are known).
+struct HierGatherLog {
+  int src = -1;  ///< member whose contribution was staged at its leader
+  SimTime at = SimTime::zero();
+  SimTime delivered = SimTime::zero();
+};
+struct HierInterLog {
+  int src_node = -1;
+  int dst_node = -1;
+  SimTime at = SimTime::zero();
+  SimTime delivered = SimTime::zero();
+};
+struct HierScatterLog {
+  int dst = -1;
+  int src_node = -1;  ///< recv-staging slot the scatter reads
+  SimTime at = SimTime::zero();
+  SimTime delivered = SimTime::zero();
+  bool synced = true;  ///< false only under the seeded scatter bug
+};
+
 /// Shared completion state between the stream ops of one collective.
 struct CollectiveState {
   int devices_pending = 0;
@@ -55,6 +85,15 @@ struct CollectiveState {
   /// --simsan-strict): the communicator points its active-scope cursor
   /// here around each rank's synchronous inject call.
   std::shared_ptr<simsan::StrictCollectiveTracker> strict;
+
+  // --- hierarchical all-to-all bookkeeping (empty in flat mode) ----------
+  std::vector<HierPair> hier_pairs;  ///< dense (src_node, dst_node) matrix
+  std::vector<HierGatherLog> hier_gathers;
+  std::vector<HierInterLog> hier_inters;
+  std::vector<HierScatterLog> hier_scatters;
+  /// Arena whose element addresses serve as simsan sync keys: one per
+  /// node (gather barrier) then one per (src_node, dst_node) inter flow.
+  std::vector<char> hier_sync;
 };
 
 }  // namespace detail

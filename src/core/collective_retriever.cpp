@@ -5,6 +5,7 @@
 
 #include "core/registry.hpp"
 #include "emb/lookup_kernel.hpp"
+#include "emb/staging_kernel.hpp"
 #include "emb/unpack_kernel.hpp"
 #include "util/expect.hpp"
 
@@ -12,8 +13,9 @@ namespace pgasemb::core {
 
 CollectiveRetriever::CollectiveRetriever(emb::ShardedEmbeddingLayer& layer,
                                          collective::Communicator& comm,
-                                         emb::ReplicaCache* cache)
-    : layer_(layer), comm_(comm), cache_(cache) {
+                                         emb::ReplicaCache* cache,
+                                         CollectiveMultiNodeOptions multinode)
+    : layer_(layer), comm_(comm), cache_(cache), multinode_(multinode) {
   PGASEMB_CHECK(layer.sharding().scheme() == emb::ShardingScheme::kTableWise,
                 "the collective baseline implements table-wise sharding "
                 "(the paper's scheme)");
@@ -66,8 +68,28 @@ void CollectiveRetriever::copyAllToAllPayload() {
           sh.miniBatchBegin(dst) * t_local * dim;
       const std::int64_t recv_base =
           sh.firstTableOn(src) * sh.miniBatchSize(dst) * dim;
-      std::copy_n(send.begin() + send_base, len,
-                  recv.begin() + recv_base);
+      const bool compress =
+          multinode_.codec != nullptr && multinode_.gpus_per_node > 0 &&
+          src / multinode_.gpus_per_node != dst / multinode_.gpus_per_node;
+      if (!compress) {
+        std::copy_n(send.begin() + send_base, len,
+                    recv.begin() + recv_base);
+        continue;
+      }
+      // Cross-node chunks really pass through the codec (the region is
+      // [local table][dst-local sample][col], so the table is recovered
+      // from the position), landing the measured quantization error.
+      const std::int64_t per_table = sh.miniBatchSize(dst) * dim;
+      for (std::int64_t lt = 0; lt < t_local; ++lt) {
+        const std::int64_t table = sh.firstTableOn(src) + lt;
+        for (std::int64_t i = 0; i < per_table; ++i) {
+          recv[static_cast<std::size_t>(recv_base + lt * per_table + i)] =
+              multinode_.codec->transcode(
+                  table,
+                  send[static_cast<std::size_t>(send_base + lt * per_table +
+                                                i)]);
+        }
+      }
     }
   }
 }
@@ -139,6 +161,32 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
       system.launchKernel(g, std::move(serve));
     }
   }
+  // Hierarchical all-to-all: each leader packs its own inter-node
+  // contribution into the node's gather staging before the exchange
+  // (other members' contributions arrive over NVLink inside the
+  // collective itself).
+  const bool hier = multinode_.hierarchical &&
+                    multinode_.hier_staging != nullptr &&
+                    multinode_.gpus_per_node > 0;
+  if (hier) {
+    const auto& staging = *multinode_.hier_staging;
+    for (std::size_t n = 0; n < staging.size(); ++n) {
+      const int leader = staging[n].device;
+      std::int64_t bytes = 0;
+      for (int d = 0; d < p; ++d) {
+        if (d / multinode_.gpus_per_node == static_cast<int>(n)) continue;
+        bytes += matrix[static_cast<std::size_t>(leader)]
+                       [static_cast<std::size_t>(d)];
+      }
+      system.launchKernel(
+          leader, emb::buildLeaderGatherKernel(
+                      layer_, static_cast<int>(n), leader,
+                      staging[n].gather_slots.empty()
+                          ? simsan::StridedRange{}
+                          : staging[n].gather_slots.front(),
+                      bytes));
+    }
+  }
   const SimTime t1 = system.syncAll();
   timing.compute_phase = t1 - t0;
 
@@ -161,6 +209,34 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
   timing.comm_phase = t2 - t1;
   timing.wire_time = request.completionTime() - request.startTime();
 
+  // Hierarchical: each destination leader demultiplexes the landed
+  // per-source-node recv staging before the ordinary unpack runs.
+  if (hier) {
+    const auto& staging = *multinode_.hier_staging;
+    for (std::size_t n = 0; n < staging.size(); ++n) {
+      const int leader = staging[n].device;
+      std::int64_t bytes = 0;
+      for (int s = 0; s < p; ++s) {
+        if (s / multinode_.gpus_per_node == static_cast<int>(n)) continue;
+        for (int d = 0; d < multinode_.gpus_per_node; ++d) {
+          bytes += matrix[static_cast<std::size_t>(s)][static_cast<std::size_t>(
+              static_cast<int>(n) * multinode_.gpus_per_node + d)];
+        }
+      }
+      simsan::StridedRange span{};
+      if (!staging[n].recv_slots.empty()) {
+        std::int64_t total = 0;
+        for (const auto& slot : staging[n].recv_slots) total += slot.len;
+        span = simsan::StridedRange::contiguous(
+            staging[n].recv_slots.front().begin, total);
+      }
+      system.launchKernel(leader,
+                          emb::buildLeaderScatterKernel(
+                              layer_, static_cast<int>(n), leader, span,
+                              bytes));
+    }
+  }
+
   // Phase 3: unpack/rearrangement kernels + sync.
   for (int g = 0; g < p; ++g) {
     auto desc = emb::buildUnpackKernel(
@@ -181,8 +257,13 @@ namespace {
 const RetrieverRegistrar kRegistrar{
     "nccl_collective",
     [](const SystemContext& ctx) -> std::unique_ptr<EmbeddingRetriever> {
+      CollectiveMultiNodeOptions multinode;
+      multinode.hierarchical = ctx.hierarchical_a2a;
+      multinode.hier_staging = ctx.hier_staging;
+      multinode.codec = ctx.codec;
+      multinode.gpus_per_node = ctx.gpus_per_node;
       return std::make_unique<CollectiveRetriever>(ctx.layer, ctx.comm,
-                                                   ctx.cache);
+                                                   ctx.cache, multinode);
     },
     /*aliases=*/{"nccl_baseline"}};
 }  // namespace

@@ -97,9 +97,9 @@ BatchTiming PgasFusedRetriever::runBatch(const emb::SparseBatch& batch) {
     if (f != nullptr) {
       system.launchKernel(g, emb::buildCacheProbeKernel(layer_, *f, g));
     }
-    auto fused = emb::buildFusedLookupKernel(layer_, batch, g,
-                                             &outputs_view_,
-                                             options_.slices, f);
+    auto fused = emb::buildFusedLookupKernel(
+        layer_, batch, g, &outputs_view_, options_.slices, f,
+        row_wise ? nullptr : options_.codec, options_.gpus_per_node);
     runtime_.attachMessagePlan(fused.desc, g, std::move(fused.plan),
                                options_.counter, options_.aggregator,
                                std::move(fused.remote_writes));
@@ -134,6 +134,8 @@ const RetrieverRegistrar kRegistrar{
       opts.slices = ctx.pgas_slices;
       opts.aggregator = ctx.aggregator;
       opts.cache = ctx.cache;
+      opts.codec = ctx.codec;
+      opts.gpus_per_node = ctx.gpus_per_node;
       return std::make_unique<PgasFusedRetriever>(ctx.layer, ctx.runtime,
                                                   opts);
     }};

@@ -29,6 +29,11 @@ struct PgasRetrieverOptions {
   /// misses only (fewer messages AND fewer headers, shorter quiet);
   /// serve kernels pool the hit bags locally after the exchange.
   emb::ReplicaCache* cache = nullptr;
+  /// Optional inter-node codec: Functional mode really encodes/decodes
+  /// values put across nodes, so the landed outputs carry the measured
+  /// compression error. Requires gpus_per_node > 0.
+  fabric::InterNodeCodec* codec = nullptr;
+  int gpus_per_node = 0;
 };
 
 class PgasFusedRetriever final : public EmbeddingRetriever {

@@ -95,12 +95,18 @@ BaselineLookupKernel buildBaselineLookupKernel(
 FusedLookupKernel buildFusedLookupKernel(
     ShardedEmbeddingLayer& layer, const SparseBatch& batch, int gpu,
     std::vector<gpu::DeviceBuffer>* outputs, int slices,
-    const CacheFilter* filter) {
+    const CacheFilter* filter, fabric::InterNodeCodec* codec,
+    int gpus_per_node) {
   PGASEMB_CHECK(slices >= 1, "need at least one slice");
   const auto& sharding = layer.sharding();
   PGASEMB_CHECK(filter == nullptr ||
                     sharding.scheme() == ShardingScheme::kTableWise,
                 "the replica cache is table-wise only");
+  PGASEMB_CHECK(codec == nullptr ||
+                    (gpus_per_node > 0 &&
+                     sharding.scheme() == ShardingScheme::kTableWise),
+                "inter-node compression is table-wise only and needs the "
+                "node shape");
   const GpuLookupWork work =
       filter ? filter->missWork(gpu) : layer.lookupWork(batch, gpu);
   const int p = sharding.numGpus();
@@ -149,7 +155,7 @@ FusedLookupKernel buildFusedLookupKernel(
       (*outputs)[static_cast<std::size_t>(gpu)].backed() &&
       batch.materialized()) {
     out.desc.functional_body = [&layer, &batch, gpu, outputs, row_wise,
-                                filter] {
+                                filter, codec, gpus_per_node] {
       const auto& sh = layer.sharding();
       const int dim2 = layer.dim();
       const std::int64_t first =
@@ -166,15 +172,24 @@ FusedLookupKernel buildFusedLookupKernel(
           const auto pooled =
               row_wise ? layer.partialPooledValue(batch, t, b, gpu)
                        : layer.pooledValue(batch, t, b);
+          // Puts leaving the node really go through the codec, so the
+          // landed outputs carry the measured compression error.
+          const bool compress =
+              codec != nullptr &&
+              dst / gpus_per_node != gpu / gpus_per_node;
           for (int c = 0; c < dim2; ++c) {
             const auto idx = static_cast<std::size_t>(
                 sh.outputIndex(b, t, c, dim2));
+            const float v = compress
+                                ? codec->transcode(
+                                      t, pooled[static_cast<std::size_t>(c)])
+                                : pooled[static_cast<std::size_t>(c)];
             // One-sided store for table-wise ownership; remote atomic
             // add for row-wise partial sums (paper §V).
             if (row_wise) {
-              dst_span[idx] += pooled[static_cast<std::size_t>(c)];
+              dst_span[idx] += v;
             } else {
-              dst_span[idx] = pooled[static_cast<std::size_t>(c)];
+              dst_span[idx] = v;
             }
           }
         }

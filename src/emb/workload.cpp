@@ -67,6 +67,22 @@ EmbLayerSpec servingLayerSpec(int num_gpus, std::int64_t max_batch_size) {
   return spec;
 }
 
+EmbLayerSpec multinodeServingLayerSpec(int num_gpus) {
+  PGASEMB_CHECK(num_gpus >= 1, "need at least one GPU");
+  EmbLayerSpec spec;
+  spec.total_tables = 16LL * num_gpus;
+  spec.rows_per_table = 1'000'000;
+  spec.dim = 64;
+  spec.batch_size = 2'048;
+  // Single-id features: pooled values stay inside the weight range
+  // [-1, 1), giving the codec a tight per-table bound (range 1.0).
+  spec.min_pooling = 1;
+  spec.max_pooling = 1;
+  spec.seed = 0x5eed'0006;
+  spec.index_space = 1ULL << 40;
+  return spec;
+}
+
 EmbLayerSpec cacheServingLayerSpec(int num_gpus) {
   PGASEMB_CHECK(num_gpus >= 1, "need at least one GPU");
   EmbLayerSpec spec;

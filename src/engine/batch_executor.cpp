@@ -1,6 +1,7 @@
 #include "engine/batch_executor.hpp"
 
 #include "emb/lookup_kernel.hpp"
+#include "fabric/compression.hpp"
 #include "fabric/fabric.hpp"
 #include "fault/injector.hpp"
 #include "simsan/strict.hpp"
@@ -126,6 +127,42 @@ void finalizeResult(SystemBuilder& builder, BatchExecutor& exec,
   }
   result.total_wire_bytes = builder.fabric().totalPayloadBytes();
   result.total_wire_messages = builder.fabric().totalMessages();
+
+  if (config.num_nodes > 1) {
+    const auto inter =
+        builder.fabric().classTraffic(fabric::LinkClass::kInter);
+    const auto intra =
+        builder.fabric().classTraffic(fabric::LinkClass::kIntra);
+    InterNodeTraffic traffic;
+    traffic.inter_payload_bytes = inter.payload_bytes;
+    traffic.inter_messages = inter.messages;
+    traffic.inter_wire_equivalent_bytes = inter.wire_equivalent_bytes;
+    traffic.intra_payload_bytes = intra.payload_bytes;
+    traffic.intra_messages = intra.messages;
+    traffic.intra_wire_equivalent_bytes = intra.wire_equivalent_bytes;
+    result.inter_node = traffic;
+  }
+
+  if (auto* codec = builder.codec()) {
+    CompressionReport report;
+    report.bound = codec->bound();
+    report.adaptive = codec->adaptive();
+    report.raw_bytes = codec->rawBytes();
+    report.wire_bytes = codec->wireBytes();
+    report.hot_decisions = codec->hotDecisions();
+    report.cool_decisions = codec->coolDecisions();
+    const auto& tables = codec->tableStats();
+    report.tables.reserve(tables.size());
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      const auto& s = tables[t];
+      report.tables.push_back(
+          {static_cast<std::int64_t>(t), s.bits, s.max_abs_error,
+           s.samples > 0 ? s.sum_abs_error / static_cast<double>(s.samples)
+                         : 0.0,
+           s.samples});
+    }
+    result.compression = report;
+  }
 
   // ncu-style throughput of the lookup kernel on GPU 0.
   {

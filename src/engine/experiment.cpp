@@ -18,6 +18,16 @@ std::string formatArrivalPattern(ArrivalPattern pattern) {
 
 void ExperimentConfig::validate() const {
   PGASEMB_CHECK(num_batches >= 1, "need at least one batch");
+  PGASEMB_CHECK(compress_bound >= 0.0,
+                "compress-bound must be >= 0 (0 = off)");
+  PGASEMB_CHECK(!compress_adaptive || compress_bound > 0.0,
+                "compress-adaptive needs a positive compress-bound");
+  PGASEMB_CHECK(compress_bound == 0.0 ||
+                    sharding == emb::ShardingScheme::kTableWise,
+                "inter-node compression is table-wise only (per-table "
+                "error bounds do not compose with row-wise partial sums)");
+  PGASEMB_CHECK(!hier_bug_scatter || hierarchical_a2a,
+                "hier-bug-scatter needs hierarchical-a2a");
   if (!serving.enabled()) return;
   PGASEMB_CHECK(serving.qps > 0.0, "serving qps must be positive");
   PGASEMB_CHECK(serving.max_wait_ms >= 0.0,
@@ -42,6 +52,14 @@ void ExperimentConfig::validate() const {
   PGASEMB_CHECK(max_batch <= layer.batch_size,
                 "serving max-batch ", max_batch,
                 " exceeds the layer batch size ", layer.batch_size);
+}
+
+double CompressionReport::maxAbsError() const {
+  double max_error = 0.0;
+  for (const auto& t : tables) {
+    if (t.max_abs_error > max_error) max_error = t.max_abs_error;
+  }
+  return max_error;
 }
 
 double ExperimentResult::avgBatchMs() const {

@@ -90,6 +90,29 @@ struct ExperimentConfig {
   /// cross-node traffic.
   int num_nodes = 0;
   fabric::LinkParams inter_node_link;
+  /// Hierarchical all-to-all (--hierarchical-a2a): stage inter-node
+  /// traffic at per-node leaders, ship one aggregated flow per node
+  /// pair, scatter on arrival. Requires num_nodes > 1 to do anything;
+  /// false keeps every path bit-identical to earlier builds.
+  bool hierarchical_a2a = false;
+  /// Error-bounded inter-node compression (--compress-bound): absolute
+  /// per-value bound of the lossy codec; 0 = off (no codec is built and
+  /// every path is bit-identical to earlier builds). Needs num_nodes > 1
+  /// and table-wise sharding.
+  double compress_bound = 0.0;
+  /// Adaptive ratio control (--compress-adaptive): compress at the
+  /// minimal width only while the node's observed NIC egress is hot,
+  /// light 16-bit mantissas otherwise. Implies compress_bound > 0.
+  bool compress_adaptive = false;
+  /// Model each node's NIC as a single serialization engine: the down
+  /// link drains through the up link's FIFO, so a node's ingress and
+  /// egress contend (real NICs share DMA/PCIe resources). Off by
+  /// default for parity with earlier builds.
+  bool nic_shared_queue = false;
+  /// Seeded bug for simsan certification: the hierarchical intra-node
+  /// scatter is injected when the inter-node flow *starts* instead of
+  /// when it is delivered, and the happens-before edge is dropped.
+  bool hier_bug_scatter = false;
   /// Time-series bucket width for the comm-volume traces.
   SimTime counter_bucket = SimTime::us(20.0);
   /// TimingOnly fast path: coalesce a kernel's per-slice injection
@@ -179,6 +202,49 @@ struct ServingResult {
   std::vector<double> window_p95_ms;
 };
 
+/// Per-link-class wire accounting of a multi-node run.  The
+/// wire-equivalent numbers convert link occupancy back to bytes at
+/// nominal bandwidth, so they include headers, message-rate padding and
+/// protocol-efficiency loss — what the traffic actually cost the wire.
+struct InterNodeTraffic {
+  std::int64_t inter_payload_bytes = 0;
+  std::int64_t inter_messages = 0;
+  double inter_wire_equivalent_bytes = 0.0;
+  std::int64_t intra_payload_bytes = 0;
+  std::int64_t intra_messages = 0;
+  double intra_wire_equivalent_bytes = 0.0;
+};
+
+/// Measured (not estimated) accuracy of the inter-node codec for one
+/// table; errors are only non-zero in Functional mode, where values are
+/// really encoded and decoded.
+struct CompressionTableReport {
+  std::int64_t table = 0;
+  int bits = 32;  ///< mantissa width (32 = incompressible, ships raw)
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  std::int64_t samples = 0;
+};
+
+/// Inter-node codec accounting; populated only when a codec was armed.
+struct CompressionReport {
+  double bound = 0.0;
+  bool adaptive = false;
+  std::int64_t raw_bytes = 0;   ///< payload entering the codec
+  std::int64_t wire_bytes = 0;  ///< what actually crossed the NIC
+  std::int64_t hot_decisions = 0;   ///< adaptive: minimal-width flows
+  std::int64_t cool_decisions = 0;  ///< adaptive: light-width flows
+  std::vector<CompressionTableReport> tables;
+
+  double ratio() const {
+    return wire_bytes > 0
+               ? static_cast<double>(raw_bytes) /
+                     static_cast<double>(wire_bytes)
+               : 1.0;
+  }
+  double maxAbsError() const;
+};
+
 struct ExperimentResult {
   core::RetrieverStats stats;
   std::vector<core::BatchTiming> per_batch;
@@ -211,6 +277,12 @@ struct ExperimentResult {
 
   /// Per-query serving results; populated only when serving was on.
   std::optional<ServingResult> serving;
+
+  /// Intra vs inter link-class traffic; populated on multi-node runs.
+  std::optional<InterNodeTraffic> inter_node;
+
+  /// Codec accounting; populated only when compress_bound > 0.
+  std::optional<CompressionReport> compression;
 
   double avgBatchMs() const;
   double avgComputeMs() const;

@@ -1,7 +1,10 @@
 #include "engine/system_builder.hpp"
 
+#include <algorithm>
+
 #include "collective/communicator.hpp"
 #include "emb/replica_cache.hpp"
+#include "fabric/compression.hpp"
 #include "fabric/fabric.hpp"
 #include "fault/injector.hpp"
 #include "pgas/runtime.hpp"
@@ -23,6 +26,12 @@ void SystemBuilder::reset() {
   // allocations, the runtime/communicator hold fabric endpoints. The
   // checker outlives the system so teardown frees still report into it.
   injector_.reset();
+  for (auto& buffer : hier_buffers_) {
+    buffer.device()->free(buffer);
+  }
+  hier_buffers_.clear();
+  hier_staging_.clear();
+  codec_.reset();
   cache_.reset();
   layer_.reset();
   runtime_.reset();
@@ -56,7 +65,7 @@ void SystemBuilder::build() {
                   "num_gpus must divide evenly across nodes");
     topo = std::make_unique<fabric::MultiNodeTopology>(
         config_.num_nodes, config_.num_gpus / config_.num_nodes, config_.link,
-        config_.inter_node_link);
+        config_.inter_node_link, config_.nic_shared_queue);
   } else {
     topo = std::make_unique<fabric::NvlinkAllToAllTopology>(config_.num_gpus,
                                                             config_.link);
@@ -72,6 +81,40 @@ void SystemBuilder::build() {
   if (config_.cache_rows > 0) {
     cache_ = std::make_unique<emb::ReplicaCache>(*layer_, config_.cache_rows);
   }
+  const int nodes = std::max(config_.num_nodes, 1);
+  const int per_node = config_.num_gpus / nodes;
+  if (config_.compress_bound > 0.0 && nodes > 1) {
+    // Per-table value range: every weight lies in [-1, 1) and a pooled
+    // output sums at most max_pooling rows, so |v| < pooling (floor 1
+    // for single-id tables).
+    std::vector<double> ranges(
+        static_cast<std::size_t>(config_.layer.total_tables));
+    for (std::size_t t = 0; t < ranges.size(); ++t) {
+      int pooling = config_.layer.max_pooling;
+      if (t < config_.layer.table_max_pooling.size()) {
+        pooling = config_.layer.table_max_pooling[t];
+      }
+      ranges[t] = static_cast<double>(std::max(pooling, 1));
+    }
+    codec_ = std::make_unique<fabric::InterNodeCodec>(
+        std::move(ranges), config_.compress_bound, config_.compress_adaptive,
+        nodes, config_.inter_node_link.bandwidth_bytes_per_sec,
+        config_.counter_bucket);
+  }
+  const bool hier = config_.hierarchical_a2a && nodes > 1;
+  if (hier && config_.sharding == emb::ShardingScheme::kTableWise) {
+    buildHierStaging(nodes, per_node);
+  }
+  if (hier || codec_ != nullptr) {
+    collective::HierarchicalParams hp;
+    hp.enabled = hier;
+    hp.codec = codec_.get();
+    hp.bug_scatter_before_interflow = config_.hier_bug_scatter;
+    hp.staging = hier_staging_;
+    comm_->setHierarchical(std::move(hp));
+    runtime_->setHierarchical(hier);
+    runtime_->setCodec(codec_.get());
+  }
   if (!config_.faults.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(config_.faults);
     injector_->arm(*system_, *fabric_);
@@ -84,12 +127,75 @@ void SystemBuilder::build() {
   }
 }
 
+void SystemBuilder::buildHierStaging(int nodes, int gpus_per_node) {
+  const auto& sharding = layer_->sharding();
+  const int dim = layer_->dim();
+  const int num_gpus = config_.num_gpus;
+  hier_staging_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    const int leader = n * gpus_per_node;
+    // Gather staging: one slot per member holding its full inter-node
+    // contribution; recv staging: one slot per source node. Sized from
+    // the sharding's worst case, so cache-filtered (smaller) exchanges
+    // stay inside the declared ranges.
+    std::vector<std::int64_t> member_elems(
+        static_cast<std::size_t>(gpus_per_node), 0);
+    std::int64_t gather_total = 0;
+    for (int local = 0; local < gpus_per_node; ++local) {
+      const int g = leader + local;
+      std::int64_t elems = 0;
+      for (int dst = 0; dst < num_gpus; ++dst) {
+        if (dst / gpus_per_node == n) continue;
+        elems += sharding.tablesOn(g) * sharding.miniBatchSize(dst) * dim;
+      }
+      member_elems[static_cast<std::size_t>(local)] = elems;
+      gather_total += elems;
+    }
+    std::vector<std::int64_t> src_elems(static_cast<std::size_t>(nodes), 0);
+    std::int64_t recv_total = 0;
+    for (int s = 0; s < nodes; ++s) {
+      if (s == n) continue;
+      std::int64_t elems = 0;
+      for (int src = s * gpus_per_node; src < (s + 1) * gpus_per_node;
+           ++src) {
+        for (int dst = leader; dst < leader + gpus_per_node; ++dst) {
+          elems += sharding.tablesOn(src) * sharding.miniBatchSize(dst) * dim;
+        }
+      }
+      src_elems[static_cast<std::size_t>(s)] = elems;
+      recv_total += elems;
+    }
+    auto buffer = system_->device(leader).alloc(gather_total + recv_total);
+    collective::HierStaging staging;
+    staging.device = leader;
+    std::int64_t pos = buffer.offset();
+    for (int local = 0; local < gpus_per_node; ++local) {
+      const auto len = member_elems[static_cast<std::size_t>(local)];
+      staging.gather_slots.push_back(
+          simsan::StridedRange::contiguous(pos, len));
+      pos += len;
+    }
+    for (int s = 0; s < nodes; ++s) {
+      const auto len = src_elems[static_cast<std::size_t>(s)];
+      staging.recv_slots.push_back(simsan::StridedRange::contiguous(pos, len));
+      pos += len;
+    }
+    hier_buffers_.push_back(buffer);
+    hier_staging_.push_back(std::move(staging));
+  }
+}
+
 core::SystemContext SystemBuilder::context() {
   core::SystemContext ctx{*system_, *fabric_, *comm_, *runtime_, *layer_};
   ctx.pgas_slices = config_.pgas_slices;
   ctx.aggregator = config_.use_aggregator ? &config_.aggregator : nullptr;
   ctx.pipeline_depth = config_.pipeline_depth;
   ctx.cache = cache_.get();
+  ctx.num_nodes = std::max(config_.num_nodes, 1);
+  ctx.gpus_per_node = config_.num_gpus / ctx.num_nodes;
+  ctx.hierarchical_a2a = config_.hierarchical_a2a && ctx.num_nodes > 1;
+  ctx.codec = codec_.get();
+  ctx.hier_staging = hier_staging_.empty() ? nullptr : &hier_staging_;
   return ctx;
 }
 

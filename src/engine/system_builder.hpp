@@ -10,19 +10,23 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "engine/experiment.hpp"
+#include "gpu/device.hpp"
 
 namespace pgasemb {
 namespace collective {
 class Communicator;
+struct HierStaging;
 }
 namespace emb {
 class ReplicaCache;
 }
 namespace fabric {
 class Fabric;
+class InterNodeCodec;
 }
 namespace fault {
 class FaultInjector;
@@ -77,12 +81,21 @@ class SystemBuilder {
   /// ExperimentConfig::faults is empty. Invalidated by reset().
   fault::FaultInjector* faultInjector() { return injector_.get(); }
 
+  /// The inter-node codec, or nullptr when ExperimentConfig::
+  /// compress_bound is 0 or the topology is single-node. Invalidated by
+  /// reset().
+  fabric::InterNodeCodec* codec() { return codec_.get(); }
+
   /// The retriever-factory view of the current assembly. Invalidated by
   /// reset(); any retriever built from it must be destroyed first.
   core::SystemContext context();
 
  private:
   void build();
+  /// Allocate the per-node leader staging buffers of the hierarchical
+  /// all-to-all and carve their gather/recv slot ranges (table-wise
+  /// sharding only; other schemes run the hierarchy timing-only).
+  void buildHierStaging(int nodes, int gpus_per_node);
 
   ExperimentConfig config_;
   // Destroyed after the system (teardown frees report into it).
@@ -97,6 +110,13 @@ class SystemBuilder {
   // Armed against the system + fabric; runtime/comm hold raw pointers to
   // it, so it is torn down before them and rebuilt fresh on reset().
   std::unique_ptr<fault::FaultInjector> injector_;
+  // Inter-node codec; runtime/comm hold raw pointers, torn down with the
+  // assembly on reset().
+  std::unique_ptr<fabric::InterNodeCodec> codec_;
+  // Hierarchical leader staging: device allocations (freed in reset(),
+  // before the devices go) and the slot ranges carved from them.
+  std::vector<gpu::DeviceBuffer> hier_buffers_;
+  std::vector<collective::HierStaging> hier_staging_;
 };
 
 }  // namespace pgasemb::engine

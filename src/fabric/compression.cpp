@@ -1,0 +1,119 @@
+#include "fabric/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::fabric {
+
+InterNodeCodec::InterNodeCodec(std::vector<double> table_ranges, double bound,
+                               bool adaptive, int num_nodes,
+                               double nic_bandwidth_bytes_per_sec,
+                               SimTime window)
+    : bound_(bound), adaptive_(adaptive),
+      nic_bandwidth_(nic_bandwidth_bytes_per_sec) {
+  PGASEMB_CHECK(bound > 0.0, "compression bound must be positive: ", bound);
+  PGASEMB_CHECK(!table_ranges.empty(), "codec needs at least one table");
+  PGASEMB_CHECK(num_nodes >= 1, "codec needs at least one node");
+  PGASEMB_CHECK(nic_bandwidth_bytes_per_sec > 0.0,
+                "codec needs the NIC bandwidth");
+  tables_.reserve(table_ranges.size());
+  for (const double range : table_ranges) {
+    PGASEMB_CHECK(range > 0.0, "table value range must be positive: ", range);
+    TableStats t;
+    t.range = range;
+    t.bits = minBitsFor(range, bound);
+    if (t.bits != kIncompressibleBits) {
+      t.scale = static_cast<double>((1 << (t.bits - 1)) - 1) / range;
+    }
+    tables_.push_back(t);
+    min_bits_all_ = std::max(min_bits_all_, t.bits);
+  }
+  egress_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) egress_.emplace_back(window);
+}
+
+int InterNodeCodec::minBitsFor(double range, double bound) {
+  for (int bits = 2; bits <= kLightBits; ++bits) {
+    const double quant_levels = static_cast<double>((1 << (bits - 1)) - 1);
+    if (range / (2.0 * quant_levels) <= bound) return bits;
+  }
+  return kIncompressibleBits;
+}
+
+std::int64_t InterNodeCodec::compressedBytes(std::int64_t payload_bytes,
+                                             int bits) {
+  PGASEMB_CHECK(payload_bytes >= 0, "negative payload");
+  PGASEMB_CHECK(payload_bytes % 4 == 0,
+                "compressed payloads are fp32 arrays: ", payload_bytes);
+  if (bits >= kIncompressibleBits) return payload_bytes;
+  if (payload_bytes == 0) return 0;
+  const std::int64_t elements = payload_bytes / 4;
+  return (elements * bits + 7) / 8 + kFlowHeaderBytes;
+}
+
+int InterNodeCodec::aggregateBits(int node, SimTime at) const {
+  if (!adaptive_) return min_bits_all_;
+  // Look at the last *completed* egress window: the in-progress bucket
+  // under-counts by construction and would flap the decision.
+  const auto& counter = egress_[static_cast<std::size_t>(node)];
+  const std::int64_t bucket =
+      at.count() / counter.bucketWidth().count() - 1;
+  double observed = 0.0;
+  if (bucket >= 0 &&
+      bucket < static_cast<std::int64_t>(counter.numBuckets())) {
+    observed = counter.bucket(static_cast<std::size_t>(bucket));
+  }
+  const double capacity = nic_bandwidth_ * counter.bucketWidth().toSec();
+  if (observed >= kHotUtilization * capacity) {
+    ++hot_decisions_;
+    return min_bits_all_;
+  }
+  ++cool_decisions_;
+  return std::max(min_bits_all_, kLightBits);
+}
+
+float InterNodeCodec::transcode(std::int64_t table, float v) {
+  TableStats& t = tables_[static_cast<std::size_t>(table)];
+  float decoded = v;
+  if (t.bits != kIncompressibleBits) {
+    const std::int64_t quant_max = (1 << (t.bits - 1)) - 1;
+    std::int64_t q = std::llround(static_cast<double>(v) * t.scale);
+    q = std::clamp(q, -quant_max, quant_max);
+    decoded = static_cast<float>(static_cast<double>(q) / t.scale);
+  }
+  const double err = std::abs(static_cast<double>(decoded) -
+                              static_cast<double>(v));
+  t.max_abs_error = std::max(t.max_abs_error, err);
+  t.sum_abs_error += err;
+  ++t.samples;
+  return decoded;
+}
+
+void InterNodeCodec::recordFlow(std::int64_t raw_bytes,
+                                std::int64_t wire_bytes) {
+  raw_bytes_ += raw_bytes;
+  wire_bytes_ += wire_bytes;
+}
+
+void InterNodeCodec::recordEgress(int node, SimTime at,
+                                  std::int64_t wire_bytes) {
+  egress_[static_cast<std::size_t>(node)].add(at,
+                                              static_cast<double>(wire_bytes));
+}
+
+void InterNodeCodec::reset() {
+  for (TableStats& t : tables_) {
+    t.max_abs_error = 0.0;
+    t.sum_abs_error = 0.0;
+    t.samples = 0;
+  }
+  for (TimeSeriesCounter& c : egress_) c.reset();
+  raw_bytes_ = 0;
+  wire_bytes_ = 0;
+  hot_decisions_ = 0;
+  cool_decisions_ = 0;
+}
+
+}  // namespace pgasemb::fabric

@@ -1,0 +1,114 @@
+// Error-bounded lossy compression for inter-node embedding traffic.
+//
+// Pooled embedding values are bounded: every weight lies in [-1, 1) and a
+// pooled output sums at most `max_pooling` rows, so |v| < pooling for the
+// owning table.  A per-table absolute-error-bound codec therefore needs no
+// per-message metadata: pick the smallest mantissa width m (2..16 bits)
+// whose uniform quantizer over [-range, range] keeps the rounding error
+// within the bound, scale, round, and ship sign+mantissa.  Tables whose
+// range cannot meet the bound in 16 bits stay uncompressed (32 bits).
+//
+// The adaptive controller trades accuracy for wire time from *observed*
+// NIC pressure: each node's compressed egress feeds a TimeSeriesCounter,
+// and a flow is encoded at the table's minimal width only while the
+// node's recent egress utilization is above a threshold — otherwise it
+// ships light 16-bit mantissas.  Both settings respect the error bound;
+// decisions depend only on simulated state, so runs are seed-deterministic.
+//
+// In Functional mode values are really encoded and decoded (at the
+// table's minimal width — the worst case any adaptive decision can pick),
+// and the codec accumulates measured per-table max/mean absolute error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/time_series_counter.hpp"
+#include "util/time.hpp"
+
+namespace pgasemb::fabric {
+
+class InterNodeCodec {
+ public:
+  /// Framing prefix per compressed flow (scale + width descriptor).
+  static constexpr std::int64_t kFlowHeaderBytes = 8;
+  /// Sentinel width: table cannot meet the bound — ships raw fp32.
+  static constexpr int kIncompressibleBits = 32;
+  /// Light mantissa width the adaptive controller uses off-peak.
+  static constexpr int kLightBits = 16;
+  /// Egress utilization above which the adaptive controller compresses
+  /// at the minimal width.
+  static constexpr double kHotUtilization = 0.5;
+
+  /// `table_ranges[t]` bounds |value| for table t's pooled outputs.
+  /// `nic_bandwidth_bytes_per_sec` is the inter-node link bandwidth the
+  /// utilization threshold is measured against.
+  InterNodeCodec(std::vector<double> table_ranges, double bound,
+                 bool adaptive, int num_nodes,
+                 double nic_bandwidth_bytes_per_sec,
+                 SimTime window = SimTime::us(20.0));
+
+  /// Smallest mantissa width in [2, 16] whose quantization error over
+  /// [-range, range] stays within `bound`; kIncompressibleBits if none.
+  static int minBitsFor(double range, double bound);
+
+  /// Exact wire size of a compressed flow: one sign+mantissa word of
+  /// `bits` per fp32 element, bit-packed, plus the flow header.  Raw
+  /// payload passes through unchanged for incompressible tables.
+  static std::int64_t compressedBytes(std::int64_t payload_bytes, int bits);
+
+  double bound() const { return bound_; }
+  bool adaptive() const { return adaptive_; }
+  std::int64_t numTables() const {
+    return static_cast<std::int64_t>(tables_.size());
+  }
+  int tableBits(std::int64_t table) const { return tables_[table].bits; }
+
+  /// Mantissa width for an aggregated (multi-table) flow leaving `node`
+  /// at `at`: the widest per-table minimal width (size-conservative), or
+  /// the light width while the node's observed egress is below the hot
+  /// threshold in adaptive mode.
+  int aggregateBits(int node, SimTime at) const;
+
+  /// Quantize-dequantize one value of `table` at the table's minimal
+  /// width and record the measured absolute error (Functional mode).
+  float transcode(std::int64_t table, float v);
+
+  /// Account one compressed inter-node flow (raw vs on-wire bytes).
+  void recordFlow(std::int64_t raw_bytes, std::int64_t wire_bytes);
+
+  /// Feed the adaptive controller's per-node egress observation.
+  void recordEgress(int node, SimTime at, std::int64_t wire_bytes);
+
+  struct TableStats {
+    double range = 0.0;
+    int bits = kIncompressibleBits;
+    double scale = 0.0;  ///< quantizer steps per unit; 0 = incompressible
+    double max_abs_error = 0.0;
+    double sum_abs_error = 0.0;
+    std::int64_t samples = 0;
+  };
+  const std::vector<TableStats>& tableStats() const { return tables_; }
+
+  std::int64_t rawBytes() const { return raw_bytes_; }
+  std::int64_t wireBytes() const { return wire_bytes_; }
+  std::int64_t hotDecisions() const { return hot_decisions_; }
+  std::int64_t coolDecisions() const { return cool_decisions_; }
+
+  /// Clear flow/error/egress state (new run, same table ranges).
+  void reset();
+
+ private:
+  double bound_;
+  bool adaptive_;
+  double nic_bandwidth_;
+  std::vector<TableStats> tables_;
+  int min_bits_all_ = 2;  ///< widest per-table minimal width
+  std::vector<TimeSeriesCounter> egress_;  ///< per-node compressed egress
+  std::int64_t raw_bytes_ = 0;
+  std::int64_t wire_bytes_ = 0;
+  mutable std::int64_t hot_decisions_ = 0;
+  mutable std::int64_t cool_decisions_ = 0;
+};
+
+}  // namespace pgasemb::fabric

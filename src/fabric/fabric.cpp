@@ -75,6 +75,17 @@ Fabric::Delivery Fabric::transfer(int src, int dst,
   return d;
 }
 
+Fabric::ClassTraffic Fabric::classTraffic(LinkClass cls) {
+  ClassTraffic out;
+  for (Link* link : topology_->links()) {
+    if (link->linkClass() != cls) continue;
+    out.payload_bytes += link->totalPayloadBytes();
+    out.messages += link->totalMessages();
+    out.wire_equivalent_bytes += link->wireEquivalentBytes();
+  }
+  return out;
+}
+
 bool Fabric::coalescingSafe() const {
   if (!topology_->dedicatedPairLinks() || flow_observer_) return false;
   for (Link* link : topology_->links()) {

@@ -60,6 +60,18 @@ class Fabric {
   std::int64_t totalPayloadBytes() const { return total_payload_bytes_; }
   std::int64_t totalMessages() const { return total_messages_; }
 
+  /// Per-link-class traffic rollup (intra-node NVLink vs inter-node NIC),
+  /// summed over the topology's links.  `wire_equivalent_bytes` converts
+  /// wire occupancy back to bytes at nominal bandwidth, so it captures
+  /// headers, message-rate padding and protocol-efficiency loss — the
+  /// honest "what did this traffic cost the wire" number.
+  struct ClassTraffic {
+    std::int64_t payload_bytes = 0;
+    std::int64_t messages = 0;
+    double wire_equivalent_bytes = 0.0;
+  };
+  ClassTraffic classTraffic(LinkClass cls);
+
   /// Flows (and their payload) swallowed by link-flap fault windows.
   /// Dropped flows still count as injected wire traffic but never reach
   /// the delivery counter. Zero without armed link faults.

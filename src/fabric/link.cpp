@@ -35,17 +35,17 @@ sim::FifoResource::Grant Link::occupy(SimTime at, std::int64_t payload_bytes,
                                       double bandwidth_fraction) {
   total_payload_bytes_ += payload_bytes;
   total_messages_ += n_messages;
+  double fraction = bandwidth_fraction;
   if (!fault_windows_.empty()) {
     // Sample the degradation at the time the flow actually reaches the
     // wire (deterministic: FIFO order fixes it).
-    const double factor = bandwidthFactorAt(fifo_.nextFreeTime(at));
-    if (factor < 1.0) {
-      return fifo_.acquire(at, serializationTime(payload_bytes, n_messages,
-                                                 bandwidth_fraction * factor));
-    }
+    const double factor = bandwidthFactorAt(wire_->nextFreeTime(at));
+    if (factor < 1.0) fraction = bandwidth_fraction * factor;
   }
-  return fifo_.acquire(
-      at, serializationTime(payload_bytes, n_messages, bandwidth_fraction));
+  const SimTime wire_time =
+      serializationTime(payload_bytes, n_messages, fraction);
+  wire_equivalent_bytes_ += wire_time.toSec() * params_.bandwidth_bytes_per_sec;
+  return wire_->acquire(at, wire_time);
 }
 
 void Link::addFaultWindow(const LinkFaultWindow& window) {
@@ -93,9 +93,12 @@ void Link::recordDrop(std::int64_t payload_bytes) {
 }
 
 void Link::reset() {
+  // Only the private queue is reset here; a shared wire queue belongs to
+  // its owning link, which resets it exactly once.
   fifo_.reset();
   total_payload_bytes_ = 0;
   total_messages_ = 0;
+  wire_equivalent_bytes_ = 0.0;
   dropped_flows_ = 0;
   dropped_payload_bytes_ = 0;
 }

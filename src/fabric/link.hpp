@@ -17,6 +17,12 @@
 
 namespace pgasemb::fabric {
 
+/// Routing class of a link (or a src→dst GPU pair): intra-node NVLink
+/// versus inter-node NIC.  Topologies tag their links so traffic can be
+/// accounted per class (see Fabric::classTraffic) and so retrievers can
+/// route hierarchically.
+enum class LinkClass { kIntra, kInter };
+
 struct LinkParams {
   double bandwidth_bytes_per_sec = 48e9;  ///< V100 NVLink pair, per direction
   SimTime latency = SimTime::us(1.9);     ///< one-way propagation + protocol
@@ -60,8 +66,27 @@ class Link {
   const std::string& name() const { return name_; }
   sim::FifoResource& fifo() { return fifo_; }
 
+  /// Link class tag (defaults to intra-node); set by the topology.
+  LinkClass linkClass() const { return link_class_; }
+  void setLinkClass(LinkClass cls) { link_class_ = cls; }
+
+  /// Redirect wire occupancy onto another link's FIFO so both links
+  /// serialize through one injection queue (models a node's NIC, whose
+  /// DMA engine is shared between the up and down directions).  The
+  /// target FIFO must outlive this link; pass nullptr to restore the
+  /// private queue.
+  void setWireQueue(sim::FifoResource* queue) {
+    wire_ = queue != nullptr ? queue : &fifo_;
+  }
+
   std::int64_t totalPayloadBytes() const { return total_payload_bytes_; }
   std::int64_t totalMessages() const { return total_messages_; }
+
+  /// Wire-equivalent bytes: cumulative wire occupancy converted back to
+  /// bytes at the nominal link bandwidth.  Unlike totalPayloadBytes this
+  /// includes headers, message-rate padding and protocol-efficiency loss,
+  /// so it measures what the flows actually cost the wire.
+  double wireEquivalentBytes() const { return wire_equivalent_bytes_; }
 
   // --- Fault injection (see fault::FaultInjector) -------------------------
 
@@ -94,8 +119,11 @@ class Link {
   std::string name_;
   LinkParams params_;
   sim::FifoResource fifo_;
+  sim::FifoResource* wire_ = &fifo_;
+  LinkClass link_class_ = LinkClass::kIntra;
   std::int64_t total_payload_bytes_ = 0;
   std::int64_t total_messages_ = 0;
+  double wire_equivalent_bytes_ = 0.0;
   std::vector<LinkFaultWindow> fault_windows_;
   std::int64_t dropped_flows_ = 0;
   std::int64_t dropped_payload_bytes_ = 0;

@@ -98,7 +98,8 @@ std::vector<Link*> RingTopology::links() {
 
 MultiNodeTopology::MultiNodeTopology(int num_nodes, int gpus_per_node,
                                      const LinkParams& intra_params,
-                                     const LinkParams& inter_params)
+                                     const LinkParams& inter_params,
+                                     bool shared_nic_queue)
     : num_nodes_(num_nodes), gpus_per_node_(gpus_per_node) {
   PGASEMB_CHECK(num_nodes >= 1 && gpus_per_node >= 1,
                 "need at least one node and one GPU per node");
@@ -118,6 +119,11 @@ MultiNodeTopology::MultiNodeTopology(int num_nodes, int gpus_per_node,
         "nic" + std::to_string(node) + ".up", inter_params));
     nic_down_.push_back(std::make_unique<Link>(
         "nic" + std::to_string(node) + ".down", inter_params));
+    nic_up_.back()->setLinkClass(LinkClass::kInter);
+    nic_down_.back()->setLinkClass(LinkClass::kInter);
+    if (shared_nic_queue) {
+      nic_down_.back()->setWireQueue(&nic_up_.back()->fifo());
+    }
   }
 }
 

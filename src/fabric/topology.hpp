@@ -32,6 +32,29 @@ class Topology {
   /// All links (for counters/reset/utilization reports).
   virtual std::vector<Link*> links() = 0;
 
+  // --- Node structure (topology-aware routing) ----------------------------
+  // Single-node topologies keep the defaults: one node holding every GPU,
+  // so every pair classifies as intra-node.
+
+  /// Routing class of a (src, dst) GPU pair: intra-node NVLink or
+  /// inter-node NIC.  Local (src == dst) pairs are intra by convention.
+  virtual LinkClass routeClass(int src, int dst) const {
+    (void)src;
+    (void)dst;
+    return LinkClass::kIntra;
+  }
+
+  virtual int numNodes() const { return 1; }
+  virtual int gpusPerNode() const { return numGpus(); }
+  virtual int nodeOf(int gpu) const {
+    (void)gpu;
+    return 0;
+  }
+
+  /// Leader GPU of a node (the rank that stages hierarchical all-to-all
+  /// traffic): the node's first GPU.
+  int nodeLeader(int node) const { return node * gpusPerNode(); }
+
   /// True when every ordered (src, dst) pair routes over links used by
   /// no other pair, so flows from different sources can never contend.
   /// This is the topological safety condition for the TimingOnly
@@ -97,17 +120,28 @@ class RingTopology final : public Topology {
 };
 
 /// Multiple NVLink nodes joined by per-node NIC links.
+///
+/// With `shared_nic_queue` set, a node's down link serializes through
+/// the up link's FIFO, modeling the NIC's single DMA engine: concurrent
+/// flows touching one node's NIC in either direction contend per node
+/// instead of per direction.
 class MultiNodeTopology final : public Topology {
  public:
   MultiNodeTopology(int num_nodes, int gpus_per_node,
                     const LinkParams& intra_params,
-                    const LinkParams& inter_params);
+                    const LinkParams& inter_params,
+                    bool shared_nic_queue = false);
 
   int numGpus() const override { return num_nodes_ * gpus_per_node_; }
   std::vector<Link*> route(int src, int dst) override;
   std::vector<Link*> links() override;
 
-  int nodeOf(int gpu) const { return gpu / gpus_per_node_; }
+  LinkClass routeClass(int src, int dst) const override {
+    return nodeOf(src) == nodeOf(dst) ? LinkClass::kIntra : LinkClass::kInter;
+  }
+  int numNodes() const override { return num_nodes_; }
+  int gpusPerNode() const override { return gpus_per_node_; }
+  int nodeOf(int gpu) const override { return gpu / gpus_per_node_; }
 
  private:
   int num_nodes_;

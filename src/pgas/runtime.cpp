@@ -42,6 +42,7 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
                          system_.mode() == gpu::ExecutionMode::kTimingOnly &&
                          system_.sanitizer() == nullptr &&
                          injector_ == nullptr && counter == nullptr &&
+                         codec_ == nullptr && !hierarchical_ &&
                          fabric_.coalescingSafe();
 
   auto quiet = quiet_pool_.make();
@@ -78,21 +79,51 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
                                     const fabric::Fabric::Delivery&) {
           if (counter != nullptr) counter->record(attempt_at, attempt_payload);
         };
-    for (const auto& f :
-         plan.flows[static_cast<std::size_t>(slice)]) {
+    auto& topo = fabric_.topology();
+    // Hierarchical forwarding applies to fault-free multi-node runs; a
+    // delivery-tracked (injector) put models the direct path only.
+    const bool hier =
+        hierarchical_ && injector_ == nullptr && topo.numNodes() > 1;
+    const auto& flows = plan.flows[static_cast<std::size_t>(slice)];
+    // Common put bookkeeping once the *final* delivery time is known:
+    // quiet latches it, the comm counter records the original payload at
+    // injection time, and the simsan window spans injection -> landing
+    // (for forwarded puts the leader staging hops are timing-only; the
+    // collective retriever's staging buffers are where simsan certifies
+    // the gather/scatter interleavings).
+    const auto log_put = [&](const auto& f, SimTime delivered) {
+      quiet->last_delivery = std::max(quiet->last_delivery, delivered);
+      if (counter != nullptr) counter->record(at, f.payload_bytes);
+      if (san != nullptr) {
+        for (const auto& effect : remote_writes) {
+          if (effect.device != f.dst) continue;
+          san->access(quiet->side_actor, effect.device, effect.range,
+                      effect.kind, at, delivered, effect.label);
+        }
+      }
+    };
+    for (const auto& f : flows) {
       if (strict_puts != nullptr) strict_puts->flow(f.dst, f.payload_bytes);
       if (injector_ == nullptr) {
-        const auto d =
-            fabric_.transfer(src, f.dst, f.payload_bytes, f.n_messages, at);
-        quiet->last_delivery = std::max(quiet->last_delivery, d.delivered);
-        if (counter != nullptr) counter->record(at, f.payload_bytes);
-        if (san != nullptr) {
-          for (const auto& effect : remote_writes) {
-            if (effect.device != f.dst) continue;
-            san->access(quiet->side_actor, effect.device, effect.range,
-                        effect.kind, at, d.delivered, effect.label);
-          }
+        if (hier &&
+            topo.routeClass(src, f.dst) == fabric::LinkClass::kInter) {
+          continue;  // forwarded below, aggregated per destination node
         }
+        std::int64_t wire_bytes = f.payload_bytes;
+        if (codec_ != nullptr && f.payload_bytes > 0 &&
+            f.payload_bytes % 4 == 0 &&
+            topo.routeClass(src, f.dst) == fabric::LinkClass::kInter) {
+          // Flat-mode compression: each one-sided flow is encoded on its
+          // way out of the node (the 256-byte messages shrink but their
+          // count — and hence the NIC message-rate padding — does not).
+          wire_bytes = fabric::InterNodeCodec::compressedBytes(
+              f.payload_bytes, codec_->aggregateBits(topo.nodeOf(src), at));
+          codec_->recordFlow(f.payload_bytes, wire_bytes);
+          codec_->recordEgress(topo.nodeOf(src), at, wire_bytes);
+        }
+        const auto d =
+            fabric_.transfer(src, f.dst, wire_bytes, f.n_messages, at);
+        log_put(f, d.delivered);
         continue;
       }
       // Delivery-tracked put: flap-dropped attempts are retransmitted
@@ -128,6 +159,61 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
           san->access(rogue, effect.device, effect.range, effect.kind,
                       r.first_loss, r.acked, effect.label + ".retransmit");
         }
+      }
+    }
+    if (!hier) return;
+    // Hierarchical forwarding (DESIGN.md §12): per destination node,
+    // this slice's inter-node puts ride three hops —
+    //   1. NVLink gather: src -> own node leader (summed payload, the
+    //      original message count; free when src IS the leader);
+    //   2. one aggregated bulk message leader -> leader over the NIC
+    //      (n_messages = 1 kills the per-256-byte rate padding; the
+    //      codec, when attached, encodes this hop);
+    //   3. NVLink scatter: remote leader -> each destination GPU.
+    const int src_node = topo.nodeOf(src);
+    const int leader_s = topo.nodeLeader(src_node);
+    for (int node = 0; node < topo.numNodes(); ++node) {
+      if (node == src_node) continue;
+      std::int64_t to_node = 0;
+      std::int64_t msgs = 0;
+      for (const auto& f : flows) {
+        if (topo.nodeOf(f.dst) != node) continue;
+        to_node += f.payload_bytes;
+        msgs += f.n_messages;
+      }
+      if (to_node == 0) {
+        // Nothing to ship; empty puts complete at injection.
+        for (const auto& f : flows) {
+          if (topo.nodeOf(f.dst) == node) log_put(f, at);
+        }
+        continue;
+      }
+      SimTime staged = at;
+      if (src != leader_s) {
+        staged =
+            fabric_.transfer(src, leader_s, to_node, msgs, at).delivered;
+      }
+      std::int64_t wire_bytes = to_node;
+      if (codec_ != nullptr && to_node % 4 == 0) {
+        wire_bytes = fabric::InterNodeCodec::compressedBytes(
+            to_node, codec_->aggregateBits(src_node, staged));
+        codec_->recordFlow(to_node, wire_bytes);
+        codec_->recordEgress(src_node, staged, wire_bytes);
+      }
+      const int leader_d = topo.nodeLeader(node);
+      const SimTime landed =
+          fabric_.transfer(leader_s, leader_d, wire_bytes, 1, staged)
+              .delivered;
+      for (const auto& f : flows) {
+        if (topo.nodeOf(f.dst) != node) continue;
+        SimTime done = landed;
+        if (f.dst != leader_d) {
+          done = fabric_
+                     .transfer(leader_d, f.dst, f.payload_bytes,
+                               f.n_messages, landed)
+                     .delivered;
+        }
+        log_put(f, done);
       }
     }
   };

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "fabric/compression.hpp"
 #include "fabric/fabric.hpp"
 #include "gpu/kernel.hpp"
 #include "gpu/system.hpp"
@@ -45,6 +46,28 @@ class PgasRuntime {
   void setFaultInjector(fault::FaultInjector* injector) {
     injector_ = injector;
   }
+
+  /// Route one-sided traffic hierarchically on multi-node topologies
+  /// (DESIGN.md §12): a slice's inter-node flows are forwarded
+  /// src -> node leader -> remote leader -> dst, with the
+  /// leader->leader hop aggregated per (slice, destination node) into a
+  /// single bulk message — eliminating the NIC's per-256-byte
+  /// message-rate padding.  quiet() covers the forwarded hops: kernel
+  /// completion waits for the final scatter delivery.  Ignored on
+  /// single-node topologies; falls back to the flat path while a fault
+  /// injector is attached (delivery tracking models direct puts only).
+  void setHierarchical(bool enabled) { hierarchical_ = enabled; }
+  bool hierarchical() const { return hierarchical_; }
+
+  /// Attach the inter-node compression codec: a flow whose route
+  /// crosses nodes ships InterNodeCodec::compressedBytes(payload,
+  /// aggregateBits(src node)) on the wire — per flow in flat mode, on
+  /// the aggregated leader->leader hop in hierarchical mode.  Comm
+  /// counters and strict effects keep accounting the original payload
+  /// (compression is a wire-format concern, not a protocol one).  Not
+  /// owned; must outlive the runtime.
+  void setCodec(fabric::InterNodeCodec* codec) { codec_ = codec; }
+  fabric::InterNodeCodec* codec() const { return codec_; }
 
   /// Master switch for the TimingOnly slice-coalescing fast path
   /// (--no-coalesce escape hatch). Even when enabled, a kernel's slices
@@ -90,6 +113,8 @@ class PgasRuntime {
   fabric::Fabric& fabric_;
   SymmetricHeap heap_;
   fault::FaultInjector* injector_ = nullptr;
+  fabric::InterNodeCodec* codec_ = nullptr;
+  bool hierarchical_ = false;
   bool coalesce_enabled_ = true;
   /// Recycles the per-kernel quiet records (one per attachMessagePlan'd
   /// launch) instead of hitting the allocator each time.

@@ -241,6 +241,36 @@ std::string renderCacheTable(const std::vector<ScalingPoint>& points) {
   return table.render();
 }
 
+std::string renderCompressionTable(
+    const std::vector<engine::NamedResult>& runs) {
+  bool any = false;
+  for (const auto& run : runs) {
+    any = any || run.result.compression.has_value();
+  }
+  if (!any) return "";
+
+  ConsoleTable table({"Compression", "table", "bits", "ratio",
+                      "max |err|", "mean |err|", "samples"});
+  for (const auto& run : runs) {
+    const auto& cr = run.result.compression;
+    if (!cr.has_value()) continue;
+    const std::string who = runStyle(run.retriever).short_name +
+                            (cr->adaptive ? " (adaptive)" : "");
+    table.addRow({who, "all", "-", ConsoleTable::num(cr->ratio(), 2) + "x",
+                  ConsoleTable::num(cr->maxAbsError(), 6), "-", "-"});
+    for (const auto& t : cr->tables) {
+      // Tables never sampled (TimingOnly runs, or tables whose traffic
+      // stayed intra-node) carry no measured error — render "-".
+      const bool sampled = t.samples > 0;
+      table.addRow({"", std::to_string(t.table), std::to_string(t.bits),
+                    "", sampled ? ConsoleTable::num(t.max_abs_error, 6) : "-",
+                    sampled ? ConsoleTable::num(t.mean_abs_error, 6) : "-",
+                    std::to_string(t.samples)});
+    }
+  }
+  return table.render();
+}
+
 std::string renderResilienceTable(const std::vector<ScalingPoint>& points) {
   bool any = false;
   for (const auto& p : points) {

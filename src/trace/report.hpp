@@ -76,6 +76,15 @@ std::string renderCommVolumeChart(const std::vector<engine::NamedResult>& runs,
 /// callers can print it unconditionally and stay absent-neutral.
 std::string renderCacheTable(const std::vector<ScalingPoint>& points);
 
+/// Inter-node compression summary (DESIGN.md §12): per run, the wire
+/// compression ratio and adaptive hot/cool decisions, then one row per
+/// table with the quantization width and the measured (Functional mode)
+/// max/mean absolute error. Returns "" when no run carried a
+/// compression report, so callers can print it unconditionally and stay
+/// absent-neutral.
+std::string renderCompressionTable(
+    const std::vector<engine::NamedResult>& runs);
+
 /// Resilience summary table (drops, retransmits, collective reissues,
 /// launch retries, recovery time, SLO fallbacks per retriever per GPU
 /// count). Returns "" when no run recorded resilience stats, so callers

@@ -1,0 +1,396 @@
+// Multi-node retrieval suite (DESIGN.md §12): hierarchical all-to-all,
+// topology-aware routing, and error-bounded inter-node compression.
+//
+// Layers covered:
+//   - InterNodeCodec property tests: randomized round-trip error within
+//     the bound, the exact wire-size formula, monotone width selection.
+//   - Golden parity: with both features off, a 2-node run's totals are
+//     pinned to the pre-§12 numbers — the refactor cannot move defaults.
+//   - Modeled wins: at 4 nodes the hierarchical path must cut inter-node
+//     wire-equivalent bytes >= 2x and improve ms/batch for all three
+//     retrievers; fixed 1e-2 compression must cut codec bytes >= 4x more.
+//   - Functional accuracy: cross-node values really pass through the
+//     codec, and the measured max error respects the bound.
+//   - simsan certification of the hierarchical+compressed paths, plus a
+//     seeded scatter-before-interflow-complete bug the checker must name.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "engine/scenario_runner.hpp"
+#include "fabric/compression.hpp"
+
+namespace pgasemb::engine {
+namespace {
+
+const std::vector<std::string> kRetrievers = {
+    "nccl_collective", "pgas_fused", "nccl_pipelined"};
+
+/// The IB-like inter-node links every multi-node bench uses (and
+/// bench/bench_multinode.cpp pins): 25 GB/s, 5 us, 64 B, 10 M msg/s.
+void applyInterNodeLink(ExperimentConfig& cfg, int nodes) {
+  cfg.num_nodes = nodes;
+  cfg.inter_node_link.bandwidth_bytes_per_sec = 25e9;
+  cfg.inter_node_link.latency = SimTime::us(5.0);
+  cfg.inter_node_link.header_bytes = 64;
+  cfg.inter_node_link.max_messages_per_sec = 10e6;
+}
+
+/// 4-node x 4-GPU sweep cell on the bench's multi-node workload.
+ExperimentConfig sweepConfig(int nodes, int per_node) {
+  ExperimentConfig cfg = weakScalingConfig(nodes * per_node);
+  cfg.layer = emb::multinodeServingLayerSpec(nodes * per_node);
+  cfg.num_batches = 2;
+  applyInterNodeLink(cfg, nodes);
+  return cfg;
+}
+
+/// Small 2-node layer for Functional runs (real weights, real codec).
+ExperimentConfig functionalConfig() {
+  ExperimentConfig cfg = weakScalingConfig(4);
+  cfg.layer.total_tables = 8;
+  cfg.layer.rows_per_table = 4096;
+  cfg.layer.dim = 32;
+  cfg.layer.batch_size = 64;
+  cfg.layer.min_pooling = 1;
+  cfg.layer.max_pooling = 8;
+  cfg.num_batches = 2;
+  applyInterNodeLink(cfg, 2);
+  cfg.mode = gpu::ExecutionMode::kFunctional;
+  return cfg;
+}
+
+bool anyRaceMentions(const simsan::Summary& s, const std::string& one,
+                     const std::string& two) {
+  for (const auto& v : s.violations) {
+    if (v.kind != simsan::Violation::Kind::kRace) continue;
+    if (v.message.find(one) != std::string::npos &&
+        v.message.find(two) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// InterNodeCodec property tests
+// ---------------------------------------------------------------------------
+
+TEST(InterNodeCodecTest, MinBitsMonotoneInBoundAndRange) {
+  // Tighter bounds and wider ranges never pick narrower mantissas.
+  for (const double range : {0.5, 1.0, 8.0, 100.0}) {
+    int prev = fabric::InterNodeCodec::kIncompressibleBits + 1;
+    for (const double bound : {1e-6, 1e-4, 1e-2, 1e-1, 0.5}) {
+      const int bits = fabric::InterNodeCodec::minBitsFor(range, bound);
+      EXPECT_LE(bits, prev) << "range " << range << " bound " << bound;
+      prev = bits;
+    }
+  }
+  for (const double bound : {1e-4, 1e-2}) {
+    int prev = 0;
+    for (const double range : {0.25, 1.0, 4.0, 64.0}) {
+      const int bits = fabric::InterNodeCodec::minBitsFor(range, bound);
+      EXPECT_GE(bits, prev) << "range " << range << " bound " << bound;
+      prev = bits;
+    }
+  }
+  // A bound no 16-bit mantissa can meet ships raw fp32.
+  EXPECT_EQ(fabric::InterNodeCodec::minBitsFor(1e6, 1e-6),
+            fabric::InterNodeCodec::kIncompressibleBits);
+}
+
+TEST(InterNodeCodecTest, RandomizedRoundTripWithinBound) {
+  std::mt19937_64 rng(0x5eed'c0de);
+  for (const double range : {1.0, 3.0, 42.0}) {
+    for (const double bound : {1e-1, 1e-2, 1e-3}) {
+      fabric::InterNodeCodec codec({range}, bound, /*adaptive=*/false,
+                                   /*num_nodes=*/2, 25e9);
+      std::uniform_real_distribution<double> dist(-range, range);
+      double max_err = 0.0;
+      for (int i = 0; i < 2000; ++i) {
+        const float v = static_cast<float>(dist(rng));
+        const float back = codec.transcode(0, v);
+        max_err = std::max(max_err, std::abs(double(back) - double(v)));
+      }
+      EXPECT_LE(max_err, bound) << "range " << range << " bound " << bound;
+      // The codec's own bookkeeping agrees with the oracle above.
+      EXPECT_NEAR(codec.tableStats()[0].max_abs_error, max_err, 1e-12);
+      EXPECT_EQ(codec.tableStats()[0].samples, 2000);
+    }
+  }
+}
+
+TEST(InterNodeCodecTest, CompressedBytesFormulaExact) {
+  using Codec = fabric::InterNodeCodec;
+  // bits-per-element packing plus the flow header, rounded up to bytes.
+  EXPECT_EQ(Codec::compressedBytes(4096, 7),
+            (4096 / 4 * 7 + 7) / 8 + Codec::kFlowHeaderBytes);
+  EXPECT_EQ(Codec::compressedBytes(4, 16),
+            2 + Codec::kFlowHeaderBytes);
+  EXPECT_EQ(Codec::compressedBytes(400, 2),
+            (100 * 2 + 7) / 8 + Codec::kFlowHeaderBytes);
+  // Incompressible tables pass through without the header.
+  EXPECT_EQ(Codec::compressedBytes(4096, Codec::kIncompressibleBits), 4096);
+  // No payload, no flow: empty transfers ship nothing, not a header.
+  EXPECT_EQ(Codec::compressedBytes(0, 7), 0);
+}
+
+TEST(InterNodeCodecTest, AggregateBitsFixedVersusAdaptive) {
+  // Two tables: range 1 and range 8 -> the aggregate width is the wider
+  // of the two minimal widths.
+  const double bound = 1e-2;
+  const int wide = fabric::InterNodeCodec::minBitsFor(8.0, bound);
+  fabric::InterNodeCodec fixed({1.0, 8.0}, bound, /*adaptive=*/false, 2,
+                               25e9);
+  EXPECT_EQ(fixed.aggregateBits(0, SimTime::zero()), wide);
+
+  // Adaptive with no observed egress: the NIC is cool, so flows ship at
+  // the light width; after saturating egress the width tightens.
+  fabric::InterNodeCodec adaptive({1.0, 8.0}, bound, /*adaptive=*/true, 2,
+                                  25e9, SimTime::us(20.0));
+  EXPECT_EQ(adaptive.aggregateBits(0, SimTime::us(50.0)),
+            fabric::InterNodeCodec::kLightBits);
+  for (int b = 0; b < 5; ++b) {
+    adaptive.recordEgress(0, SimTime::us(20.0 * b + 10.0),
+                          std::int64_t(25e9 * 20e-6));  // 100% of a bucket
+  }
+  EXPECT_EQ(adaptive.aggregateBits(0, SimTime::us(110.0)), wide);
+}
+
+// ---------------------------------------------------------------------------
+// Golden parity: defaults must not move
+// ---------------------------------------------------------------------------
+
+TEST(MultiNodeGoldenTest, DefaultsMatchPreHierarchicalTotals) {
+  // weakScalingConfig(8), 3 batches, 2 nodes on the IB-like links: the
+  // exact totals recorded before the §12 features landed. Any drift
+  // here means the flags-off paths changed behavior.
+  struct Golden {
+    const char* retriever;
+    std::int64_t total_ps;
+    std::int64_t wire_bytes;
+    std::int64_t wire_messages;
+  };
+  const Golden golden[] = {
+      {"nccl_collective", 532586642634, 5637144576, 1344},
+      {"pgas_fused", 630656198034, 5637144576, 22020096},
+      {"nccl_pipelined", 424592753608, 5637144576, 1344},
+  };
+  ExperimentConfig cfg = weakScalingConfig(8);
+  cfg.num_batches = 3;
+  applyInterNodeLink(cfg, 2);
+  for (const auto& g : golden) {
+    ScenarioRunner runner(cfg);
+    const ExperimentResult r = runner.run(g.retriever);
+    EXPECT_EQ(r.stats.total.count(), g.total_ps) << g.retriever;
+    EXPECT_EQ(r.total_wire_bytes, g.wire_bytes) << g.retriever;
+    EXPECT_EQ(r.total_wire_messages, g.wire_messages) << g.retriever;
+    // Defaults carry no multi-node extras beyond the traffic split.
+    EXPECT_FALSE(r.compression.has_value()) << g.retriever;
+    ASSERT_TRUE(r.inter_node.has_value()) << g.retriever;
+    EXPECT_GT(r.inter_node->inter_payload_bytes, 0) << g.retriever;
+  }
+}
+
+TEST(MultiNodeGoldenTest, SingleNodeReportsNoInterNodeSection) {
+  ExperimentConfig cfg = weakScalingConfig(2);
+  cfg.num_batches = 2;
+  ScenarioRunner runner(cfg);
+  const ExperimentResult r = runner.run("nccl_collective");
+  EXPECT_FALSE(r.inter_node.has_value());
+  EXPECT_FALSE(r.compression.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Modeled wins: hierarchy and compression
+// ---------------------------------------------------------------------------
+
+TEST(HierarchicalTest, CutsInterBytesAndImprovesLatencyAt4Nodes) {
+  for (const auto& name : kRetrievers) {
+    ExperimentConfig flat = sweepConfig(4, 4);
+    const ExperimentResult base = ScenarioRunner(flat).run(name);
+
+    ExperimentConfig hier = sweepConfig(4, 4);
+    hier.hierarchical_a2a = true;
+    const ExperimentResult h = ScenarioRunner(hier).run(name);
+
+    ASSERT_TRUE(base.inter_node.has_value()) << name;
+    ASSERT_TRUE(h.inter_node.has_value()) << name;
+    // >= 2x fewer wire-equivalent bytes across node boundaries (headers
+    // and message-rate padding included) and fewer inter-node messages.
+    EXPECT_LE(h.inter_node->inter_wire_equivalent_bytes * 2.0,
+              base.inter_node->inter_wire_equivalent_bytes)
+        << name;
+    EXPECT_LT(h.inter_node->inter_messages,
+              base.inter_node->inter_messages)
+        << name;
+    // And the modeled batch time improves.
+    EXPECT_LT(h.avgBatchMs(), base.avgBatchMs()) << name;
+  }
+}
+
+TEST(CompressionTest, FixedBoundCutsCodecBytesAtLeast4x) {
+  // On the multi-node workload (range 1 pooled values) a 1e-2 bound
+  // picks 7-bit mantissas: 32/7 with the header is > 4x.
+  ExperimentConfig cfg = sweepConfig(4, 4);
+  cfg.hierarchical_a2a = true;
+  cfg.compress_bound = 1e-2;
+  for (const auto& name : kRetrievers) {
+    const ExperimentResult r = ScenarioRunner(cfg).run(name);
+    ASSERT_TRUE(r.compression.has_value()) << name;
+    EXPECT_GE(r.compression->ratio(), 4.0) << name;
+    EXPECT_GT(r.compression->raw_bytes, 0) << name;
+  }
+  // For the chunked collective the win carries through to wire-equivalent
+  // inter-node bytes too (one bulk flow per node pair, no rate padding).
+  ExperimentConfig off = sweepConfig(4, 4);
+  off.hierarchical_a2a = true;
+  const ExperimentResult plain = ScenarioRunner(off).run("nccl_collective");
+  const ExperimentResult comp = ScenarioRunner(cfg).run("nccl_collective");
+  ASSERT_TRUE(plain.inter_node.has_value());
+  ASSERT_TRUE(comp.inter_node.has_value());
+  EXPECT_LE(comp.inter_node->inter_wire_equivalent_bytes * 4.0,
+            plain.inter_node->inter_wire_equivalent_bytes);
+}
+
+TEST(CompressionTest, AdaptiveControllerIsSeedDeterministic) {
+  ExperimentConfig cfg = sweepConfig(2, 4);
+  cfg.hierarchical_a2a = true;
+  cfg.compress_bound = 1e-2;
+  cfg.compress_adaptive = true;
+  const ExperimentResult a = ScenarioRunner(cfg).run("pgas_fused");
+  const ExperimentResult b = ScenarioRunner(cfg).run("pgas_fused");
+  ASSERT_TRUE(a.compression.has_value());
+  ASSERT_TRUE(b.compression.has_value());
+  EXPECT_EQ(a.stats.total, b.stats.total);
+  EXPECT_EQ(a.compression->wire_bytes, b.compression->wire_bytes);
+  EXPECT_EQ(a.compression->hot_decisions, b.compression->hot_decisions);
+  EXPECT_EQ(a.compression->cool_decisions, b.compression->cool_decisions);
+  // The controller actually exercised both regimes' accounting.
+  EXPECT_GT(a.compression->hot_decisions + a.compression->cool_decisions, 0);
+}
+
+TEST(CompressionTest, SharedNicQueueNeverFasterThanPerFlowQueues) {
+  ExperimentConfig per_flow = sweepConfig(2, 4);
+  ExperimentConfig shared = sweepConfig(2, 4);
+  shared.nic_shared_queue = true;
+  for (const auto& name : kRetrievers) {
+    const ExperimentResult a = ScenarioRunner(per_flow).run(name);
+    const ExperimentResult b = ScenarioRunner(shared).run(name);
+    // Serializing each node's NIC injection can only add queueing delay.
+    EXPECT_GE(b.stats.total, a.stats.total) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Functional accuracy: the error is measured, not estimated
+// ---------------------------------------------------------------------------
+
+TEST(CompressionTest, FunctionalErrorStaysWithinBound) {
+  for (const double bound : {1e-1, 1e-2}) {
+    for (const char* name : {"nccl_collective", "pgas_fused"}) {
+      ExperimentConfig cfg = functionalConfig();
+      cfg.hierarchical_a2a = true;
+      cfg.compress_bound = bound;
+      const ExperimentResult r = ScenarioRunner(cfg).run(name);
+      ASSERT_TRUE(r.compression.has_value()) << name;
+      EXPECT_GT(r.compression->maxAbsError(), 0.0) << name;
+      EXPECT_LE(r.compression->maxAbsError(), bound) << name;
+      std::int64_t samples = 0;
+      for (const auto& t : r.compression->tables) {
+        EXPECT_LE(t.max_abs_error, bound) << name << " table " << t.table;
+        samples += t.samples;
+      }
+      // Cross-node values really passed through the codec.
+      EXPECT_GT(samples, 0) << name;
+    }
+  }
+}
+
+TEST(CompressionTest, ValidationRejectsInconsistentFlags) {
+  ExperimentConfig adaptive_without_bound = sweepConfig(2, 2);
+  adaptive_without_bound.compress_adaptive = true;
+  EXPECT_THROW(adaptive_without_bound.validate(), Error);
+
+  ExperimentConfig bug_without_hier = sweepConfig(2, 2);
+  bug_without_hier.hier_bug_scatter = true;
+  EXPECT_THROW(bug_without_hier.validate(), Error);
+
+  ExperimentConfig negative_bound = sweepConfig(2, 2);
+  negative_bound.compress_bound = -1e-3;
+  EXPECT_THROW(negative_bound.validate(), Error);
+
+  ExperimentConfig row_wise = sweepConfig(2, 2);
+  row_wise.sharding = emb::ShardingScheme::kRowWise;
+  row_wise.compress_bound = 1e-2;
+  EXPECT_THROW(row_wise.validate(), Error);
+}
+
+// ---------------------------------------------------------------------------
+// simsan certification of the new paths
+// ---------------------------------------------------------------------------
+
+TEST(MultiNodeSimsanTest, HierarchicalCompressedPathsAreClean) {
+  for (const int per_node : {2, 4}) {
+    ExperimentConfig cfg = sweepConfig(2, per_node);
+    cfg.num_batches = 2;
+    cfg.hierarchical_a2a = true;
+    cfg.compress_bound = 1e-2;
+    cfg.simsan = true;
+    for (const auto& name : kRetrievers) {
+      ScenarioRunner runner(cfg);
+      const ExperimentResult r = runner.run(name);
+      ASSERT_TRUE(r.sanitizer.has_value())
+          << name << " @" << per_node << " GPUs/node";
+      EXPECT_TRUE(r.sanitizer->clean())
+          << name << " @" << per_node
+          << " GPUs/node\n" << r.sanitizer->report();
+    }
+  }
+}
+
+TEST(MultiNodeSimsanTest, StrictEffectsHoldUnderHierarchyAndCompression) {
+  // Strict mode replays actual simulated-memory touches against the
+  // declared footprints; the leader staging kernels and the forwarded
+  // hops must stay inside what they declared.
+  ExperimentConfig cfg = sweepConfig(2, 2);
+  cfg.num_batches = 2;
+  cfg.hierarchical_a2a = true;
+  cfg.compress_bound = 1e-2;
+  cfg.simsan = true;
+  cfg.simsan_strict = true;
+  for (const char* name : {"nccl_collective", "pgas_fused"}) {
+    ScenarioRunner runner(cfg);
+    const ExperimentResult r = runner.run(name);
+    ASSERT_TRUE(r.sanitizer.has_value()) << name;
+    EXPECT_TRUE(r.sanitizer->clean()) << name << "\n"
+                                      << r.sanitizer->report();
+  }
+}
+
+TEST(MultiNodeSimsanTest, SeededScatterBeforeInterFlowIsFlagged) {
+  // The seeded bug launches each leader's scatter at the moment its
+  // gather staging is ready instead of waiting for the aggregated
+  // inter-node flow to land: the scatter's staging read races the
+  // inter-flow's remote write, and the report names both sides.
+  ExperimentConfig cfg = sweepConfig(2, 2);
+  cfg.num_batches = 1;
+  cfg.hierarchical_a2a = true;
+  cfg.hier_bug_scatter = true;
+  cfg.simsan = true;
+  ScenarioRunner runner(cfg);
+  const ExperimentResult r = runner.run("nccl_collective");
+  ASSERT_TRUE(r.sanitizer.has_value());
+  const auto& s = *r.sanitizer;
+  EXPECT_GT(s.races, 0) << s.report();
+  EXPECT_TRUE(anyRaceMentions(s, "hier_inter", "hier_scatter"))
+      << s.report();
+  EXPECT_EQ(s.out_of_bounds, 0) << s.report();
+  EXPECT_EQ(s.lifetime_errors, 0) << s.report();
+}
+
+}  // namespace
+}  // namespace pgasemb::engine

@@ -160,6 +160,32 @@ TEST(PgaslintCorpusTest, KernelMemEffectsSatisfiedByDeclaration) {
                   .empty());
 }
 
+TEST(PgaslintCorpusTest, KernelMemEffectsCoversHierStagingKernels) {
+  // The hierarchical all-to-all's leader gather/scatter builders
+  // (src/emb/staging_kernel.cpp) are NOT on the pure-kernels allowlist:
+  // they touch the leaders' staging buffers, so a builder that forgets
+  // its staging-slot effect must be flagged like any other kernel.
+  const auto f = only(lint("src/emb/staging_rogue.cpp",
+                           "gpu::KernelDesc build(int node) {\n"
+                           "  gpu::KernelDesc desc;\n"
+                           "  desc.name = \"emb_hier_gather.node\" + "
+                           "std::to_string(node);\n"
+                           "  return desc;\n"
+                           "}\n"));
+  EXPECT_EQ(f.rule, "kernel-mem-effects");
+  EXPECT_NE(f.message.find("emb_hier_gather"), std::string::npos);
+
+  EXPECT_TRUE(lint("src/emb/staging_rogue.cpp",
+                   "gpu::KernelDesc build(int node) {\n"
+                   "  gpu::KernelDesc desc;\n"
+                   "  desc.name = \"emb_hier_scatter.node\" + "
+                   "std::to_string(node);\n"
+                   "  desc.mem_effects.push_back(effect);\n"
+                   "  return desc;\n"
+                   "}\n")
+                  .empty());
+}
+
 TEST(PgaslintCorpusTest, KernelMemEffectsFlagsComputedName) {
   const auto f = only(lint("src/emb/rogue.cpp",
                            "gpu::KernelDesc build(const std::string& name) "
