@@ -168,6 +168,44 @@ inline void applyFaultFlags(const CliParser& cli,
   }
 }
 
+/// Registers the shared serving admission-control flags (DESIGN.md
+/// §13). Defaults (unbounded queue, no deadline, controller off) keep
+/// the serving path — and all stdout/CSV output — identical to a
+/// pre-admission build.
+inline void addAdmissionFlags(CliParser& cli) {
+  cli.addInt("admit-queue", 0,
+             "bounded admission queue (pending queries); when full, "
+             "--shed-policy decides which query pays (0 = unbounded)");
+  cli.addString("shed-policy", "block",
+                "full-queue policy: block (admit anyway, count it) | "
+                "shed-oldest (evict the queue head) | shed-newest (drop "
+                "the arrival)");
+  cli.addDouble("query-deadline-ms", 0.0,
+                "per-query queue-wait deadline (ms of simulated time); "
+                "queries still queued past it are shed as deadline "
+                "misses (0 = off)");
+  cli.addInt("admit-window", 0,
+             "sliding-window admission controller: completed queries per "
+             "p95 window; sheds incoming load while the window p95 "
+             "exceeds --slo-ms (0 = off)");
+}
+
+/// Applies the admission flags to a config. With the defaults this is a
+/// no-op.
+inline void applyAdmissionFlags(const CliParser& cli,
+                                engine::ExperimentConfig& cfg) {
+  cfg.serving.admit_queue = cli.getInt("admit-queue");
+  try {
+    cfg.serving.shed_policy =
+        engine::parseShedPolicy(cli.getString("shed-policy"));
+  } catch (const Error& e) {
+    fprintf(stderr, "%s\n(run with --help for usage)\n", e.what());
+    std::exit(2);
+  }
+  cfg.serving.query_deadline_ms = cli.getDouble("query-deadline-ms");
+  cfg.serving.admit_window = static_cast<int>(cli.getInt("admit-window"));
+}
+
 /// Registers the shared multi-node flags (DESIGN.md §12). Defaults
 /// (flat all-to-all, no compression, per-flow NIC queues) keep every
 /// code path — and all stdout/CSV output — identical to earlier builds.

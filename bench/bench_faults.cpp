@@ -8,14 +8,26 @@
 // retransmits, collective reissues, dropped flows, launch retries, and
 // recovery time. `none` doubles as the control: its row must match the
 // fault-free benches exactly (the fault layer is zero-cost when off).
+//
+// --nodes N (N > 1) switches to the node-level fault-domain sweep
+// (DESIGN.md §13): hierarchical all-to-all across N nodes under the
+// node-scoped fault kinds (nic-degrade, nic-flap, leader-fail,
+// node-straggle), reporting per-pair degraded-mode fallbacks, leader
+// failovers, and staging rebuilds next to the classic counters.
+// --bench-json additionally records the tracked resilience metrics
+// (recovery ms, degraded-mode fraction, serving goodput under overload)
+// for the scripts/check_perf.py gate.
 #include <algorithm>
 #include <memory>
 
 #include "bench_common.hpp"
+#include "engine/serving_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+using namespace pgasemb;
 
 struct Severity {
   const char* name;
@@ -38,6 +50,20 @@ constexpr Severity kSeverities[] = {
     {"heavy", "link-degrade:*:0.35,straggler:0:3,launch-fail:1:0.3+flap"},
 };
 
+// Node-scoped ladder (--nodes > 1): one level per fault kind so the
+// counters attribute cleanly, then a combined heavy level. Seeded
+// windows are drawn over the calibrated horizon; the nic-flap width is
+// clamped by the plan to half the retry budget, so dropped inter-node
+// flows always recover.
+constexpr Severity kNodeSeverities[] = {
+    {"none", ""},
+    {"nic-degrade", "nic-degrade:0:0.5"},
+    {"nic-flap", "nic-flap:0"},
+    {"leader-fail", "leader-fail:0"},
+    {"node-straggle", "node-straggle:0:2"},
+    {"heavy", "nic-degrade:*:0.6,nic-flap:1,leader-fail:0"},
+};
+
 /// Mid-run flap spec: placed inside a middle batch's communication phase
 /// (computed from the calibration run's breakdown, so chunks are
 /// actually in flight when the link dies), width capped at 8 ms so every
@@ -49,6 +75,39 @@ std::string midRunFlap(double start_ms, double width_ms) {
   return buf;
 }
 
+/// IB-like inter-node links (the bench_multinode parameters): 25 GB/s,
+/// 5 us, 64 B headers, 10 M msg/s.
+void applyInterNodeLink(engine::ExperimentConfig& cfg, int nodes) {
+  if (nodes <= 1) return;
+  cfg.num_nodes = nodes;
+  cfg.inter_node_link.bandwidth_bytes_per_sec = 25e9;
+  cfg.inter_node_link.latency = SimTime::us(5.0);
+  cfg.inter_node_link.header_bytes = 64;
+  cfg.inter_node_link.max_messages_per_sec = 10e6;
+}
+
+/// Serving goodput under overload: offered load far past the 2-GPU knee
+/// with the full admission stack armed (bounded queue + shed-oldest,
+/// queue-wait deadlines, sliding-window controller against a 2 ms SLO).
+/// Deterministic for the fixed seed, so the perf gate can track it.
+double overloadGoodputQps(const std::string& retriever) {
+  engine::ExperimentConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.layer = emb::servingLayerSpec(2, 256);
+  cfg.serving.num_queries = 600;
+  cfg.serving.qps = 256000.0;
+  cfg.serving.max_wait_ms = 0.2;
+  cfg.serving.slo_ms = 2.0;
+  cfg.serving.admit_queue = 64;
+  cfg.serving.shed_policy = engine::ShedPolicy::kShedOldest;
+  cfg.serving.query_deadline_ms = 4.0;
+  cfg.serving.admit_window = 50;
+  bench::validateOrExit(cfg);
+  engine::ServingRunner runner(cfg);
+  const auto result = runner.run(retriever);
+  return result.serving ? result.serving->goodput_qps : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,10 +115,20 @@ int main(int argc, char** argv) {
   CliParser cli(
       "Fault-severity x retriever sweep: per-batch slowdown and "
       "resilience counters under injected faults.");
-  cli.addInt("gpus", 4, "GPU count to run every severity level at");
+  cli.addInt("gpus", 4,
+             "total GPU count to run every severity level at (with "
+             "--nodes > 1: must be divisible by the node count)");
   cli.addInt("batches", 20, "inference batches per run");
   cli.addInt("fault-seed", 7, "seed for the unpinned fault windows");
+  cli.addInt("nodes", 0,
+             "node count for the node-level fault-domain sweep "
+             "(nic/leader/node faults against the hierarchical a2a); "
+             "0 or 1 = the classic single-node ladder");
   cli.addString("csv", "fault_sweep.csv", "output CSV path (empty = none)");
+  cli.addString("bench-json", "",
+                "write the tracked resilience metrics (recovery ms, "
+                "degraded-mode fraction, serving goodput under overload) "
+                "to this path; empty = off");
   bench::addRetrieversFlag(cli);
   bench::addSimsanFlag(cli);
   bench::addCoalesceFlag(cli);
@@ -67,26 +136,57 @@ int main(int argc, char** argv) {
 
   const int gpus = static_cast<int>(cli.getInt("gpus"));
   const int batches = static_cast<int>(cli.getInt("batches"));
+  const int nodes = static_cast<int>(cli.getInt("nodes"));
   const auto seed = static_cast<std::uint64_t>(cli.getInt("fault-seed"));
   const auto retrievers = bench::retrieverList(cli);
+  const bool node_mode = nodes > 1;
+  if (node_mode && (gpus % nodes != 0 || gpus / nodes < 2)) {
+    fprintf(stderr,
+            "--nodes %d needs --gpus divisible by it with >= 2 GPUs per "
+            "node (got %d)\n",
+            nodes, gpus);
+    return 2;
+  }
 
-  bench::printHeader("Fault-severity sweep at " + std::to_string(gpus) +
-                     " GPUs, " + std::to_string(batches) +
-                     " batches, fault seed " + std::to_string(seed));
+  if (node_mode) {
+    bench::printHeader(
+        "Node-level fault domains at " + std::to_string(nodes) + " nodes x " +
+        std::to_string(gpus / nodes) + " GPUs (hierarchical a2a), " +
+        std::to_string(batches) + " batches, fault seed " +
+        std::to_string(seed));
+  } else {
+    bench::printHeader("Fault-severity sweep at " + std::to_string(gpus) +
+                       " GPUs, " + std::to_string(batches) +
+                       " batches, fault seed " + std::to_string(seed));
+  }
 
-  ConsoleTable table({"Severity", "retriever", "ms/batch", "drops",
-                      "retransmits", "reissues", "launch retries",
-                      "recovery ms"});
+  std::vector<std::string> table_headers{
+      "Severity", "retriever", "ms/batch", "drops", "retransmits",
+      "reissues", "launch retries", "recovery ms"};
+  if (node_mode) {
+    table_headers.insert(table_headers.end(),
+                         {"hier fb", "degraded ms", "failovers", "rebuilds"});
+  }
+  ConsoleTable table(table_headers);
   std::unique_ptr<CsvWriter> csv;
   const std::string csv_path = cli.getString("csv");
   if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{
-            "severity", "retriever", "avg_batch_ms", "dropped_flows",
-            "retransmits", "retransmitted_bytes", "collective_reissues",
-            "launch_retries", "fallbacks", "recovery_ms"});
+    std::vector<std::string> csv_headers{
+        "severity", "retriever", "avg_batch_ms", "dropped_flows",
+        "retransmits", "retransmitted_bytes", "collective_reissues",
+        "launch_retries", "fallbacks", "recovery_ms"};
+    if (node_mode) {
+      csv_headers.insert(csv_headers.end(),
+                         {"hier_fallbacks", "degraded_ms",
+                          "leader_failovers", "staging_rebuilds"});
+    }
+    csv = std::make_unique<CsvWriter>(csv_path, csv_headers);
   }
+
+  // Tracked metrics, accumulated over the faulted severity levels.
+  std::vector<double> recovery_ms(retrievers.size(), 0.0);
+  std::vector<double> degraded_ms(retrievers.size(), 0.0);
+  std::vector<double> faulted_total_ms(retrievers.size(), 0.0);
 
   std::vector<trace::ScalingPoint> points;
   // The 'none' run (always first) calibrates the fault horizon: seeded
@@ -95,8 +195,18 @@ int main(int argc, char** argv) {
   SimTime horizon = SimTime::ms(10.0);
   double flap_start_ms = 1.0;
   double flap_width_ms = 2.0;
-  for (const Severity& sev : kSeverities) {
+  const auto severities =
+      node_mode ? std::vector<Severity>(std::begin(kNodeSeverities),
+                                        std::end(kNodeSeverities))
+                : std::vector<Severity>(std::begin(kSeverities),
+                                        std::end(kSeverities));
+  for (const Severity& sev : severities) {
     engine::ExperimentConfig cfg = engine::weakScalingConfig(gpus);
+    if (node_mode) {
+      cfg.layer = emb::multinodeServingLayerSpec(gpus);
+      applyInterNodeLink(cfg, nodes);
+      cfg.hierarchical_a2a = true;
+    }
     cfg.num_batches = batches;
     bench::applySimsanFlags(cli, cfg);
     if (sev.spec[0] != '\0') {
@@ -110,6 +220,7 @@ int main(int argc, char** argv) {
       cfg.faults = fault::FaultPlan::parse(spec, seed, horizon);
     }
     bench::applyCoalesceFlag(cli, cfg);
+    bench::validateOrExit(cfg);
     engine::ScenarioRunner runner(cfg);
     trace::ScalingPoint point;
     point.gpus = gpus;
@@ -127,38 +238,109 @@ int main(int argc, char** argv) {
         flap_width_ms = std::max(0.5, comm_ms * 0.5);
       }
     }
-    for (const auto& run : point.runs) {
+    for (std::size_t r = 0; r < point.runs.size(); ++r) {
+      const auto& run = point.runs[r];
       fault::ResilienceStats rs;
       if (run.result.resilience) rs = *run.result.resilience;
-      table.addRow({sev.name, trace::runKey(run.retriever),
-                    ConsoleTable::num(run.result.avgBatchMs(), 3),
-                    std::to_string(rs.dropped_flows),
-                    std::to_string(rs.retransmits),
-                    std::to_string(rs.collective_reissues),
-                    std::to_string(rs.launch_retries),
-                    ConsoleTable::num(rs.recovery_latency.toMs(), 3)});
+      if (sev.spec[0] != '\0') {
+        recovery_ms[r] += rs.recovery_latency.toMs();
+        degraded_ms[r] += rs.degraded_time.toMs();
+        faulted_total_ms[r] += run.result.stats.total.toMs();
+      }
+      std::vector<std::string> row{
+          sev.name, trace::runKey(run.retriever),
+          ConsoleTable::num(run.result.avgBatchMs(), 3),
+          std::to_string(rs.dropped_flows),
+          std::to_string(rs.retransmits),
+          std::to_string(rs.collective_reissues),
+          std::to_string(rs.launch_retries),
+          ConsoleTable::num(rs.recovery_latency.toMs(), 3)};
+      if (node_mode) {
+        row.push_back(std::to_string(rs.hier_fallbacks));
+        row.push_back(ConsoleTable::num(rs.degraded_time.toMs(), 3));
+        row.push_back(std::to_string(rs.leader_failovers));
+        row.push_back(std::to_string(rs.staging_rebuilds));
+      }
+      table.addRow(row);
       if (csv) {
-        csv->addRow({sev.name, run.retriever,
-                     ConsoleTable::num(run.result.avgBatchMs(), 4),
-                     std::to_string(rs.dropped_flows),
-                     std::to_string(rs.retransmits),
-                     std::to_string(rs.retransmitted_bytes),
-                     std::to_string(rs.collective_reissues),
-                     std::to_string(rs.launch_retries),
-                     std::to_string(rs.fallback_switches),
-                     ConsoleTable::num(rs.recovery_latency.toMs(), 4)});
+        std::vector<std::string> csv_row{
+            sev.name, run.retriever,
+            ConsoleTable::num(run.result.avgBatchMs(), 4),
+            std::to_string(rs.dropped_flows),
+            std::to_string(rs.retransmits),
+            std::to_string(rs.retransmitted_bytes),
+            std::to_string(rs.collective_reissues),
+            std::to_string(rs.launch_retries),
+            std::to_string(rs.fallback_switches),
+            ConsoleTable::num(rs.recovery_latency.toMs(), 4)};
+        if (node_mode) {
+          csv_row.push_back(std::to_string(rs.hier_fallbacks));
+          csv_row.push_back(ConsoleTable::num(rs.degraded_time.toMs(), 4));
+          csv_row.push_back(std::to_string(rs.leader_failovers));
+          csv_row.push_back(std::to_string(rs.staging_rebuilds));
+        }
+        csv->addRow(csv_row);
       }
     }
     points.push_back(std::move(point));
   }
 
   printf("\n%s\n", table.render().c_str());
-  printf("('none' must match the fault-free benches exactly — the fault "
-         "layer is zero-cost when off)\n");
+  if (node_mode) {
+    printf("('none' must match the fault-free multi-node benches exactly; "
+           "degraded ms counts\n only the traffic that actually fell back "
+           "to flat routing on faulted node pairs)\n");
+  } else {
+    printf("('none' must match the fault-free benches exactly — the fault "
+           "layer is zero-cost when off)\n");
+  }
   bench::printSimsanReports(points);
   if (csv) {
     csv->close();
     printf("\nwrote %s\n", csv_path.c_str());
+  }
+
+  // Tracked resilience metrics (opt-in; default output is unchanged).
+  // All simulated and deterministic for the fixed seeds, so the perf
+  // gate holds them tighter than wall-clock records: summed recovery
+  // time and degraded-mode fraction over the faulted severity levels,
+  // plus serving goodput under 2x-knee overload with shedding armed.
+  const std::string bench_json = cli.getString("bench-json");
+  if (!bench_json.empty()) {
+    std::vector<double> goodput(retrievers.size(), 0.0);
+    for (std::size_t r = 0; r < retrievers.size(); ++r) {
+      goodput[r] = overloadGoodputQps(retrievers[r]);
+    }
+    FILE* out = fopen(bench_json.c_str(), "w");
+    PGASEMB_CHECK(out != nullptr, "--bench-json: cannot open " + bench_json);
+    const auto field = [&](const char* key, auto emit) {
+      fprintf(out, "  \"%s\": {", key);
+      for (std::size_t r = 0; r < retrievers.size(); ++r) {
+        fprintf(out, "%s\"%s\": ", r == 0 ? "" : ", ",
+                retrievers[r].c_str());
+        emit(r);
+      }
+      fprintf(out, "}");
+    };
+    fprintf(out, "{\n  \"bench\": \"resilience\",\n");
+    fprintf(out, "  \"nodes\": %d,\n  \"gpus\": %d,\n  \"batches\": %d,\n",
+            node_mode ? nodes : 1, gpus, batches);
+    fprintf(out, "  \"fault_seed\": %llu,\n",
+            static_cast<unsigned long long>(seed));
+    field("resilience_recovery_ms",
+          [&](std::size_t r) { fprintf(out, "%.4f", recovery_ms[r]); });
+    fprintf(out, ",\n");
+    field("resilience_degraded_fraction", [&](std::size_t r) {
+      fprintf(out, "%.6f",
+              faulted_total_ms[r] > 0.0 ? degraded_ms[r] / faulted_total_ms[r]
+                                        : 0.0);
+    });
+    fprintf(out, ",\n");
+    field("serving_goodput_qps",
+          [&](std::size_t r) { fprintf(out, "%.1f", goodput[r]); });
+    fprintf(out, "\n}\n");
+    fclose(out);
+    printf("wrote %s\n", bench_json.c_str());
   }
   return 0;
 }

@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
   bench::addSimsanFlag(cli);
   bench::addCacheFlags(cli);
   bench::addFaultFlags(cli);
+  bench::addAdmissionFlags(cli);
   bench::addCoalesceFlag(cli);
   if (!cli.parseOrExit(argc, argv)) return 0;
 
@@ -158,6 +159,7 @@ int main(int argc, char** argv) {
     cfg.serving.slo_ms = slo_ms;
     bench::applyCacheFlags(cli, cfg);
     bench::applyFaultFlags(cli, cfg);
+    bench::applyAdmissionFlags(cli, cfg);
     bench::applyCoalesceFlag(cli, cfg);
     bench::validateOrExit(cfg);
     return cfg;
@@ -189,6 +191,11 @@ int main(int argc, char** argv) {
          "of service times; achieved << offered = the queue grew "
          "without bound)\n");
   printf("\n%s\n", trace::renderServingSummary(points, slo_ms).c_str());
+
+  // Resilience under serving load (absent without --faults): the same
+  // counters the closed-loop benches report, keyed by sweep point.
+  const std::string resilience = trace::renderServingResilienceTable(points);
+  if (!resilience.empty()) printf("\n%s\n", resilience.c_str());
 
   // p95-over-time at each arrival pattern's highest swept load — the
   // regime where batching, backlog, and any brownout actually bite.

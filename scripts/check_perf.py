@@ -41,6 +41,14 @@ METRICS = {
     # there means the traffic model itself moved.
     "multinode_ms_per_batch": ("lower", "ms/batch"),
     "multinode_inter_bytes_per_batch": ("exact", "bytes"),
+    # Resilience sweep (bench_faults --nodes N --bench-json): summed
+    # recovery time and degraded-mode (per-pair flat fallback) fraction
+    # over the faulted severity levels, plus serving goodput at 2x-knee
+    # overload with the admission stack armed. All simulated with fixed
+    # seeds, so drift means the fault/admission model itself moved.
+    "resilience_recovery_ms": ("lower", "ms"),
+    "resilience_degraded_fraction": ("lower", "fraction"),
+    "serving_goodput_qps": ("higher", "qps"),
 }
 
 

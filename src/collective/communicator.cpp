@@ -91,6 +91,7 @@ Request Communicator::launch(
   // Pool-recycled states may carry a previous collective's hierarchical
   // bookkeeping.
   state->hier_pairs.clear();
+  state->hier_leaders.clear();
   state->hier_gathers.clear();
   state->hier_inters.clear();
   state->hier_scatters.clear();
@@ -212,12 +213,38 @@ void Communicator::sanitizeHierarchical(detail::CollectiveState& state) {
     return static_cast<void*>(
         &state.hier_sync[static_cast<std::size_t>(nodes + s * nodes + d)]);
   };
+  // Failover-aware staging selection: a node whose launch-time election
+  // moved leadership off the topology default logs against the standby
+  // leader's staging (provisioned by the builder), and every access to
+  // it is ordered behind the rebuild via the node's rebuild sync key.
+  const auto leader_of = [&](int node) {
+    return state.hier_leaders.empty()
+               ? topo.nodeLeader(node)
+               : state.hier_leaders[static_cast<std::size_t>(node)];
+  };
+  const auto failed_over = [&](int node) {
+    return leader_of(node) != topo.nodeLeader(node) &&
+           static_cast<std::size_t>(node) < hier_.standby_staging.size() &&
+           hier_.standby_staging[static_cast<std::size_t>(node)].device >= 0;
+  };
+  const auto staging_of = [&](int node) -> const HierStaging& {
+    return failed_over(node)
+               ? hier_.standby_staging[static_cast<std::size_t>(node)]
+               : hier_.staging[static_cast<std::size_t>(node)];
+  };
+  const auto rkey = [&](int node) {
+    return static_cast<void*>(
+        &rebuild_sync_[static_cast<std::size_t>(node)]);
+  };
   // Member contributions land in disjoint per-member slots of the leader
   // staging buffer.
   for (const auto& g : state.hier_gathers) {
     const int node = topo.nodeOf(g.src);
     const int local = g.src - topo.nodeLeader(node);
-    const auto& stg = hier_.staging[static_cast<std::size_t>(node)];
+    const auto& stg = staging_of(node);
+    if (failed_over(node) && !rebuild_sync_.empty()) {
+      san->acquire(actor_of(g.src), rkey(node));
+    }
     san->access(actor_of(g.src), stg.device,
                 stg.gather_slots[static_cast<std::size_t>(local)],
                 simsan::AccessKind::kWrite, g.at, g.delivered,
@@ -228,16 +255,21 @@ void Communicator::sanitizeHierarchical(detail::CollectiveState& state) {
   // behind the gathers by the per-node sync) and writes one per-source
   // slot of the destination leader's recv staging.
   for (const auto& i : state.hier_inters) {
-    const simsan::ActorId leader = actor_of(topo.nodeLeader(i.src_node));
+    const simsan::ActorId leader = actor_of(leader_of(i.src_node));
     san->acquire(leader, gkey(i.src_node));
-    const auto& src_stg = hier_.staging[static_cast<std::size_t>(i.src_node)];
+    const auto& src_stg = staging_of(i.src_node);
     for (const auto& slot : src_stg.gather_slots) {
       san->access(leader, src_stg.device, slot, simsan::AccessKind::kRead,
                   i.at, i.delivered,
                   state.label + ".hier_inter.read.node" +
                       std::to_string(i.src_node));
     }
-    const auto& dst_stg = hier_.staging[static_cast<std::size_t>(i.dst_node)];
+    const auto& dst_stg = staging_of(i.dst_node);
+    if (failed_over(i.dst_node) && !rebuild_sync_.empty()) {
+      // The remote write into the standby recv staging must also be
+      // ordered behind the destination node's rebuild.
+      san->acquire(leader, rkey(i.dst_node));
+    }
     san->access(leader, dst_stg.device,
                 dst_stg.recv_slots[static_cast<std::size_t>(i.src_node)],
                 simsan::AccessKind::kWrite, i.at, i.delivered,
@@ -252,7 +284,7 @@ void Communicator::sanitizeHierarchical(detail::CollectiveState& state) {
     const simsan::ActorId dst_actor = actor_of(s.dst);
     const int dst_node = topo.nodeOf(s.dst);
     if (s.synced) san->acquire(dst_actor, ikey(s.src_node, dst_node));
-    const auto& stg = hier_.staging[static_cast<std::size_t>(dst_node)];
+    const auto& stg = staging_of(dst_node);
     san->access(dst_actor, stg.device,
                 stg.recv_slots[static_cast<std::size_t>(s.src_node)],
                 simsan::AccessKind::kRead, s.at, s.delivered,
@@ -264,15 +296,16 @@ SimTime Communicator::hierarchicalInject(
     int src, SimTime start,
     const std::vector<std::vector<std::int64_t>>& matrix,
     const ChunkingParams& chunking, SimTime chunk_overhead,
-    detail::CollectiveState& state) {
+    const HierRouting& routing, detail::CollectiveState& state) {
   auto& topo = fabric_.topology();
   const int n = system_.numGpus();
   const int nodes = topo.numNodes();
   const int my_node = topo.nodeOf(src);
-  const int my_leader = topo.nodeLeader(my_node);
+  const int my_leader = routing.leaders[static_cast<std::size_t>(my_node)];
   const bool log = system_.sanitizer() != nullptr && !state.actors.empty();
   if (state.hier_pairs.empty()) {
     state.hier_pairs.resize(static_cast<std::size_t>(nodes) * nodes);
+    state.hier_leaders = routing.leaders;
     if (log) {
       state.hier_sync.resize(static_cast<std::size_t>(nodes) +
                              static_cast<std::size_t>(nodes) * nodes);
@@ -280,6 +313,10 @@ SimTime Communicator::hierarchicalInject(
   }
   const auto row = [&](int s) -> const std::vector<std::int64_t>& {
     return matrix[static_cast<std::size_t>(s)];
+  };
+  const auto degraded = [&](int dst_node) {
+    return routing.degraded[static_cast<std::size_t>(my_node) * nodes +
+                            dst_node] != 0;
   };
 
   SimTime last = start;
@@ -299,12 +336,41 @@ SimTime Communicator::hierarchicalInject(
     }
     inject_at = std::max(inject_at, at);
   }
+  // Per-pair degraded mode (DESIGN.md §13): node pairs inside a NIC
+  // fault window skip the leader staging — a dropped aggregate would
+  // couple the whole node into one retransmit domain — and ship their
+  // flows flat, per destination GPU (xfer reissues dropped chunks,
+  // charges the strict tracker and compresses inter-node chunks). Every
+  // healthy pair below keeps the hierarchy.
+  for (int dst_node = 0; dst_node < nodes; ++dst_node) {
+    if (dst_node == my_node || !degraded(dst_node)) continue;
+    const int base_d = topo.nodeLeader(dst_node);
+    SimTime fallback_last = start;
+    bool any = false;
+    for (int dst = base_d; dst < base_d + topo.gpusPerNode(); ++dst) {
+      std::int64_t remaining = row(src)[static_cast<std::size_t>(dst)];
+      SimTime at = start;
+      while (remaining > 0) {
+        const std::int64_t chunk = std::min(remaining, chunking.chunk_bytes);
+        at += chunk_overhead;
+        const auto d = xfer(src, dst, chunk, /*n_messages=*/1, at);
+        fallback_last = std::max(fallback_last, d.delivered);
+        remaining -= chunk;
+        any = true;
+      }
+    }
+    last = std::max(last, fallback_last);
+    if (any && injector_ != nullptr) {
+      injector_->recordHierFallback(start, fallback_last);
+    }
+  }
   // Strict-effects accounting is logical: each (src, dst) pair is
   // charged its original payload exactly once, regardless of the 3-hop
   // physical route (forwarded hops would overdraw the leader's budget).
+  // Degraded pairs were already charged per chunk by xfer above.
   if (strict_active_ != nullptr) {
     for (int dst = 0; dst < n; ++dst) {
-      if (topo.nodeOf(dst) == my_node) continue;
+      if (topo.nodeOf(dst) == my_node || degraded(topo.nodeOf(dst))) continue;
       const std::int64_t bytes = row(src)[static_cast<std::size_t>(dst)];
       if (bytes > 0) strict_active_->transfer(src, dst, bytes);
     }
@@ -314,7 +380,7 @@ SimTime Communicator::hierarchicalInject(
   SimTime gather_last = inject_at;
   bool gathered = false;
   for (int dst_node = 0; dst_node < nodes; ++dst_node) {
-    if (dst_node == my_node) continue;
+    if (dst_node == my_node || degraded(dst_node)) continue;
     std::int64_t to_node = 0;
     for (int dst = topo.nodeLeader(dst_node);
          dst < topo.nodeLeader(dst_node) + topo.gpusPerNode(); ++dst) {
@@ -337,7 +403,8 @@ SimTime Communicator::hierarchicalInject(
     if (pair.contributions == topo.gpusPerNode() && pair.raw_bytes > 0) {
       last = std::max(last, injectInterAndScatter(my_node, dst_node, pair,
                                                   matrix, chunking,
-                                                  chunk_overhead, state));
+                                                  chunk_overhead, routing,
+                                                  state));
     }
   }
   // One staging-slot write record per member (the leader's own slot is
@@ -355,10 +422,14 @@ SimTime Communicator::injectInterAndScatter(
     int src_node, int dst_node, const detail::HierPair& pair,
     const std::vector<std::vector<std::int64_t>>& matrix,
     const ChunkingParams& chunking, SimTime chunk_overhead,
-    detail::CollectiveState& state) {
+    const HierRouting& routing, detail::CollectiveState& state) {
   auto& topo = fabric_.topology();
-  const int leader_s = topo.nodeLeader(src_node);
-  const int leader_d = topo.nodeLeader(dst_node);
+  // Elected leaders run the staging endpoints; the topology defaults
+  // stay the iteration bases (node membership is fixed by layout).
+  const int leader_s = routing.leaders[static_cast<std::size_t>(src_node)];
+  const int leader_d = routing.leaders[static_cast<std::size_t>(dst_node)];
+  const int base_s = topo.nodeLeader(src_node);
+  const int base_d = topo.nodeLeader(dst_node);
   const bool log = system_.sanitizer() != nullptr && !state.actors.empty();
   // Compress the aggregated payload for the wire (the staged buffer is
   // contiguous, so the codec sees one flow per node pair).
@@ -385,9 +456,9 @@ SimTime Communicator::injectInterAndScatter(
   const bool buggy = hier_.bug_scatter_before_interflow;
   const SimTime scatter_start = buggy ? pair.ready : inter_done;
   SimTime last = inter_done;
-  for (int dst = leader_d; dst < leader_d + topo.gpusPerNode(); ++dst) {
+  for (int dst = base_d; dst < base_d + topo.gpusPerNode(); ++dst) {
     std::int64_t bytes = 0;
-    for (int src = leader_s; src < leader_s + topo.gpusPerNode(); ++src) {
+    for (int src = base_s; src < base_s + topo.gpusPerNode(); ++src) {
       bytes += matrix[static_cast<std::size_t>(src)]
                      [static_cast<std::size_t>(dst)];
     }
@@ -407,6 +478,98 @@ SimTime Communicator::injectInterAndScatter(
   return last;
 }
 
+Communicator::HierRouting Communicator::computeHierRouting(SimTime at) {
+  auto& topo = fabric_.topology();
+  const int nodes = topo.numNodes();
+  HierRouting routing;
+  routing.leaders.resize(static_cast<std::size_t>(nodes));
+  routing.degraded.assign(static_cast<std::size_t>(nodes) * nodes, 0);
+  for (int node = 0; node < nodes; ++node) {
+    routing.leaders[static_cast<std::size_t>(node)] =
+        injector_ != nullptr ? injector_->leaderAt(node, at)
+                             : topo.nodeLeader(node);
+  }
+  if (injector_ != nullptr) {
+    for (int s = 0; s < nodes; ++s) {
+      for (int d = 0; d < nodes; ++d) {
+        if (s != d && injector_->pairDegraded(s, d, at)) {
+          routing.degraded[static_cast<std::size_t>(s) * nodes + d] = 1;
+        }
+      }
+    }
+  }
+  return routing;
+}
+
+void Communicator::maybeRebuildStaging(SimTime at) {
+  if (injector_ == nullptr || hier_.standby_staging.empty()) return;
+  const auto* domains = injector_->domains();
+  if (domains == nullptr || !domains->anyNodeScoped()) return;
+  auto& topo = fabric_.topology();
+  const int nodes = topo.numNodes();
+  if (rebuild_sync_.empty()) {
+    rebuild_sync_.resize(static_cast<std::size_t>(nodes));
+  }
+  auto* san = system_.sanitizer();
+  for (int node = 0; node < nodes; ++node) {
+    const int elected = injector_->leaderAt(node, at);
+    if (elected == topo.nodeLeader(node)) continue;
+    if (static_cast<std::size_t>(node) >= hier_.standby_staging.size() ||
+        hier_.standby_staging[static_cast<std::size_t>(node)].device < 0) {
+      continue;
+    }
+    const int window = domains->failWindow(node, at);
+    const auto key = std::make_pair(node, window);
+    if (std::find(rebuilt_.begin(), rebuilt_.end(), key) != rebuilt_.end()) {
+      continue;
+    }
+    rebuilt_.push_back(key);
+    injector_->recordStagingRebuild();
+    const auto& stg = hier_.standby_staging[static_cast<std::size_t>(node)];
+    if (hier_.bug_rebuild_without_requiet && san != nullptr) {
+      // Seeded bug: the rebuild's staging writes run under a forked,
+      // never-joined rogue actor and the node-wide re-quiet (the release
+      // the members' gathers acquire) is skipped — every later access to
+      // the standby staging races the rebuild.
+      const auto rogue = san->forkActor(
+          "node" + std::to_string(node) + ".hier_rebuild.rogue",
+          system_.stream(elected).sanitizerActor());
+      const std::string label =
+          "emb_hier_rebuild.node" + std::to_string(node);
+      for (const auto& slot : stg.gather_slots) {
+        if (slot.empty()) continue;
+        san->access(rogue, stg.device, slot, simsan::AccessKind::kWrite, at,
+                    at, label);
+      }
+      for (const auto& slot : stg.recv_slots) {
+        if (slot.empty()) continue;
+        san->access(rogue, stg.device, slot, simsan::AccessKind::kWrite, at,
+                    at, label);
+      }
+      continue;
+    }
+    // Replay the staging layout on the standby leader (a real device
+    // kernel with declared write effects), then publish it: members
+    // acquire this key before their first gather into the standby. The
+    // kernel's writes are recorded when it executes on the stream, so
+    // the release must follow it in stream program order — a release at
+    // (host) launch time would precede the writes and leave them
+    // unordered against the members' acquires.
+    if (hier_.rebuild) hier_.rebuild(node, elected);
+    if (san != nullptr) {
+      auto& stream = system_.stream(elected);
+      const auto actor = stream.sanitizerActor();
+      void* key = &rebuild_sync_[static_cast<std::size_t>(node)];
+      stream.enqueue(at, "hier_rebuild.publish.node" + std::to_string(node),
+                     [san, actor, key](SimTime start,
+                                       std::function<void(SimTime)> done) {
+                       san->release(actor, key);
+                       done(start);
+                     });
+    }
+  }
+}
+
 Request Communicator::allToAllSingle(
     const std::vector<std::vector<std::int64_t>>& send_bytes,
     std::function<void()> on_complete, const ChunkingParams& chunking,
@@ -424,13 +587,22 @@ Request Communicator::allToAllSingle(
   const SimTime chunk_overhead =
       system_.costModel().collective_chunk_overhead;
   auto matrix = send_bytes;  // keep alive in the closure
+  // Routing is decided once per collective, at launch (host) time: all
+  // members must agree on the elected leaders and the degraded pairs or
+  // the per-pair contribution counting falls apart mid-collective.
+  std::shared_ptr<HierRouting> routing;
+  if (hierActive()) {
+    maybeRebuildStaging(system_.hostNow());
+    routing = std::make_shared<HierRouting>(
+        computeHierRouting(system_.hostNow()));
+  }
   return launch(
       "all_to_all_single",
-      [this, matrix, chunk_overhead, chunking](
+      [this, matrix, chunk_overhead, chunking, routing](
           int src, SimTime start, detail::CollectiveState& state) {
-        if (hierActive()) {
+        if (hierActive() && routing != nullptr) {
           return hierarchicalInject(src, start, matrix, chunking,
-                                    chunk_overhead, state);
+                                    chunk_overhead, *routing, state);
         }
         SimTime last = start;
         for (int dst = 0; dst < system_.numGpus(); ++dst) {

@@ -55,6 +55,20 @@ struct HierarchicalParams {
   /// interflow-complete race.
   bool bug_scatter_before_interflow = false;
   std::vector<HierStaging> staging;  ///< per node; may be empty
+  /// Standby staging on each node's failover leader (the next healthy
+  /// GPU), provisioned by the builder when the fault plan can fail a
+  /// leader. Empty when no leader-fail spec is armed; entries with
+  /// device = -1 mean "no standby for this node".
+  std::vector<HierStaging> standby_staging;
+  /// Host hook replaying the staging-rebuild kernel on a node's standby
+  /// leader (set by the builder; returns the kernel's completion time).
+  /// Null = timing-free rebuild (counters still tick).
+  std::function<SimTime(int node, int standby_device)> rebuild;
+  /// Seeded bug for simsan certification: the standby rebuild's staging
+  /// writes run under a forked, never-joined rogue actor and the
+  /// node-wide re-quiet (the release members acquire before gathering)
+  /// is skipped — member gather writes race the rebuild.
+  bool bug_rebuild_without_requiet = false;
 };
 
 class Communicator {
@@ -162,6 +176,23 @@ class Communicator {
   bool hierActive() { return hier_.enabled && topologyNodes() > 1; }
   int topologyNodes() { return fabric_.topology().numNodes(); }
 
+  /// Per-collective routing decisions, latched once at launch (host)
+  /// time so every member agrees: the elected leader of each node
+  /// (failover under a leader-fail window) and the per-node-pair
+  /// degraded flags (NIC fault window on either endpoint → that pair's
+  /// traffic goes flat; every healthy pair keeps the hierarchy).
+  struct HierRouting {
+    std::vector<int> leaders;    ///< one per node
+    std::vector<char> degraded;  ///< dense src_node × dst_node matrix
+  };
+  HierRouting computeHierRouting(SimTime at);
+
+  /// Failover housekeeping at collective launch: when a node's staging
+  /// leadership has moved inside a new fail window, replay the staging
+  /// rebuild on the standby leader (once per node × window) and publish
+  /// it to the members via the node's rebuild sync key.
+  void maybeRebuildStaging(SimTime at);
+
   /// One source rank's hierarchical all-to-all injection: flat intra
   /// flows, gather-to-leader, and — for whichever member contributes
   /// last — the aggregated inter flow plus the destination-side scatter.
@@ -169,7 +200,7 @@ class Communicator {
       int src, SimTime start,
       const std::vector<std::vector<std::int64_t>>& matrix,
       const ChunkingParams& chunking, SimTime chunk_overhead,
-      detail::CollectiveState& state);
+      const HierRouting& routing, detail::CollectiveState& state);
 
   /// Inject the aggregated (src_node → dst_node) inter flow at the
   /// pair's ready time, then the destination-side scatter; returns the
@@ -178,7 +209,7 @@ class Communicator {
       int src_node, int dst_node, const detail::HierPair& pair,
       const std::vector<std::vector<std::int64_t>>& matrix,
       const ChunkingParams& chunking, SimTime chunk_overhead,
-      detail::CollectiveState& state);
+      const HierRouting& routing, detail::CollectiveState& state);
 
   /// NCCL protocol efficiency applied to all collective wire traffic
   /// (staging copies, handshakes) — see CostModel.
@@ -221,6 +252,12 @@ class Communicator {
   simsan::StrictCollectiveTracker* strict_active_ = nullptr;
   /// Recycles the per-collective completion records (one per launch).
   util::SharedPool<detail::CollectiveState> state_pool_;
+  /// (node, fail-window index) pairs whose standby staging was rebuilt.
+  std::vector<std::pair<int, int>> rebuilt_;
+  /// Arena whose element addresses serve as the per-node rebuild sync
+  /// keys (sized to the topology once, never resized — addresses must
+  /// stay stable for the checker).
+  std::vector<char> rebuild_sync_;
 };
 
 }  // namespace pgasemb::collective

@@ -7,6 +7,7 @@
 #include "emb/lookup_kernel.hpp"
 #include "emb/staging_kernel.hpp"
 #include "emb/unpack_kernel.hpp"
+#include "fault/injector.hpp"
 #include "util/expect.hpp"
 
 namespace pgasemb::core {
@@ -168,22 +169,46 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
   const bool hier = multinode_.hierarchical &&
                     multinode_.hier_staging != nullptr &&
                     multinode_.gpus_per_node > 0;
+  // Failover-aware staging selection: when a leader-fail window has
+  // moved a node's staging leadership, the staging kernels run on the
+  // elected (standby) leader against the standby staging buffer.
+  const auto electedStaging =
+      [&](std::size_t n) -> const collective::HierStaging* {
+    const collective::HierStaging* stg =
+        &(*multinode_.hier_staging)[n];
+    if (multinode_.injector != nullptr &&
+        multinode_.hier_standby != nullptr &&
+        n < multinode_.hier_standby->size()) {
+      const int elected = multinode_.injector->leaderAt(
+          static_cast<int>(n), system.hostNow());
+      const auto& standby = (*multinode_.hier_standby)[n];
+      if (elected != stg->device && standby.device == elected) {
+        stg = &standby;
+      }
+    }
+    return stg;
+  };
   if (hier) {
     const auto& staging = *multinode_.hier_staging;
     for (std::size_t n = 0; n < staging.size(); ++n) {
-      const int leader = staging[n].device;
+      const auto* stg = electedStaging(n);
+      const int leader = stg->device;
       std::int64_t bytes = 0;
       for (int d = 0; d < p; ++d) {
         if (d / multinode_.gpus_per_node == static_cast<int>(n)) continue;
         bytes += matrix[static_cast<std::size_t>(leader)]
                        [static_cast<std::size_t>(d)];
       }
+      // The leader packs its own contribution into its local-rank slot
+      // (slot 0 for the default leader, the standby's rank otherwise).
+      const std::size_t local = static_cast<std::size_t>(
+          leader - static_cast<int>(n) * multinode_.gpus_per_node);
       system.launchKernel(
           leader, emb::buildLeaderGatherKernel(
                       layer_, static_cast<int>(n), leader,
-                      staging[n].gather_slots.empty()
-                          ? simsan::StridedRange{}
-                          : staging[n].gather_slots.front(),
+                      local < stg->gather_slots.size()
+                          ? stg->gather_slots[local]
+                          : simsan::StridedRange{},
                       bytes));
     }
   }
@@ -214,7 +239,8 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
   if (hier) {
     const auto& staging = *multinode_.hier_staging;
     for (std::size_t n = 0; n < staging.size(); ++n) {
-      const int leader = staging[n].device;
+      const auto* stg = electedStaging(n);
+      const int leader = stg->device;
       std::int64_t bytes = 0;
       for (int s = 0; s < p; ++s) {
         if (s / multinode_.gpus_per_node == static_cast<int>(n)) continue;
@@ -224,11 +250,11 @@ BatchTiming CollectiveRetriever::runBatch(const emb::SparseBatch& batch) {
         }
       }
       simsan::StridedRange span{};
-      if (!staging[n].recv_slots.empty()) {
+      if (!stg->recv_slots.empty()) {
         std::int64_t total = 0;
-        for (const auto& slot : staging[n].recv_slots) total += slot.len;
+        for (const auto& slot : stg->recv_slots) total += slot.len;
         span = simsan::StridedRange::contiguous(
-            staging[n].recv_slots.front().begin, total);
+            stg->recv_slots.front().begin, total);
       }
       system.launchKernel(leader,
                           emb::buildLeaderScatterKernel(
@@ -260,6 +286,8 @@ const RetrieverRegistrar kRegistrar{
       CollectiveMultiNodeOptions multinode;
       multinode.hierarchical = ctx.hierarchical_a2a;
       multinode.hier_staging = ctx.hier_staging;
+      multinode.hier_standby = ctx.hier_standby;
+      multinode.injector = ctx.injector;
       multinode.codec = ctx.codec;
       multinode.gpus_per_node = ctx.gpus_per_node;
       return std::make_unique<CollectiveRetriever>(ctx.layer, ctx.comm,

@@ -29,6 +29,13 @@ struct CollectiveMultiNodeOptions {
   /// buffers are recycled across in-flight batches).
   bool hierarchical = false;
   const std::vector<collective::HierStaging>* hier_staging = nullptr;
+  /// Standby staging on each node's failover leader; the staging
+  /// kernels follow the injector's elected leader onto it when a
+  /// leader-fail window is open (nullptr = no failover provisioned).
+  const std::vector<collective::HierStaging>* hier_standby = nullptr;
+  /// Armed fault injector, queried for the elected node leaders
+  /// (nullptr = topology defaults).
+  fault::FaultInjector* injector = nullptr;
   /// Functional mode: cross-node chunks are really transcoded through
   /// the codec, so landed outputs carry the measured compression error.
   fabric::InterNodeCodec* codec = nullptr;

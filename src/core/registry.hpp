@@ -30,6 +30,9 @@ namespace fabric {
 class Fabric;
 class InterNodeCodec;
 }
+namespace fault {
+class FaultInjector;
+}
 namespace pgas {
 class PgasRuntime;
 }
@@ -72,6 +75,13 @@ struct SystemContext {
   /// Per-node leader staging ranges of the hierarchical all-to-all
   /// (nullptr or empty when hierarchy is off).
   const std::vector<collective::HierStaging>* hier_staging = nullptr;
+  /// Standby staging on each node's failover leader (nullptr when the
+  /// fault plan cannot fail a leader).
+  const std::vector<collective::HierStaging>* hier_standby = nullptr;
+  /// Armed fault injector (nullptr without --faults): retrievers query
+  /// it for the elected node leader so their staging kernels follow a
+  /// leader failover.
+  fault::FaultInjector* injector = nullptr;
 };
 
 class RetrieverRegistry {

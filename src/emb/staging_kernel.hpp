@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "emb/layer.hpp"
 #include "gpu/device.hpp"
@@ -38,5 +39,14 @@ gpu::KernelDesc buildLeaderScatterKernel(ShardedEmbeddingLayer& layer,
                                          int node, int device,
                                          const simsan::StridedRange& staging,
                                          std::int64_t bytes);
+
+/// Standby-leader kernel replaying the node's staging layout after a
+/// leader failover (DESIGN.md §13): re-initializes every gather and recv
+/// slot (`slots`) on the new leader before members gather into them —
+/// the node-wide re-quiet that publishes the rebuild rides the
+/// communicator's rebuild sync key.
+gpu::KernelDesc buildStagingRebuildKernel(
+    ShardedEmbeddingLayer& layer, int node, int device,
+    const std::vector<simsan::StridedRange>& slots, std::int64_t bytes);
 
 }  // namespace pgasemb::emb

@@ -1,0 +1,108 @@
+#include "engine/admission.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace pgasemb::engine {
+
+ShedPolicy parseShedPolicy(const std::string& name) {
+  if (name == "block") return ShedPolicy::kBlock;
+  if (name == "shed-oldest") return ShedPolicy::kShedOldest;
+  if (name == "shed-newest") return ShedPolicy::kShedNewest;
+  PGASEMB_CHECK(false, "unknown shed policy '", name,
+                "' (block | shed-oldest | shed-newest)");
+  return ShedPolicy::kBlock;
+}
+
+std::string formatShedPolicy(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kBlock:
+      return "block";
+    case ShedPolicy::kShedOldest:
+      return "shed-oldest";
+    case ShedPolicy::kShedNewest:
+      return "shed-newest";
+  }
+  return "block";
+}
+
+AdmissionController::AdmissionController(AdmissionParams params)
+    : params_(params) {
+  PGASEMB_CHECK(params_.queue_limit >= 0, "admit-queue must be >= 0");
+  PGASEMB_CHECK(params_.window >= 0, "admit-window must be >= 0");
+  if (params_.window > 0) {
+    window_.reserve(static_cast<std::size_t>(params_.window));
+  }
+}
+
+bool AdmissionController::admit(const Query& query,
+                                std::deque<Query>& pending) {
+  (void)query;  // sheds are positional (FIFO), never content-based
+  // Overload controller first: a query the controller sheds never
+  // reaches the queue, so the bound below sees the post-shed stream.
+  if (shed_fraction_ > 0.0) {
+    debt_ += shed_fraction_;
+    if (debt_ >= 1.0) {
+      debt_ -= 1.0;
+      ++shed_overload_;
+      return false;
+    }
+  }
+  if (params_.queue_limit > 0 &&
+      static_cast<std::int64_t>(pending.size()) >= params_.queue_limit) {
+    switch (params_.policy) {
+      case ShedPolicy::kBlock:
+        ++blocked_;
+        break;  // open-loop client cannot be back-pressured: admit
+      case ShedPolicy::kShedOldest:
+        pending.pop_front();
+        ++shed_queue_;
+        break;
+      case ShedPolicy::kShedNewest:
+        ++shed_queue_;
+        return false;
+    }
+  }
+  return true;
+}
+
+void AdmissionController::expire(SimTime now, std::deque<Query>& pending) {
+  if (params_.query_deadline <= SimTime::zero()) return;
+  // Pending is FIFO by arrival, so expired queries sit at the front.
+  while (!pending.empty() &&
+         now - pending.front().arrival > params_.query_deadline) {
+    pending.pop_front();
+    ++deadline_misses_;
+  }
+}
+
+void AdmissionController::onCompletion(SimTime latency) {
+  if (params_.window <= 0 || params_.slo <= SimTime::zero()) return;
+  const auto cap = static_cast<std::size_t>(params_.window);
+  if (window_.size() < cap) {
+    window_.push_back(latency);
+  } else {
+    window_[window_next_] = latency;
+    window_next_ = (window_next_ + 1) % cap;
+    window_full_ = true;
+  }
+  if (!window_full_ && window_.size() < cap) return;
+  window_full_ = true;
+  // Nearest-rank p95 over the window (same convention as the serving
+  // timeline), then additive-increase / additive-decrease on the shed
+  // fraction: react fast to an SLO breach, release load back slowly.
+  std::vector<SimTime> sorted = window_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t rank = (sorted.size() * 95 + 99) / 100;
+  const SimTime p95 = sorted[std::min(rank == 0 ? 0 : rank - 1,
+                                      sorted.size() - 1)];
+  if (p95 > params_.slo) {
+    shed_fraction_ = std::min(0.9, shed_fraction_ + 0.1);
+  } else {
+    shed_fraction_ = std::max(0.0, shed_fraction_ - 0.05);
+    if (shed_fraction_ == 0.0) debt_ = 0.0;
+  }
+}
+
+}  // namespace pgasemb::engine

@@ -7,8 +7,12 @@
 namespace pgasemb::engine {
 
 DynamicBatcher::DynamicBatcher(LoadGenerator& generator,
-                               std::int64_t max_batch, SimTime max_wait)
-    : generator_(generator), max_batch_(max_batch), max_wait_(max_wait) {
+                               std::int64_t max_batch, SimTime max_wait,
+                               AdmissionController* admission)
+    : generator_(generator),
+      max_batch_(max_batch),
+      max_wait_(max_wait),
+      admission_(admission) {
   PGASEMB_CHECK(max_batch >= 1, "need a positive max batch size");
   PGASEMB_CHECK(max_wait >= SimTime::zero(), "negative max wait");
 }
@@ -25,28 +29,46 @@ void DynamicBatcher::pullArrivals(SimTime until) {
       lookahead_ = *q;
     }
     if (lookahead_->arrival > until) return;
+    if (admission_ != nullptr &&
+        !admission_->admit(*lookahead_, pending_)) {
+      lookahead_.reset();
+      continue;
+    }
     pending_.push_back(*lookahead_);
     lookahead_.reset();
   }
 }
 
 std::optional<FormedBatch> DynamicBatcher::nextBatch(SimTime free_at) {
-  // Anchor the window on the earliest unserved query.
-  if (pending_.empty()) {
-    if (!lookahead_) {
-      if (exhausted_) return std::nullopt;
-      auto q = generator_.next();
-      if (!q) {
-        exhausted_ = true;
-        return std::nullopt;
+  SimTime open = SimTime::zero();
+  for (;;) {
+    // Anchor the window on the earliest unserved (and admitted) query.
+    while (pending_.empty()) {
+      if (!lookahead_) {
+        if (exhausted_) return std::nullopt;
+        auto q = generator_.next();
+        if (!q) {
+          exhausted_ = true;
+          return std::nullopt;
+        }
+        lookahead_ = *q;
       }
-      lookahead_ = *q;
+      if (admission_ != nullptr &&
+          !admission_->admit(*lookahead_, pending_)) {
+        lookahead_.reset();
+        continue;
+      }
+      pending_.push_back(*lookahead_);
+      lookahead_.reset();
     }
-    pending_.push_back(*lookahead_);
-    lookahead_.reset();
+    open = std::max(free_at, pending_.front().arrival);
+    pullArrivals(open);
+    if (admission_ == nullptr) break;
+    // Queries whose queue wait blew the deadline by the window open are
+    // shed instead of served; re-anchor when that empties the queue.
+    admission_->expire(open, pending_);
+    if (!pending_.empty()) break;
   }
-  const SimTime open = std::max(free_at, pending_.front().arrival);
-  pullArrivals(open);
 
   FormedBatch batch;
   batch.close_time = open;
@@ -77,6 +99,11 @@ std::optional<FormedBatch> DynamicBatcher::nextBatch(SimTime free_at) {
         lookahead_ = *q;
       }
       if (lookahead_->arrival > deadline) break;
+      if (admission_ != nullptr &&
+          !admission_->admit(*lookahead_, pending_)) {
+        lookahead_.reset();
+        continue;
+      }
       if (batch.samples + lookahead_->samples <= max_batch_) {
         batch.samples += lookahead_->samples;
         batch.queries.push_back(*lookahead_);

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "engine/admission.hpp"
 #include "engine/load_generator.hpp"
 
 namespace pgasemb::engine {
@@ -29,8 +30,11 @@ struct FormedBatch {
 
 class DynamicBatcher {
  public:
+  /// `admission` (optional) gates every arrival before it joins the
+  /// pending queue and sheds deadline-expired queries at window open;
+  /// nullptr keeps the pre-admission behavior exactly.
   DynamicBatcher(LoadGenerator& generator, std::int64_t max_batch,
-                 SimTime max_wait);
+                 SimTime max_wait, AdmissionController* admission = nullptr);
 
   /// Forms the next batch given that the executor is busy until
   /// `free_at`: the batching window opens at max(free_at, first pending
@@ -45,6 +49,7 @@ class DynamicBatcher {
   LoadGenerator& generator_;
   std::int64_t max_batch_;
   SimTime max_wait_;
+  AdmissionController* admission_ = nullptr;
   std::deque<Query> pending_;
   std::optional<Query> lookahead_;  ///< pulled but not yet <= the window
   bool exhausted_ = false;

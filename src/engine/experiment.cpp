@@ -28,13 +28,43 @@ void ExperimentConfig::validate() const {
                 "error bounds do not compose with row-wise partial sums)");
   PGASEMB_CHECK(!hier_bug_scatter || hierarchical_a2a,
                 "hier-bug-scatter needs hierarchical-a2a");
-  if (!serving.enabled()) return;
+  for (const auto& spec : faults.specs) {
+    if (!fault::nodeScoped(spec.kind)) continue;
+    PGASEMB_CHECK(num_nodes > 1, "node-scoped fault '", spec.describe(),
+                  "' needs a multi-node layout (--nodes > 1)");
+    if (spec.kind == fault::FaultKind::kLeaderFail) {
+      PGASEMB_CHECK(num_gpus / num_nodes >= 2,
+                    "leader-fail needs >= 2 GPUs per node (no standby "
+                    "leader to elect otherwise)");
+    }
+  }
+  PGASEMB_CHECK(!faults.bug_rebuild_without_requiet ||
+                    hierarchical_a2a,
+                "bug-rebuild-without-requiet needs hierarchical-a2a");
+  if (!serving.enabled()) {
+    PGASEMB_CHECK(serving.admit_queue == 0 &&
+                      serving.query_deadline_ms == 0.0 &&
+                      serving.admit_window == 0,
+                  "admission-control knobs (--admit-queue / "
+                  "--query-deadline-ms / --admit-window) need serving "
+                  "mode (--serving-queries > 0)");
+    return;
+  }
   PGASEMB_CHECK(serving.qps > 0.0, "serving qps must be positive");
   PGASEMB_CHECK(serving.max_wait_ms >= 0.0,
                 "serving max-wait must be >= 0");
   PGASEMB_CHECK(serving.slo_ms >= 0.0, "serving SLO must be >= 0");
   PGASEMB_CHECK(serving.timeline_window >= 1,
                 "serving timeline window must be >= 1");
+  PGASEMB_CHECK(serving.admit_queue >= 0,
+                "admit-queue must be >= 0 (0 = unbounded)");
+  PGASEMB_CHECK(serving.query_deadline_ms >= 0.0,
+                "query-deadline must be >= 0 (0 = off)");
+  PGASEMB_CHECK(serving.admit_window >= 0,
+                "admit-window must be >= 0 (0 = off)");
+  PGASEMB_CHECK(serving.admit_window == 0 || serving.slo_ms > 0.0,
+                "the admission controller (--admit-window) sheds "
+                "against the SLO; set --serving-slo-ms > 0");
   if (serving.arrival == ArrivalPattern::kBursty) {
     PGASEMB_CHECK(serving.burst_on_ms > 0.0 && serving.burst_off_ms >= 0.0,
                   "bursty arrivals need burst-on > 0 and burst-off >= 0");

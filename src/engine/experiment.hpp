@@ -35,6 +35,19 @@ enum class ArrivalPattern {
 ArrivalPattern parseArrivalPattern(const std::string& name);
 std::string formatArrivalPattern(ArrivalPattern pattern);
 
+/// What the admission layer does with an arriving query when the
+/// bounded queue (`ServingConfig::admit_queue`) is full.
+enum class ShedPolicy {
+  kBlock,       ///< admit anyway; count the over-bound admit
+  kShedOldest,  ///< evict the head of the queue, admit the arrival
+  kShedNewest,  ///< drop the arrival at the door
+};
+
+/// Parses "block" / "shed-oldest" / "shed-newest" (throws
+/// InvalidArgumentError otherwise).
+ShedPolicy parseShedPolicy(const std::string& name);
+std::string formatShedPolicy(ShedPolicy policy);
+
 /// Open-loop serving front end (ServingRunner): a timestamped query
 /// stream feeding a dynamic batcher in front of the retriever. Default
 /// num_queries = 0 keeps serving off and every closed-loop code path
@@ -63,8 +76,26 @@ struct ServingConfig {
   std::uint64_t seed = 0x5e12;
   /// Queries per non-overlapping window of the p95-over-time timeline.
   int timeline_window = 100;
+  /// Bounded admission queue (pending queries); 0 = unbounded, exactly
+  /// the pre-admission behavior. When the backlog hits the bound,
+  /// `shed_policy` decides which query pays.
+  std::int64_t admit_queue = 0;
+  ShedPolicy shed_policy = ShedPolicy::kBlock;
+  /// Per-query queue-wait deadline (ms of simulated time): a query
+  /// still unserved when it expires is shed as a deadline miss instead
+  /// of being served hopelessly late. 0 = off.
+  double query_deadline_ms = 0.0;
+  /// Sliding-window admission controller: completed queries per p95
+  /// window; while the window p95 exceeds `slo_ms` a deterministic
+  /// fraction of incoming queries is shed at the door. 0 = off
+  /// (requires slo_ms > 0 when set).
+  int admit_window = 0;
 
   bool enabled() const { return num_queries > 0; }
+  bool admissionEnabled() const {
+    return admit_queue > 0 || query_deadline_ms > 0.0 ||
+           (admit_window > 0 && slo_ms > 0.0);
+  }
 };
 
 struct ExperimentConfig {
@@ -200,6 +231,22 @@ struct ServingResult {
   /// p95 (ms) per non-overlapping window of `timeline_window` queries,
   /// in completion order — brownout recovery is visible here.
   std::vector<double> window_p95_ms;
+
+  /// Overload-resilience accounting (ServingConfig admission knobs);
+  /// all zero — and `admission` false — when none of them is set.
+  bool admission = false;
+  std::int64_t shed_queue = 0;       ///< bounded-queue sheds
+  std::int64_t shed_overload = 0;    ///< admission-controller sheds
+  std::int64_t deadline_misses = 0;  ///< queue-wait deadline sheds
+  std::int64_t blocked_arrivals = 0; ///< over-bound admits under block
+  /// Queries served within the SLO per second of run span: the
+  /// throughput that actually counted. Equals achieved_qps when no SLO
+  /// is set; shed queries never contribute.
+  double goodput_qps = 0.0;
+
+  std::int64_t totalShed() const {
+    return shed_queue + shed_overload + deadline_misses;
+  }
 };
 
 /// Per-link-class wire accounting of a multi-node run.  The

@@ -1,7 +1,9 @@
 #include "engine/serving_runner.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "engine/admission.hpp"
 #include "engine/batch_executor.hpp"
 #include "engine/dynamic_batcher.hpp"
 #include "engine/load_generator.hpp"
@@ -43,8 +45,19 @@ ExperimentResult ServingRunner::run(const std::string& retriever_name) {
                                      ? config.serving.max_batch_size
                                      : config.layer.batch_size;
   LoadGenerator generator(config.serving, max_batch);
+  std::optional<AdmissionController> admission;
+  if (config.serving.admissionEnabled()) {
+    AdmissionParams ap;
+    ap.queue_limit = config.serving.admit_queue;
+    ap.policy = config.serving.shed_policy;
+    ap.query_deadline = SimTime::ms(config.serving.query_deadline_ms);
+    ap.window = config.serving.admit_window;
+    ap.slo = SimTime::ms(config.serving.slo_ms);
+    admission.emplace(ap);
+  }
   DynamicBatcher batcher(generator, max_batch,
-                         SimTime::ms(config.serving.max_wait_ms));
+                         SimTime::ms(config.serving.max_wait_ms),
+                         admission ? &*admission : nullptr);
   Rng wl_rng(config.batch_seed);
   const bool functional = config.mode == gpu::ExecutionMode::kFunctional;
   const SimTime slo = SimTime::ms(config.serving.slo_ms);
@@ -54,6 +67,7 @@ ExperimentResult ServingRunner::run(const std::string& retriever_name) {
   SimTime first_arrival = SimTime::zero();
   SimTime last_completion = SimTime::zero();
   std::int64_t total_samples = 0;
+  std::int64_t good_queries = 0;  ///< served within the SLO (all, if none)
   double queue_depth_sum = 0.0;
   std::vector<SimTime> window;
   window.reserve(static_cast<std::size_t>(config.serving.timeline_window));
@@ -83,7 +97,12 @@ ExperimentResult ServingRunner::run(const std::string& retriever_name) {
       const SimTime total = completion - q.arrival;
       sv.latency.add(total);
       sv.queue_latency.add(formed->close_time - q.arrival);
-      if (slo > SimTime::zero() && total > slo) ++sv.slo_violations;
+      if (slo > SimTime::zero() && total > slo) {
+        ++sv.slo_violations;
+      } else {
+        ++good_queries;
+      }
+      if (admission) admission->onCompletion(total);
       exec.recordQueryLatency(total);
       window.push_back(total);
       if (static_cast<int>(window.size()) >= config.serving.timeline_window) {
@@ -116,6 +135,15 @@ ExperimentResult ServingRunner::run(const std::string& retriever_name) {
   const double span_s = (last_completion - first_arrival).toSec();
   sv.achieved_qps =
       span_s > 0.0 ? static_cast<double>(sv.queries) / span_s : 0.0;
+  sv.goodput_qps =
+      span_s > 0.0 ? static_cast<double>(good_queries) / span_s : 0.0;
+  if (admission) {
+    sv.admission = true;
+    sv.shed_queue = admission->shedQueue();
+    sv.shed_overload = admission->shedOverload();
+    sv.deadline_misses = admission->deadlineMisses();
+    sv.blocked_arrivals = admission->blockedArrivals();
+  }
   sv.mean_batch_fill =
       sv.batches > 0 ? static_cast<double>(total_samples) /
                            (static_cast<double>(sv.batches) *

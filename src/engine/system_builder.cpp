@@ -4,6 +4,7 @@
 
 #include "collective/communicator.hpp"
 #include "emb/replica_cache.hpp"
+#include "emb/staging_kernel.hpp"
 #include "fabric/compression.hpp"
 #include "fabric/fabric.hpp"
 #include "fault/injector.hpp"
@@ -31,6 +32,7 @@ void SystemBuilder::reset() {
   }
   hier_buffers_.clear();
   hier_staging_.clear();
+  hier_standby_.clear();
   codec_.reset();
   cache_.reset();
   layer_.reset();
@@ -111,6 +113,28 @@ void SystemBuilder::build() {
     hp.codec = codec_.get();
     hp.bug_scatter_before_interflow = config_.hier_bug_scatter;
     hp.staging = hier_staging_;
+    hp.standby_staging = hier_standby_;
+    hp.bug_rebuild_without_requiet =
+        config_.faults.bug_rebuild_without_requiet;
+    if (!hier_standby_.empty()) {
+      // Failover rebuild hook: replay the staging layout on the standby
+      // leader as a real device kernel with declared write effects
+      // (raw captures are rebuilt with the assembly on every reset()).
+      auto* system = system_.get();
+      auto* layer = layer_.get();
+      auto standby = hier_standby_;
+      hp.rebuild = [system, layer, standby](int node, int device) {
+        const auto& stg = standby[static_cast<std::size_t>(node)];
+        std::vector<simsan::StridedRange> slots = stg.gather_slots;
+        slots.insert(slots.end(), stg.recv_slots.begin(),
+                     stg.recv_slots.end());
+        std::int64_t elems = 0;
+        for (const auto& slot : slots) elems += slot.len;
+        return system->launchKernel(
+            device, emb::buildStagingRebuildKernel(*layer, node, device,
+                                                   slots, elems * 4));
+      };
+    }
     comm_->setHierarchical(std::move(hp));
     runtime_->setHierarchical(hier);
     runtime_->setCodec(codec_.get());
@@ -131,6 +155,14 @@ void SystemBuilder::buildHierStaging(int nodes, int gpus_per_node) {
   const auto& sharding = layer_->sharding();
   const int dim = layer_->dim();
   const int num_gpus = config_.num_gpus;
+  // Standby staging is provisioned only when the armed plan can move a
+  // node's staging leadership and the node has a next healthy GPU to
+  // move it to (the failover target, DESIGN.md §13).
+  bool leader_fail = false;
+  for (const auto& spec : config_.faults.specs) {
+    if (spec.kind == fault::FaultKind::kLeaderFail) leader_fail = true;
+  }
+  const bool standby = leader_fail && gpus_per_node >= 2;
   hier_staging_.reserve(static_cast<std::size_t>(nodes));
   for (int n = 0; n < nodes; ++n) {
     const int leader = n * gpus_per_node;
@@ -165,23 +197,30 @@ void SystemBuilder::buildHierStaging(int nodes, int gpus_per_node) {
       src_elems[static_cast<std::size_t>(s)] = elems;
       recv_total += elems;
     }
-    auto buffer = system_->device(leader).alloc(gather_total + recv_total);
-    collective::HierStaging staging;
-    staging.device = leader;
-    std::int64_t pos = buffer.offset();
-    for (int local = 0; local < gpus_per_node; ++local) {
-      const auto len = member_elems[static_cast<std::size_t>(local)];
-      staging.gather_slots.push_back(
-          simsan::StridedRange::contiguous(pos, len));
-      pos += len;
-    }
-    for (int s = 0; s < nodes; ++s) {
-      const auto len = src_elems[static_cast<std::size_t>(s)];
-      staging.recv_slots.push_back(simsan::StridedRange::contiguous(pos, len));
-      pos += len;
-    }
-    hier_buffers_.push_back(buffer);
-    hier_staging_.push_back(std::move(staging));
+    // Identical layout on the default leader and (when provisioned) the
+    // standby: one gather slot per member, one recv slot per source node.
+    const auto carve = [&](int device) {
+      auto buffer = system_->device(device).alloc(gather_total + recv_total);
+      collective::HierStaging staging;
+      staging.device = device;
+      std::int64_t pos = buffer.offset();
+      for (int local = 0; local < gpus_per_node; ++local) {
+        const auto len = member_elems[static_cast<std::size_t>(local)];
+        staging.gather_slots.push_back(
+            simsan::StridedRange::contiguous(pos, len));
+        pos += len;
+      }
+      for (int s = 0; s < nodes; ++s) {
+        const auto len = src_elems[static_cast<std::size_t>(s)];
+        staging.recv_slots.push_back(
+            simsan::StridedRange::contiguous(pos, len));
+        pos += len;
+      }
+      hier_buffers_.push_back(buffer);
+      return staging;
+    };
+    hier_staging_.push_back(carve(leader));
+    if (standby) hier_standby_.push_back(carve(leader + 1));
   }
 }
 
@@ -196,6 +235,8 @@ core::SystemContext SystemBuilder::context() {
   ctx.hierarchical_a2a = config_.hierarchical_a2a && ctx.num_nodes > 1;
   ctx.codec = codec_.get();
   ctx.hier_staging = hier_staging_.empty() ? nullptr : &hier_staging_;
+  ctx.hier_standby = hier_standby_.empty() ? nullptr : &hier_standby_;
+  ctx.injector = injector_.get();
   return ctx;
 }
 

@@ -117,6 +117,9 @@ class SystemBuilder {
   // before the devices go) and the slot ranges carved from them.
   std::vector<gpu::DeviceBuffer> hier_buffers_;
   std::vector<collective::HierStaging> hier_staging_;
+  // Standby staging on each node's failover leader, provisioned only
+  // when the fault plan can fail a leader (empty otherwise).
+  std::vector<collective::HierStaging> hier_standby_;
 };
 
 }  // namespace pgasemb::engine

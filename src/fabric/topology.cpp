@@ -142,6 +142,12 @@ std::vector<Link*> MultiNodeTopology::route(int src, int dst) {
           nic_down_[static_cast<std::size_t>(nodeOf(dst))].get()};
 }
 
+std::vector<Link*> MultiNodeTopology::nicLinks(int node) {
+  PGASEMB_CHECK(node >= 0 && node < num_nodes_, "bad NIC node ", node);
+  return {nic_up_[static_cast<std::size_t>(node)].get(),
+          nic_down_[static_cast<std::size_t>(node)].get()};
+}
+
 std::vector<Link*> MultiNodeTopology::links() {
   std::vector<Link*> out;
   for (auto& l : intra_links_) {

@@ -52,8 +52,17 @@ class Topology {
   }
 
   /// Leader GPU of a node (the rank that stages hierarchical all-to-all
-  /// traffic): the node's first GPU.
+  /// traffic): the node's first GPU.  This is the *default* leadership;
+  /// under a leader-fail fault window the injector's fault domains
+  /// re-elect the next GPU on the node (see fault::NodeFaultDomains).
   int nodeLeader(int node) const { return node * gpusPerNode(); }
+
+  /// The NIC links (up then down) of a node, for node-scoped fault
+  /// arming. Single-node topologies have none.
+  virtual std::vector<Link*> nicLinks(int node) {
+    (void)node;
+    return {};
+  }
 
   /// True when every ordered (src, dst) pair routes over links used by
   /// no other pair, so flows from different sources can never contend.
@@ -142,6 +151,7 @@ class MultiNodeTopology final : public Topology {
   int numNodes() const override { return num_nodes_; }
   int gpusPerNode() const override { return gpus_per_node_; }
   int nodeOf(int gpu) const override { return gpu / gpus_per_node_; }
+  std::vector<Link*> nicLinks(int node) override;
 
  private:
   int num_nodes_;

@@ -31,6 +31,8 @@ void FaultInjector::arm(gpu::MultiGpuSystem& system, fabric::Fabric& fabric) {
   fabric_ = &fabric;
   materialized_.clear();
   launch_faults_.clear();
+  domains_.reset();
+  counted_failovers_.clear();
   stats_ = ResilienceStats{};
   launch_retry_penalty_ = system.costModel().kernel_launch_overhead +
                           system.costModel().stream_sync_overhead;
@@ -57,7 +59,8 @@ void FaultInjector::arm(gpu::MultiGpuSystem& system, fabric::Fabric& fabric) {
       // the retry ladder is unrecoverable by design — clamp seeded flaps
       // to half the budget so any horizon yields a survivable outage.
       // Pinned windows are taken verbatim and may still exceed it.
-      if (spec.kind == FaultKind::kLinkFlap) {
+      if (spec.kind == FaultKind::kLinkFlap ||
+          spec.kind == FaultKind::kNicFlap) {
         spec.end = std::min(spec.end, spec.start + retry_budget * 0.5);
       }
     }
@@ -124,7 +127,51 @@ void FaultInjector::arm(gpu::MultiGpuSystem& system, fabric::Fabric& fabric) {
         }
         break;
       }
+      case FaultKind::kNicDegrade:
+      case FaultKind::kNicFlap: {
+        // A node pinned beyond this topology matches nothing (same sweep
+        // rule as devices); single-node topologies have no NICs at all.
+        fabric::LinkFaultWindow window;
+        window.start = spec.start;
+        window.end = spec.end;
+        if (spec.kind == FaultKind::kNicFlap) {
+          window.flap = true;
+        } else {
+          window.bandwidth_factor = spec.magnitude;
+        }
+        auto& topo = fabric.topology();
+        for (int node = 0; node < topo.numNodes(); ++node) {
+          if (spec.a >= 0 && node != spec.a) continue;
+          for (fabric::Link* link : topo.nicLinks(node)) {
+            link->addFaultWindow(window);
+          }
+        }
+        break;
+      }
+      case FaultKind::kLeaderFail:
+        // Pure routing fault: recorded in the node fault domains below,
+        // nothing to install on links or devices.
+        break;
+      case FaultKind::kNodeStraggle: {
+        auto& topo = fabric.topology();
+        for (int node = 0; node < topo.numNodes(); ++node) {
+          if (spec.a >= 0 && node != spec.a) continue;
+          const int base = node * topo.gpusPerNode();
+          for (int d = base; d < base + topo.gpusPerNode(); ++d) {
+            system.device(d).addSlowdownWindow(spec.start, spec.end,
+                                               spec.magnitude);
+          }
+        }
+        break;
+      }
     }
+  }
+
+  auto& topo = fabric.topology();
+  if (topo.numNodes() > 1) {
+    domains_ = std::make_unique<NodeFaultDomains>(materialized_,
+                                                  topo.numNodes(),
+                                                  topo.gpusPerNode());
   }
 
   if (!launch_faults_.empty()) {
@@ -132,6 +179,23 @@ void FaultInjector::arm(gpu::MultiGpuSystem& system, fabric::Fabric& fabric) {
       return launchFaultDelay(device, host_now);
     });
   }
+}
+
+int FaultInjector::leaderAt(int node, SimTime at) {
+  if (domains_ == nullptr) return node * (fabric_ != nullptr
+                                              ? fabric_->topology().gpusPerNode()
+                                              : 1);
+  const int leader = domains_->leaderAt(node, at);
+  if (leader != node * domains_->gpusPerNode()) {
+    const int window = domains_->failWindow(node, at);
+    const auto key = std::make_pair(node, window);
+    if (std::find(counted_failovers_.begin(), counted_failovers_.end(),
+                  key) == counted_failovers_.end()) {
+      counted_failovers_.push_back(key);
+      ++stats_.leader_failovers;
+    }
+  }
+  return leader;
 }
 
 SimTime FaultInjector::launchFaultDelay(int device, SimTime host_now) {

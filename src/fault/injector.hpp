@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "fault/domains.hpp"
 #include "fault/plan.hpp"
 #include "gpu/system.hpp"
 #include "util/rng.hpp"
@@ -71,6 +73,34 @@ class FaultInjector {
                                               SimTime at,
                                               double bandwidth_fraction);
 
+  // --- Node-level fault domains (multi-node topologies) -------------------
+
+  /// Node-granularity view of the armed plan; null until arm() ran on a
+  /// multi-node fabric.
+  const NodeFaultDomains* domains() const { return domains_.get(); }
+
+  /// Elected staging leader of `node` at `at`. Counts one leader
+  /// failover per (node, fail window) the first time the re-elected
+  /// leader is observed. Falls back to the topology default when no
+  /// domains are armed.
+  int leaderAt(int node, SimTime at);
+
+  /// True when hierarchical traffic between the two nodes should run in
+  /// per-pair degraded (flat) mode at `at`.
+  bool pairDegraded(int src_node, int dst_node, SimTime at) const {
+    return domains_ != nullptr && domains_->pairDegraded(src_node, dst_node, at);
+  }
+
+  /// Counts one per-node-pair flat fallback whose direct traffic spanned
+  /// [at, until] of simulated time.
+  void recordHierFallback(SimTime at, SimTime until) {
+    ++stats_.hier_fallbacks;
+    if (until > at) stats_.degraded_time += until - at;
+  }
+
+  /// Counts one standby staging rebuild.
+  void recordStagingRebuild() { ++stats_.staging_rebuilds; }
+
   ResilienceStats& stats() { return stats_; }
   const ResilienceStats& stats() const { return stats_; }
 
@@ -96,6 +126,10 @@ class FaultInjector {
   };
   std::vector<std::pair<int, LaunchFaultState>> launch_faults_;
   SimTime launch_retry_penalty_ = SimTime::zero();
+
+  std::unique_ptr<NodeFaultDomains> domains_;
+  /// (node, fail-window index) pairs already counted as failovers.
+  std::vector<std::pair<int, int>> counted_failovers_;
 };
 
 }  // namespace pgasemb::fault

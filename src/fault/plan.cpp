@@ -19,8 +19,23 @@ const char* kindName(FaultKind kind) {
       return "straggler";
     case FaultKind::kLaunchFail:
       return "launch-fail";
+    case FaultKind::kNicDegrade:
+      return "nic-degrade";
+    case FaultKind::kNicFlap:
+      return "nic-flap";
+    case FaultKind::kLeaderFail:
+      return "leader-fail";
+    case FaultKind::kNodeStraggle:
+      return "node-straggle";
   }
   return "?";
+}
+
+int parseNode(const std::string& text, const std::string& what) {
+  if (text == "*") return -1;
+  const int node = static_cast<int>(parseIntStrict(text, what + " node"));
+  PGASEMB_CHECK(node >= 0, what, ": node must be >= 0 (or '*'), got: ", node);
+  return node;
 }
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -79,6 +94,11 @@ void parseWindow(const std::string& text, const std::string& what,
 
 }  // namespace
 
+bool nodeScoped(FaultKind kind) {
+  return kind == FaultKind::kNicDegrade || kind == FaultKind::kNicFlap ||
+         kind == FaultKind::kLeaderFail || kind == FaultKind::kNodeStraggle;
+}
+
 std::string FaultSpec::describe() const {
   std::ostringstream out;
   out << kindName(kind) << ":";
@@ -90,7 +110,10 @@ std::string FaultSpec::describe() const {
   } else {
     out << endpoint(a);
   }
-  if (kind != FaultKind::kLinkFlap) out << ":" << magnitude;
+  const bool has_magnitude = kind != FaultKind::kLinkFlap &&
+                             kind != FaultKind::kNicFlap &&
+                             kind != FaultKind::kLeaderFail;
+  if (has_magnitude) out << ":" << magnitude;
   if (extra_latency > SimTime::zero()) {
     out << "+" << extra_latency.toUs() << "us";
   }
@@ -168,12 +191,48 @@ FaultPlan FaultPlan::parse(const std::string& spec_string, std::uint64_t seed,
                     "got: ",
                     spec.magnitude);
       if (fields.size() == 4) window_field = 3;
+    } else if (kind == "nic-degrade") {
+      PGASEMB_CHECK(fields.size() >= 3 && fields.size() <= 4, "--faults '",
+                    token,
+                    "': expected nic-degrade:NODE:FACTOR[:START_MS-END_MS]");
+      spec.kind = FaultKind::kNicDegrade;
+      spec.a = parseNode(fields[1], "--faults nic-degrade");
+      spec.magnitude =
+          parseDoubleStrict(fields[2], "--faults nic-degrade factor");
+      PGASEMB_CHECK(spec.magnitude > 0.0 && spec.magnitude <= 1.0,
+                    "--faults nic-degrade: factor must be in (0, 1], got: ",
+                    spec.magnitude);
+      if (fields.size() == 4) window_field = 3;
+    } else if (kind == "nic-flap") {
+      PGASEMB_CHECK(fields.size() >= 2 && fields.size() <= 3, "--faults '",
+                    token, "': expected nic-flap:NODE[:START_MS-END_MS]");
+      spec.kind = FaultKind::kNicFlap;
+      spec.a = parseNode(fields[1], "--faults nic-flap");
+      if (fields.size() == 3) window_field = 2;
+    } else if (kind == "leader-fail") {
+      PGASEMB_CHECK(fields.size() >= 2 && fields.size() <= 3, "--faults '",
+                    token, "': expected leader-fail:NODE[:START_MS-END_MS]");
+      spec.kind = FaultKind::kLeaderFail;
+      spec.a = parseNode(fields[1], "--faults leader-fail");
+      if (fields.size() == 3) window_field = 2;
+    } else if (kind == "node-straggle") {
+      PGASEMB_CHECK(
+          fields.size() >= 3 && fields.size() <= 4, "--faults '", token,
+          "': expected node-straggle:NODE:SLOWDOWN[:START_MS-END_MS]");
+      spec.kind = FaultKind::kNodeStraggle;
+      spec.a = parseNode(fields[1], "--faults node-straggle");
+      spec.magnitude =
+          parseDoubleStrict(fields[2], "--faults node-straggle slowdown");
+      PGASEMB_CHECK(spec.magnitude >= 1.0,
+                    "--faults node-straggle: slowdown must be >= 1, got: ",
+                    spec.magnitude);
+      if (fields.size() == 4) window_field = 3;
     } else {
       throw InvalidArgumentError(
           "--faults: unknown fault kind '" + kind +
           "' in '" + token +
           "' (known: link-degrade, latency-spike, link-flap, straggler, "
-          "launch-fail)");
+          "launch-fail, nic-degrade, nic-flap, leader-fail, node-straggle)");
     }
     if (window_field != 0) {
       parseWindow(fields[window_field], "--faults " + kind, &spec);

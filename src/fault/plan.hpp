@@ -23,16 +23,25 @@ enum class FaultKind {
   kLinkFlap,     ///< link drops every flow in flight during the window
   kStraggler,    ///< per-device compute slowdown
   kLaunchFail,   ///< transient kernel-launch failures (host retries)
+  // Node-scoped kinds (multi-node topologies only; `a` = node id):
+  kNicDegrade,    ///< bandwidth cut on a node's NIC (both directions)
+  kNicFlap,       ///< node's NIC drops every flow in flight
+  kLeaderFail,    ///< node-leader GPU's staging role fails over
+  kNodeStraggle,  ///< compute slowdown on every GPU of a node
 };
 
+/// True for the kinds that target a whole node rather than a link/GPU.
+bool nodeScoped(FaultKind kind);
+
 /// One fault. `a`/`b` select the target: (src, dst) GPU pair for link
-/// faults, device id in `a` for straggler/launch faults; -1 = all.
+/// faults, device id in `a` for straggler/launch faults, node id in `a`
+/// for node-scoped faults; -1 = all.
 struct FaultSpec {
   FaultKind kind = FaultKind::kLinkDegrade;
   int a = -1;
   int b = -1;
-  /// kLinkDegrade: achieved-bandwidth factor in (0, 1].
-  /// kStraggler: compute slowdown >= 1.
+  /// kLinkDegrade / kNicDegrade: achieved-bandwidth factor in (0, 1].
+  /// kStraggler / kNodeStraggle: compute slowdown >= 1.
   /// kLaunchFail: per-launch failure probability in [0, 1).
   double magnitude = 1.0;
   /// kLinkDegrade only: extra per-hop delivery latency (latency spike).
@@ -72,6 +81,11 @@ struct FaultPlan {
   /// and runs the re-sent put under a never-joined actor, recreating
   /// "retransmit without re-arming quiet" so simsan can catch it.
   bool bug_retransmit_without_quiet = false;
+  /// Testing only: seeded bug for the failover certification tests — the
+  /// standby leader's staging rebuild runs under a never-synchronized
+  /// actor instead of the stream (skipping the node-wide re-quiet), so
+  /// its write races the members' gather traffic and simsan names it.
+  bool bug_rebuild_without_requiet = false;
 
   bool empty() const { return specs.empty(); }
 
@@ -81,7 +95,11 @@ struct FaultPlan {
   ///   link-flap:SRC-DST[:START_MS-END_MS]
   ///   straggler:DEV:SLOWDOWN[:START_MS-END_MS]
   ///   launch-fail:DEV:PROB[:START_MS-END_MS]
-  /// `*` (or `*-*`) targets all links/devices.  Example:
+  ///   nic-degrade:NODE:FACTOR[:START_MS-END_MS]
+  ///   nic-flap:NODE[:START_MS-END_MS]
+  ///   leader-fail:NODE[:START_MS-END_MS]
+  ///   node-straggle:NODE:SLOWDOWN[:START_MS-END_MS]
+  /// `*` (or `*-*`) targets all links/devices/nodes.  Example:
   ///   --faults link-degrade:0-1:0.5,straggler:2:3:1.0-2.5
   /// Throws InvalidArgumentError with a pointed message on malformed
   /// specs.  Specs without a window get one drawn from `seed` at arm
@@ -113,11 +131,22 @@ struct ResilienceStats {
   /// that finished the run after the last switch ("" = no switch).
   std::int64_t fallback_switches = 0;
   std::string fallback_retriever;
+  /// Hierarchical degraded mode: per-node-pair flat-a2a fallback events
+  /// (one per rank's traffic to one degraded node pair) and the summed
+  /// simulated time spent driving that traffic flat.
+  std::int64_t hier_fallbacks = 0;
+  SimTime degraded_time = SimTime::zero();
+  /// Leader failovers (one per node per fail window, counted when the
+  /// re-elected leader is first used) and the standby staging rebuilds
+  /// they triggered.
+  std::int64_t leader_failovers = 0;
+  std::int64_t staging_rebuilds = 0;
 
   bool any() const {
     return faults_injected != 0 || dropped_flows != 0 || retransmits != 0 ||
            collective_reissues != 0 || launch_retries != 0 ||
-           fallback_switches != 0;
+           fallback_switches != 0 || hier_fallbacks != 0 ||
+           leader_failovers != 0 || staging_rebuilds != 0;
   }
 };
 

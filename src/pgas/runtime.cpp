@@ -80,10 +80,13 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
           if (counter != nullptr) counter->record(attempt_at, attempt_payload);
         };
     auto& topo = fabric_.topology();
-    // Hierarchical forwarding applies to fault-free multi-node runs; a
-    // delivery-tracked (injector) put models the direct path only.
-    const bool hier =
-        hierarchical_ && injector_ == nullptr && topo.numNodes() > 1;
+    // Hierarchical forwarding stays on under an armed injector: the
+    // leader hops are delivery-tracked reliable puts, and only node
+    // pairs inside a NIC fault window fall back to direct per-flow puts
+    // (per-pair degraded mode — see DESIGN.md §13). This replaces the
+    // old global flat fallback that abandoned the hierarchy whenever
+    // any plan was armed.
+    const bool hier = hierarchical_ && topo.numNodes() > 1;
     const auto& flows = plan.flows[static_cast<std::size_t>(slice)];
     // Common put bookkeeping once the *final* delivery time is known:
     // quiet latches it, the comm counter records the original payload at
@@ -102,33 +105,11 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
         }
       }
     };
-    for (const auto& f : flows) {
-      if (strict_puts != nullptr) strict_puts->flow(f.dst, f.payload_bytes);
-      if (injector_ == nullptr) {
-        if (hier &&
-            topo.routeClass(src, f.dst) == fabric::LinkClass::kInter) {
-          continue;  // forwarded below, aggregated per destination node
-        }
-        std::int64_t wire_bytes = f.payload_bytes;
-        if (codec_ != nullptr && f.payload_bytes > 0 &&
-            f.payload_bytes % 4 == 0 &&
-            topo.routeClass(src, f.dst) == fabric::LinkClass::kInter) {
-          // Flat-mode compression: each one-sided flow is encoded on its
-          // way out of the node (the 256-byte messages shrink but their
-          // count — and hence the NIC message-rate padding — does not).
-          wire_bytes = fabric::InterNodeCodec::compressedBytes(
-              f.payload_bytes, codec_->aggregateBits(topo.nodeOf(src), at));
-          codec_->recordFlow(f.payload_bytes, wire_bytes);
-          codec_->recordEgress(topo.nodeOf(src), at, wire_bytes);
-        }
-        const auto d =
-            fabric_.transfer(src, f.dst, wire_bytes, f.n_messages, at);
-        log_put(f, d.delivered);
-        continue;
-      }
-      // Delivery-tracked put: flap-dropped attempts are retransmitted
-      // after timeout + backoff, every injection counts toward comm
-      // volume, and quiet waits on the *acknowledged* delivery.
+    // Delivery-tracked direct put (the flat path under faults):
+    // flap-dropped attempts are retransmitted after timeout + backoff,
+    // every injection counts toward comm volume, and quiet waits on the
+    // *acknowledged* delivery. Returns the acked delivery time.
+    const auto reliable_direct = [&](const auto& f) {
       attempt_payload = f.payload_bytes;
       const auto r = injector_->reliablePut(
           src, f.dst, f.payload_bytes, f.n_messages, at, on_attempt);
@@ -160,6 +141,33 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
                       r.first_loss, r.acked, effect.label + ".retransmit");
         }
       }
+      return r.acked;
+    };
+    for (const auto& f : flows) {
+      if (strict_puts != nullptr) strict_puts->flow(f.dst, f.payload_bytes);
+      const bool inter =
+          topo.routeClass(src, f.dst) == fabric::LinkClass::kInter;
+      if (hier && inter) {
+        continue;  // forwarded below, aggregated (or degraded) per node
+      }
+      if (injector_ == nullptr) {
+        std::int64_t wire_bytes = f.payload_bytes;
+        if (codec_ != nullptr && f.payload_bytes > 0 &&
+            f.payload_bytes % 4 == 0 && inter) {
+          // Flat-mode compression: each one-sided flow is encoded on its
+          // way out of the node (the 256-byte messages shrink but their
+          // count — and hence the NIC message-rate padding — does not).
+          wire_bytes = fabric::InterNodeCodec::compressedBytes(
+              f.payload_bytes, codec_->aggregateBits(topo.nodeOf(src), at));
+          codec_->recordFlow(f.payload_bytes, wire_bytes);
+          codec_->recordEgress(topo.nodeOf(src), at, wire_bytes);
+        }
+        const auto d =
+            fabric_.transfer(src, f.dst, wire_bytes, f.n_messages, at);
+        log_put(f, d.delivered);
+        continue;
+      }
+      reliable_direct(f);
     }
     if (!hier) return;
     // Hierarchical forwarding (DESIGN.md §12): per destination node,
@@ -170,10 +178,40 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
     //      (n_messages = 1 kills the per-256-byte rate padding; the
     //      codec, when attached, encodes this hop);
     //   3. NVLink scatter: remote leader -> each destination GPU.
+    // Forwarding hop: plain transfer when fault-free, delivery-tracked
+    // reliable put (retransmitted on drop) when an injector is armed.
+    const auto hop = [&](int a, int b, std::int64_t bytes,
+                         std::int64_t msgs, SimTime t) {
+      if (injector_ == nullptr) {
+        return fabric_.transfer(a, b, bytes, msgs, t).delivered;
+      }
+      return injector_->reliablePut(a, b, bytes, msgs, t).acked;
+    };
     const int src_node = topo.nodeOf(src);
-    const int leader_s = topo.nodeLeader(src_node);
+    // Under a leader-fail window the injector's fault domains re-elect
+    // the next healthy GPU on the node (counted as a failover).
+    const int leader_s = injector_ != nullptr
+                             ? injector_->leaderAt(src_node, at)
+                             : topo.nodeLeader(src_node);
     for (int node = 0; node < topo.numNodes(); ++node) {
       if (node == src_node) continue;
+      if (injector_ != nullptr &&
+          injector_->pairDegraded(src_node, node, at)) {
+        // Per-pair degraded mode: a NIC fault window covers one of the
+        // endpoint nodes, so this pair's traffic skips the leader
+        // staging (a dropped aggregate would couple the whole node into
+        // one retransmit domain) and goes direct, flow by flow. Every
+        // healthy pair below keeps the hierarchy.
+        SimTime last = at;
+        bool any = false;
+        for (const auto& f : flows) {
+          if (topo.nodeOf(f.dst) != node) continue;
+          last = std::max(last, reliable_direct(f));
+          any = true;
+        }
+        if (any) injector_->recordHierFallback(at, last);
+        continue;
+      }
       std::int64_t to_node = 0;
       std::int64_t msgs = 0;
       for (const auto& f : flows) {
@@ -190,8 +228,7 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
       }
       SimTime staged = at;
       if (src != leader_s) {
-        staged =
-            fabric_.transfer(src, leader_s, to_node, msgs, at).delivered;
+        staged = hop(src, leader_s, to_node, msgs, at);
       }
       std::int64_t wire_bytes = to_node;
       if (codec_ != nullptr && to_node % 4 == 0) {
@@ -200,18 +237,15 @@ void PgasRuntime::attachMessagePlan(gpu::KernelDesc& desc, int src,
         codec_->recordFlow(to_node, wire_bytes);
         codec_->recordEgress(src_node, staged, wire_bytes);
       }
-      const int leader_d = topo.nodeLeader(node);
-      const SimTime landed =
-          fabric_.transfer(leader_s, leader_d, wire_bytes, 1, staged)
-              .delivered;
+      const int leader_d = injector_ != nullptr
+                               ? injector_->leaderAt(node, staged)
+                               : topo.nodeLeader(node);
+      const SimTime landed = hop(leader_s, leader_d, wire_bytes, 1, staged);
       for (const auto& f : flows) {
         if (topo.nodeOf(f.dst) != node) continue;
         SimTime done = landed;
         if (f.dst != leader_d) {
-          done = fabric_
-                     .transfer(leader_d, f.dst, f.payload_bytes,
-                               f.n_messages, landed)
-                     .delivered;
+          done = hop(leader_d, f.dst, f.payload_bytes, f.n_messages, landed);
         }
         log_put(f, done);
       }

@@ -54,8 +54,11 @@ class PgasRuntime {
   /// single bulk message — eliminating the NIC's per-256-byte
   /// message-rate padding.  quiet() covers the forwarded hops: kernel
   /// completion waits for the final scatter delivery.  Ignored on
-  /// single-node topologies; falls back to the flat path while a fault
-  /// injector is attached (delivery tracking models direct puts only).
+  /// single-node topologies.  Under an armed fault injector the hops
+  /// are delivery-tracked reliable puts, leaders are elected through
+  /// the injector's node fault domains (leader-fail failover), and node
+  /// pairs inside a NIC fault window fall back to direct per-flow puts
+  /// — per-pair degraded mode, counted in ResilienceStats.
   void setHierarchical(bool enabled) { hierarchical_ = enabled; }
   bool hierarchical() const { return hierarchical_; }
 

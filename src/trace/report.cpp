@@ -282,6 +282,7 @@ std::string renderResilienceTable(const std::vector<ScalingPoint>& points) {
 
   ConsoleTable table({"Resilience", "GPUs", "drops", "retransmits",
                       "reissues", "launch retries", "recovery ms",
+                      "hier fb", "degraded ms", "failovers", "rebuilds",
                       "fallback"});
   for (const auto& p : points) {
     for (const auto& run : p.runs) {
@@ -294,6 +295,10 @@ std::string renderResilienceTable(const std::vector<ScalingPoint>& points) {
                     std::to_string(rs->collective_reissues),
                     std::to_string(rs->launch_retries),
                     ConsoleTable::num(rs->recovery_latency.toMs(), 3),
+                    std::to_string(rs->hier_fallbacks),
+                    ConsoleTable::num(rs->degraded_time.toMs(), 3),
+                    std::to_string(rs->leader_failovers),
+                    std::to_string(rs->staging_rebuilds),
                     rs->fallback_switches > 0 ? rs->fallback_retriever
                                               : "-"});
     }
@@ -350,6 +355,10 @@ void writeScalingCsv(const std::string& path,
       headers.push_back(key + "_retransmits");
       headers.push_back(key + "_reissues");
       headers.push_back(key + "_fallbacks");
+      headers.push_back(key + "_hier_fallbacks");
+      headers.push_back(key + "_degraded_ms");
+      headers.push_back(key + "_leader_failovers");
+      headers.push_back(key + "_staging_rebuilds");
     }
   }
 
@@ -381,6 +390,11 @@ void writeScalingCsv(const std::string& path,
         row.push_back(std::to_string(rs ? rs->retransmits : 0));
         row.push_back(std::to_string(rs ? rs->collective_reissues : 0));
         row.push_back(std::to_string(rs ? rs->fallback_switches : 0));
+        row.push_back(std::to_string(rs ? rs->hier_fallbacks : 0));
+        row.push_back(ConsoleTable::num(
+            rs ? rs->degraded_time.toMs() : 0.0, 4));
+        row.push_back(std::to_string(rs ? rs->leader_failovers : 0));
+        row.push_back(std::to_string(rs ? rs->staging_rebuilds : 0));
       }
     }
     csv.addRow(row);
@@ -406,23 +420,79 @@ bool sustained(const engine::ServingResult& sv, double slo_ms) {
 }  // namespace
 
 std::string renderServingTable(const std::vector<ServingPoint>& points) {
-  ConsoleTable table({"Serving", "arrival", "qps", "queries", "p50 ms",
-                      "p95 ms", "p99 ms", "max ms", "achieved", "fill",
-                      "queue", "viol"});
+  // Admission columns appear only when some run armed an admission
+  // knob, so knob-less sweeps keep the historical table byte-for-byte.
+  bool any_admission = false;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      any_admission = any_admission || servingOf(run).admission;
+    }
+  }
+
+  std::vector<std::string> headers{
+      "Serving", "arrival", "qps", "queries", "p50 ms", "p95 ms",
+      "p99 ms",  "max ms",  "achieved", "fill", "queue", "viol"};
+  if (any_admission) {
+    headers.insert(headers.end(),
+                   {"shed", "miss", "blocked", "goodput"});
+  }
+  ConsoleTable table(headers);
   for (const auto& p : points) {
     for (const auto& run : p.runs) {
       const auto& sv = servingOf(run);
+      std::vector<std::string> row{
+          runStyle(run.retriever).short_name, p.arrival,
+          ConsoleTable::num(p.qps, 0),
+          std::to_string(sv.queries),
+          ConsoleTable::num(sv.p50_ms, 3),
+          ConsoleTable::num(sv.p95_ms, 3),
+          ConsoleTable::num(sv.p99_ms, 3),
+          ConsoleTable::num(sv.max_ms, 3),
+          ConsoleTable::num(sv.achieved_qps, 0),
+          ConsoleTable::num(sv.mean_batch_fill * 100.0, 0) + "%",
+          ConsoleTable::num(sv.mean_queue_depth, 1),
+          std::to_string(sv.slo_violations)};
+      if (any_admission) {
+        row.push_back(std::to_string(sv.shed_queue + sv.shed_overload));
+        row.push_back(std::to_string(sv.deadline_misses));
+        row.push_back(std::to_string(sv.blocked_arrivals));
+        row.push_back(ConsoleTable::num(sv.goodput_qps, 0));
+      }
+      table.addRow(row);
+    }
+  }
+  return table.render();
+}
+
+std::string renderServingResilienceTable(
+    const std::vector<ServingPoint>& points) {
+  bool any = false;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      any = any || run.result.resilience.has_value();
+    }
+  }
+  if (!any) return "";
+
+  ConsoleTable table({"Resilience", "arrival", "qps", "drops",
+                      "retransmits", "reissues", "recovery ms", "hier fb",
+                      "degraded ms", "failovers", "rebuilds", "fallback"});
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      const auto& rs = run.result.resilience;
+      if (!rs.has_value()) continue;
       table.addRow({runStyle(run.retriever).short_name, p.arrival,
                     ConsoleTable::num(p.qps, 0),
-                    std::to_string(sv.queries),
-                    ConsoleTable::num(sv.p50_ms, 3),
-                    ConsoleTable::num(sv.p95_ms, 3),
-                    ConsoleTable::num(sv.p99_ms, 3),
-                    ConsoleTable::num(sv.max_ms, 3),
-                    ConsoleTable::num(sv.achieved_qps, 0),
-                    ConsoleTable::num(sv.mean_batch_fill * 100.0, 0) + "%",
-                    ConsoleTable::num(sv.mean_queue_depth, 1),
-                    std::to_string(sv.slo_violations)});
+                    std::to_string(rs->dropped_flows),
+                    std::to_string(rs->retransmits),
+                    std::to_string(rs->collective_reissues),
+                    ConsoleTable::num(rs->recovery_latency.toMs(), 3),
+                    std::to_string(rs->hier_fallbacks),
+                    ConsoleTable::num(rs->degraded_time.toMs(), 3),
+                    std::to_string(rs->leader_failovers),
+                    std::to_string(rs->staging_rebuilds),
+                    rs->fallback_switches > 0 ? rs->fallback_retriever
+                                              : "-"});
     }
   }
   return table.render();
@@ -514,33 +584,73 @@ void writeServingCsv(const std::string& path,
                      const std::vector<ServingPoint>& points) {
   PGASEMB_CHECK(!points.empty() && !points.front().runs.empty(),
                 "no serving points to write");
-  CsvWriter csv(
-      path,
-      {"arrival", "qps", "retriever", "queries", "batches", "p50_ms",
-       "p95_ms", "p99_ms", "mean_ms", "max_ms", "mean_queue_ms",
-       "offered_qps", "achieved_qps", "mean_batch_fill",
-       "mean_queue_depth", "max_queue_depth", "slo_violations",
-       "fallback_switches"});
+  // Admission and hierarchical-resilience columns appear only when some
+  // run armed the corresponding knobs, keeping knob-less sweep CSVs
+  // byte-identical to the historical schema.
+  bool any_admission = false;
+  bool any_hier = false;
+  for (const auto& p : points) {
+    for (const auto& run : p.runs) {
+      any_admission = any_admission || servingOf(run).admission;
+      const auto& rs = run.result.resilience;
+      any_hier = any_hier ||
+                 (rs && (rs->hier_fallbacks > 0 || rs->leader_failovers > 0 ||
+                         rs->staging_rebuilds > 0));
+    }
+  }
+  std::vector<std::string> headers{
+      "arrival", "qps", "retriever", "queries", "batches", "p50_ms",
+      "p95_ms", "p99_ms", "mean_ms", "max_ms", "mean_queue_ms",
+      "offered_qps", "achieved_qps", "mean_batch_fill",
+      "mean_queue_depth", "max_queue_depth", "slo_violations",
+      "fallback_switches"};
+  if (any_admission) {
+    headers.insert(headers.end(),
+                   {"shed_queue", "shed_overload", "deadline_misses",
+                    "blocked_arrivals", "goodput_qps"});
+  }
+  if (any_hier) {
+    headers.insert(headers.end(),
+                   {"hier_fallbacks", "degraded_ms", "leader_failovers",
+                    "staging_rebuilds"});
+  }
+  CsvWriter csv(path, headers);
   for (const auto& p : points) {
     for (const auto& run : p.runs) {
       const auto& sv = servingOf(run);
       const auto& rs = run.result.resilience;
-      csv.addRow({p.arrival, ConsoleTable::num(p.qps, 1),
-                  runKey(run.retriever), std::to_string(sv.queries),
-                  std::to_string(sv.batches),
-                  ConsoleTable::num(sv.p50_ms, 4),
-                  ConsoleTable::num(sv.p95_ms, 4),
-                  ConsoleTable::num(sv.p99_ms, 4),
-                  ConsoleTable::num(sv.mean_ms, 4),
-                  ConsoleTable::num(sv.max_ms, 4),
-                  ConsoleTable::num(sv.mean_queue_ms, 4),
-                  ConsoleTable::num(sv.offered_qps, 1),
-                  ConsoleTable::num(sv.achieved_qps, 1),
-                  ConsoleTable::num(sv.mean_batch_fill, 4),
-                  ConsoleTable::num(sv.mean_queue_depth, 2),
-                  std::to_string(sv.max_queue_depth),
-                  std::to_string(sv.slo_violations),
-                  std::to_string(rs ? rs->fallback_switches : 0)});
+      std::vector<std::string> row{
+          p.arrival, ConsoleTable::num(p.qps, 1),
+          runKey(run.retriever), std::to_string(sv.queries),
+          std::to_string(sv.batches),
+          ConsoleTable::num(sv.p50_ms, 4),
+          ConsoleTable::num(sv.p95_ms, 4),
+          ConsoleTable::num(sv.p99_ms, 4),
+          ConsoleTable::num(sv.mean_ms, 4),
+          ConsoleTable::num(sv.max_ms, 4),
+          ConsoleTable::num(sv.mean_queue_ms, 4),
+          ConsoleTable::num(sv.offered_qps, 1),
+          ConsoleTable::num(sv.achieved_qps, 1),
+          ConsoleTable::num(sv.mean_batch_fill, 4),
+          ConsoleTable::num(sv.mean_queue_depth, 2),
+          std::to_string(sv.max_queue_depth),
+          std::to_string(sv.slo_violations),
+          std::to_string(rs ? rs->fallback_switches : 0)};
+      if (any_admission) {
+        row.push_back(std::to_string(sv.shed_queue));
+        row.push_back(std::to_string(sv.shed_overload));
+        row.push_back(std::to_string(sv.deadline_misses));
+        row.push_back(std::to_string(sv.blocked_arrivals));
+        row.push_back(ConsoleTable::num(sv.goodput_qps, 1));
+      }
+      if (any_hier) {
+        row.push_back(std::to_string(rs ? rs->hier_fallbacks : 0));
+        row.push_back(ConsoleTable::num(
+            rs ? rs->degraded_time.toMs() : 0.0, 4));
+        row.push_back(std::to_string(rs ? rs->leader_failovers : 0));
+        row.push_back(std::to_string(rs ? rs->staging_rebuilds : 0));
+      }
+      csv.addRow(row);
     }
   }
 }

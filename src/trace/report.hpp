@@ -109,8 +109,17 @@ struct ServingPoint {
 };
 
 /// Per-point tail-latency table: p50/p95/p99, achieved vs offered QPS,
-/// batch fill, queue depth, SLO violations per retriever.
+/// batch fill, queue depth, SLO violations per retriever. Admission
+/// columns (shed counts, deadline misses, goodput) appear only when
+/// some run enabled an admission knob.
 std::string renderServingTable(const std::vector<ServingPoint>& points);
+
+/// Resilience summary of a serving sweep (same columns as the scaling
+/// variant, keyed by arrival/qps instead of GPU count). Returns "" when
+/// no run recorded resilience stats, so callers can print it
+/// unconditionally and stay absent-neutral.
+std::string renderServingResilienceTable(
+    const std::vector<ServingPoint>& points);
 
 /// Knee-of-the-curve summary: per (arrival, retriever), the largest
 /// offered QPS the system sustains — achieved >= 95% of offered and

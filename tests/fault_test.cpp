@@ -113,6 +113,58 @@ TEST(FaultPlanTest, DescribeMentionsSeededWindows) {
   EXPECT_NE(plan.describe().find("seed 7"), std::string::npos);
 }
 
+TEST(FaultPlanTest, ParsesNodeScopedKindsWildcardsAndWindows) {
+  const auto plan = FaultPlan::parse(
+      "nic-degrade:0:0.5,nic-flap:*:1.0-2.0,leader-fail:1,"
+      "node-straggle:2:3:0.5-4.5",
+      11);
+  ASSERT_EQ(plan.specs.size(), 4u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kNicDegrade);
+  EXPECT_EQ(plan.specs[0].a, 0);
+  EXPECT_DOUBLE_EQ(plan.specs[0].magnitude, 0.5);
+  EXPECT_FALSE(plan.specs[0].windowed());
+  EXPECT_EQ(plan.specs[1].kind, FaultKind::kNicFlap);
+  EXPECT_EQ(plan.specs[1].a, -1);  // wildcard node
+  EXPECT_EQ(plan.specs[1].start, SimTime::ms(1.0));
+  EXPECT_EQ(plan.specs[1].end, SimTime::ms(2.0));
+  EXPECT_EQ(plan.specs[2].kind, FaultKind::kLeaderFail);
+  EXPECT_EQ(plan.specs[2].a, 1);
+  EXPECT_EQ(plan.specs[3].kind, FaultKind::kNodeStraggle);
+  EXPECT_EQ(plan.specs[3].a, 2);
+  EXPECT_DOUBLE_EQ(plan.specs[3].magnitude, 3.0);
+  EXPECT_TRUE(plan.specs[3].windowed());
+  // Only the four node-scoped kinds report as such.
+  for (const auto& s : plan.specs) EXPECT_TRUE(fault::nodeScoped(s.kind));
+  EXPECT_FALSE(fault::nodeScoped(FaultKind::kLinkDegrade));
+  EXPECT_FALSE(fault::nodeScoped(FaultKind::kStraggler));
+}
+
+TEST(FaultPlanTest, MalformedNodeScopedSpecsFail) {
+  // Out-of-range factors/slowdowns.
+  EXPECT_THROW(FaultPlan::parse("nic-degrade:0:0", 0), InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::parse("nic-degrade:0:1.5", 0),
+               InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::parse("node-straggle:0:0.5", 0),
+               InvalidArgumentError);
+  // Missing / extra fields.
+  EXPECT_THROW(FaultPlan::parse("nic-degrade:0", 0), InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::parse("leader-fail", 0), InvalidArgumentError);
+  EXPECT_THROW(FaultPlan::parse("nic-flap:0:1.0-2.0:extra", 0),
+               InvalidArgumentError);
+  // Junk node ids parse strictly.
+  EXPECT_THROW(FaultPlan::parse("leader-fail:one", 0), InvalidArgumentError);
+  // The unknown-kind message names the node-scoped kinds too.
+  try {
+    FaultPlan::parse("nic-melt:0:0.5", 0);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nic-degrade"), std::string::npos);
+    EXPECT_NE(what.find("leader-fail"), std::string::npos);
+    EXPECT_NE(what.find("node-straggle"), std::string::npos);
+  }
+}
+
 // --- Determinism -------------------------------------------------------------
 
 // Small assembly for injector-level tests (mirrors core_test's Rig).

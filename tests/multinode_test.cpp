@@ -16,12 +16,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "engine/scenario_runner.hpp"
 #include "fabric/compression.hpp"
+#include "fault/plan.hpp"
 
 namespace pgasemb::engine {
 namespace {
@@ -369,6 +371,183 @@ TEST(MultiNodeSimsanTest, StrictEffectsHoldUnderHierarchyAndCompression) {
     EXPECT_TRUE(r.sanitizer->clean()) << name << "\n"
                                       << r.sanitizer->report();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Node-level fault domains (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// Hierarchical sweep cell with a parsed fault plan (pinned windows so
+/// the schedule is explicit, not seed-drawn).
+ExperimentConfig faultedConfig(int nodes, int per_node,
+                               const std::string& spec) {
+  ExperimentConfig cfg = sweepConfig(nodes, per_node);
+  cfg.hierarchical_a2a = true;
+  cfg.faults = fault::FaultPlan::parse(spec, 7);
+  return cfg;
+}
+
+TEST(NodeFaultDomainTest, ValidationRejectsIllFormedNodeFaultLayouts) {
+  // Node-scoped kinds need a multi-node layout...
+  ExperimentConfig single = weakScalingConfig(4);
+  single.num_batches = 2;
+  single.faults = fault::FaultPlan::parse("nic-degrade:0:0.5", 7);
+  EXPECT_THROW(single.validate(), Error);
+  // ...leader failover needs a healthy standby GPU on the node...
+  ExperimentConfig thin = sweepConfig(2, 1);
+  thin.hierarchical_a2a = true;
+  thin.faults = fault::FaultPlan::parse("leader-fail:0", 7);
+  EXPECT_THROW(thin.validate(), Error);
+  // ...and the seeded rebuild bug only makes sense with the hierarchy.
+  ExperimentConfig no_hier = sweepConfig(2, 2);
+  no_hier.faults = fault::FaultPlan::parse("leader-fail:0", 7);
+  no_hier.faults.bug_rebuild_without_requiet = true;
+  EXPECT_THROW(no_hier.validate(), Error);
+  // The well-formed variants pass.
+  EXPECT_NO_THROW(faultedConfig(2, 2, "leader-fail:0").validate());
+}
+
+TEST(NodeFaultDomainTest, LeaderFailoverElectsStandbyAndRebuildsStaging) {
+  // A whole-run leader-fail window on node 0: every collective must
+  // re-elect the next healthy GPU, and the standby staging is rebuilt
+  // exactly once per (node, window).
+  for (const auto& name : kRetrievers) {
+    ExperimentConfig cfg =
+        faultedConfig(2, 2, "leader-fail:0:0.0-1000000.0");
+    const ExperimentResult r = ScenarioRunner(cfg).run(name);
+    EXPECT_EQ(r.stats.batches, cfg.num_batches) << name;
+    ASSERT_TRUE(r.resilience.has_value()) << name;
+    EXPECT_EQ(r.resilience->leader_failovers, 1) << name;
+    // The PGAS fused path re-routes its puts hop by hop to the elected
+    // leader and keeps no communicator staging, so only the collective
+    // retrievers rebuild (exactly once per window).
+    EXPECT_EQ(r.resilience->staging_rebuilds,
+              name == std::string("pgas_fused") ? 0 : 1)
+        << name;
+  }
+}
+
+TEST(NodeFaultDomainTest, PerPairFallbackConfinedAndBeatsGlobalFlat) {
+  // One node's NIC degraded for the whole run at 4 nodes: only pairs
+  // touching that node fall back to flat routing; the other pairs keep
+  // the hierarchy, so the run must beat the same fault on a fully flat
+  // (hierarchy-off) configuration — the PR 9 behaviour this replaces.
+  const std::string spec = "nic-degrade:0:0.5:0.0-1000000.0";
+  for (const auto& name : kRetrievers) {
+    ExperimentConfig one = faultedConfig(4, 2, spec);
+    const ExperimentResult scoped = ScenarioRunner(one).run(name);
+    ASSERT_TRUE(scoped.resilience.has_value()) << name;
+    EXPECT_GT(scoped.resilience->hier_fallbacks, 0) << name;
+    EXPECT_GT(scoped.resilience->degraded_time, SimTime::zero()) << name;
+
+    // Confinement: degrading every node's NIC must fall back on more
+    // pairs than degrading node 0 alone.
+    ExperimentConfig all =
+        faultedConfig(4, 2, "nic-degrade:*:0.5:0.0-1000000.0");
+    const ExperimentResult global = ScenarioRunner(all).run(name);
+    ASSERT_TRUE(global.resilience.has_value()) << name;
+    EXPECT_GT(global.resilience->hier_fallbacks,
+              scoped.resilience->hier_fallbacks)
+        << name;
+
+    // And the scoped degraded mode strictly beats running the whole
+    // exchange flat under the same fault.
+    ExperimentConfig flat = sweepConfig(4, 2);
+    flat.faults = fault::FaultPlan::parse(spec, 7);
+    const ExperimentResult f = ScenarioRunner(flat).run(name);
+    EXPECT_LT(scoped.avgBatchMs(), f.avgBatchMs()) << name;
+  }
+}
+
+TEST(NodeFaultDomainTest, NicFlapDropsRecoverWithConservedCounters) {
+  // Calibrate a flap window inside the run from a clean pass, then
+  // check every dropped inter-node flow is recovered by exactly one
+  // retransmit or collective reissue.
+  for (const auto& name : kRetrievers) {
+    ExperimentConfig clean_cfg = sweepConfig(2, 2);
+    clean_cfg.hierarchical_a2a = true;
+    const ExperimentResult clean = ScenarioRunner(clean_cfg).run(name);
+    const double batch_ms = clean.avgBatchMs();
+    char spec[64];
+    snprintf(spec, sizeof(spec), "nic-flap:0:%.4f-%.4f", batch_ms * 0.2,
+             batch_ms * 1.2);
+    const ExperimentResult r =
+        ScenarioRunner(faultedConfig(2, 2, spec)).run(name);
+    EXPECT_EQ(r.stats.batches, clean_cfg.num_batches) << name;
+    ASSERT_TRUE(r.resilience.has_value()) << name;
+    const auto& rs = *r.resilience;
+    EXPECT_GT(rs.dropped_flows, 0) << name;
+    EXPECT_EQ(rs.dropped_flows, rs.retransmits + rs.collective_reissues)
+        << name;
+    EXPECT_GT(rs.recovery_latency, SimTime::zero()) << name;
+    // Faults cost time, never correctness: the run is slower, not wrong.
+    EXPECT_GE(r.stats.total, clean.stats.total) << name;
+  }
+}
+
+TEST(MultiNodeSimsanTest, FailoverStagingCertifiedCleanAcrossWidths) {
+  // The failover path (standby election + staging rebuild + member
+  // gathers acquiring the republished key) must be race-free at 2 and 4
+  // GPUs per node for every retriever.
+  for (const int per_node : {2, 4}) {
+    ExperimentConfig cfg =
+        faultedConfig(2, per_node, "leader-fail:0:0.0-1000000.0");
+    cfg.simsan = true;
+    for (const auto& name : kRetrievers) {
+      const ExperimentResult r = ScenarioRunner(cfg).run(name);
+      ASSERT_TRUE(r.sanitizer.has_value())
+          << name << " @" << per_node << " GPUs/node";
+      EXPECT_TRUE(r.sanitizer->clean())
+          << name << " @" << per_node << " GPUs/node\n"
+          << r.sanitizer->report();
+      ASSERT_TRUE(r.resilience.has_value()) << name;
+      EXPECT_EQ(r.resilience->staging_rebuilds,
+                name == std::string("pgas_fused") ? 0 : 1)
+          << name;
+    }
+  }
+}
+
+TEST(MultiNodeSimsanTest, FailoverStagingHoldsUnderStrictEffects) {
+  // Strict mode replays simulated-memory touches against declared
+  // footprints: the rebuild kernel and the re-routed gathers must stay
+  // inside theirs.
+  ExperimentConfig cfg =
+      faultedConfig(2, 2, "leader-fail:0:0.0-1000000.0");
+  cfg.simsan = true;
+  cfg.simsan_strict = true;
+  for (const char* name : {"nccl_collective", "pgas_fused"}) {
+    const ExperimentResult r = ScenarioRunner(cfg).run(name);
+    ASSERT_TRUE(r.sanitizer.has_value()) << name;
+    EXPECT_TRUE(r.sanitizer->clean()) << name << "\n"
+                                      << r.sanitizer->report();
+  }
+}
+
+TEST(MultiNodeSimsanTest, SeededRebuildWithoutRequietIsCaughtByName) {
+  // The seeded bug runs the rebuild's staging writes under a forked,
+  // never-joined rogue actor and skips the node-wide re-quiet: member
+  // gathers into the standby race it, and the report names the rebuild.
+  ExperimentConfig cfg =
+      faultedConfig(2, 2, "leader-fail:0:0.0-1000000.0");
+  cfg.simsan = true;
+
+  const ExperimentResult fixed = ScenarioRunner(cfg).run("nccl_collective");
+  ASSERT_TRUE(fixed.sanitizer.has_value());
+  ASSERT_TRUE(fixed.resilience.has_value());
+  ASSERT_GT(fixed.resilience->staging_rebuilds, 0);  // the bug path ran
+  EXPECT_TRUE(fixed.sanitizer->clean()) << fixed.sanitizer->report();
+
+  cfg.faults.bug_rebuild_without_requiet = true;
+  const ExperimentResult buggy = ScenarioRunner(cfg).run("nccl_collective");
+  ASSERT_TRUE(buggy.sanitizer.has_value());
+  const auto& s = *buggy.sanitizer;
+  EXPECT_FALSE(s.clean());
+  bool named = false;
+  for (const auto& v : s.violations) {
+    if (v.message.find("emb_hier_rebuild") != std::string::npos) named = true;
+  }
+  EXPECT_TRUE(named) << s.report();
 }
 
 TEST(MultiNodeSimsanTest, SeededScatterBeforeInterFlowIsFlagged) {

@@ -186,6 +186,38 @@ TEST(PgaslintCorpusTest, KernelMemEffectsCoversHierStagingKernels) {
                   .empty());
 }
 
+TEST(PgaslintCorpusTest, KernelMemEffectsCoversFailoverRebuildKernel) {
+  // The leader-failover staging rebuild (DESIGN.md §13) replays the
+  // standby leader's staging layout as a device kernel. Its writes are
+  // exactly what the members' post-failover gathers synchronize against
+  // (the rebuild release/acquire chain), so a builder that drops the
+  // declared effects silently un-orders the whole failover path.
+  const auto f = only(lint("src/emb/staging_rogue.cpp",
+                           "gpu::KernelDesc build(int node) {\n"
+                           "  gpu::KernelDesc desc;\n"
+                           "  desc.name = \"emb_hier_rebuild.node\" + "
+                           "std::to_string(node);\n"
+                           "  return desc;\n"
+                           "}\n"));
+  EXPECT_EQ(f.rule, "kernel-mem-effects");
+  EXPECT_NE(f.message.find("emb_hier_rebuild"), std::string::npos);
+
+  // The real builder's shape — slot effects pushed in a loop — passes.
+  EXPECT_TRUE(lint("src/emb/staging_rogue.cpp",
+                   "gpu::KernelDesc build(int node) {\n"
+                   "  gpu::KernelDesc desc;\n"
+                   "  desc.name = \"emb_hier_rebuild.node\" + "
+                   "std::to_string(node);\n"
+                   "  for (const auto& slot : slots) {\n"
+                   "    desc.mem_effects.push_back(\n"
+                   "        {device, slot, simsan::AccessKind::kWrite, "
+                   "\"\"});\n"
+                   "  }\n"
+                   "  return desc;\n"
+                   "}\n")
+                  .empty());
+}
+
 TEST(PgaslintCorpusTest, KernelMemEffectsFlagsComputedName) {
   const auto f = only(lint("src/emb/rogue.cpp",
                            "gpu::KernelDesc build(const std::string& name) "

@@ -748,6 +748,242 @@ TEST(ActiveSamples, PaddingIsEmptyBagsAndPrefixPreserving) {
   EXPECT_DOUBLE_EQ(stat.totalIndices(0, 2), 3 * 2.5 * 2);
 }
 
+// --- Overload-resilient admission control (DESIGN.md §13) -------------------
+
+/// Offered load far past the 2-GPU knee: without admission control the
+/// queue grows without bound and the tail blows through any SLO.
+ExperimentConfig overloadConfig() {
+  ExperimentConfig cfg = smallServingConfig();
+  cfg.serving.num_queries = 400;
+  cfg.serving.qps = 400000.0;
+  return cfg;
+}
+
+// Sustained ~2x-knee overload: the arrival phase has to outlast the
+// first SLO-breaching completion or the sliding-window controller never
+// gets a chance to shed anything (a short burst is fully admitted
+// before its backlog shows up in the completion window).
+ExperimentConfig sustainedOverloadConfig() {
+  ExperimentConfig cfg = smallServingConfig();
+  cfg.serving.num_queries = 3000;
+  cfg.serving.qps = 300000.0;
+  return cfg;
+}
+
+TEST(Admission, DisabledByDefaultAndAbsentFromResult) {
+  const ExperimentConfig cfg = smallServingConfig();
+  EXPECT_FALSE(cfg.serving.admissionEnabled());
+  const ExperimentResult r = ServingRunner(cfg).run("pgas_fused");
+  ASSERT_TRUE(r.serving.has_value());
+  EXPECT_FALSE(r.serving->admission);
+  EXPECT_EQ(r.serving->totalShed(), 0);
+  EXPECT_EQ(r.serving->deadline_misses, 0);
+  EXPECT_EQ(r.serving->blocked_arrivals, 0);
+  // The goodput rate is computed regardless (slo_ms == 0 counts every
+  // served query as good).
+  EXPECT_DOUBLE_EQ(r.serving->goodput_qps, r.serving->achieved_qps);
+}
+
+TEST(Admission, BlockPolicyCountsButServesEveryQuery) {
+  ExperimentConfig cfg = overloadConfig();
+  cfg.serving.admit_queue = 4;
+  cfg.serving.shed_policy = ShedPolicy::kBlock;
+  const ExperimentResult r = ServingRunner(cfg).run("pgas_fused");
+  ASSERT_TRUE(r.serving.has_value());
+  const ServingResult& sv = *r.serving;
+  EXPECT_TRUE(sv.admission);
+  EXPECT_GT(sv.blocked_arrivals, 0);
+  EXPECT_EQ(sv.totalShed(), 0);
+  // Blocking sheds nothing: every query is eventually served.
+  EXPECT_EQ(sv.queries, cfg.serving.num_queries);
+}
+
+TEST(Admission, ShedPoliciesDropAndConserveQueries) {
+  for (const ShedPolicy policy :
+       {ShedPolicy::kShedOldest, ShedPolicy::kShedNewest}) {
+    ExperimentConfig cfg = overloadConfig();
+    cfg.serving.admit_queue = 4;
+    cfg.serving.shed_policy = policy;
+    const ExperimentResult r = ServingRunner(cfg).run("pgas_fused");
+    ASSERT_TRUE(r.serving.has_value());
+    const ServingResult& sv = *r.serving;
+    EXPECT_GT(sv.shed_queue, 0) << formatShedPolicy(policy);
+    EXPECT_EQ(sv.blocked_arrivals, 0) << formatShedPolicy(policy);
+    // Every generated query is either served or shed, never lost.
+    EXPECT_EQ(sv.queries + sv.totalShed() + sv.deadline_misses,
+              cfg.serving.num_queries)
+        << formatShedPolicy(policy);
+    EXPECT_LT(sv.queries, cfg.serving.num_queries)
+        << formatShedPolicy(policy);
+  }
+}
+
+TEST(Admission, ShedOldestKeepsTheQueueFresherThanShedNewest) {
+  auto run = [](ShedPolicy policy) {
+    ExperimentConfig cfg = overloadConfig();
+    cfg.serving.admit_queue = 8;
+    cfg.serving.shed_policy = policy;
+    return ServingRunner(cfg).run("pgas_fused");
+  };
+  const ExperimentResult oldest = run(ShedPolicy::kShedOldest);
+  const ExperimentResult newest = run(ShedPolicy::kShedNewest);
+  ASSERT_TRUE(oldest.serving && newest.serving);
+  // Shedding the head serves fresher queries: its mean queue wait can
+  // never exceed the drop-at-the-door policy's.
+  EXPECT_LE(oldest.serving->mean_queue_ms, newest.serving->mean_queue_ms);
+}
+
+TEST(Admission, QueueDeadlineShedsStaleQueries) {
+  ExperimentConfig cfg = overloadConfig();
+  cfg.serving.query_deadline_ms = 0.5;
+  const ExperimentResult r = ServingRunner(cfg).run("pgas_fused");
+  ASSERT_TRUE(r.serving.has_value());
+  const ServingResult& sv = *r.serving;
+  EXPECT_GT(sv.deadline_misses, 0);
+  // totalShed() already folds in the deadline misses.
+  EXPECT_EQ(sv.queries + sv.totalShed(), cfg.serving.num_queries);
+  // Every query that did get served waited at most the deadline.
+  EXPECT_LE(sv.queue_latency.max(), SimTime::ms(cfg.serving.max_wait_ms) +
+                                        SimTime::ms(0.5));
+}
+
+TEST(Admission, SheddingHoldsP95UnderOverloadWhereNoSheddingViolates) {
+  // 2x-knee overload against a 2 ms SLO: without admission control the
+  // backlog grows without bound and the p95 blows through the SLO; the
+  // full admission stack (bounded queue with shed-oldest plus the
+  // sliding-window controller) keeps the served tail inside it.
+  ExperimentConfig open = sustainedOverloadConfig();
+  open.serving.slo_ms = 2.0;
+  const ExperimentResult uncontrolled =
+      ServingRunner(open).run("pgas_fused");
+  ASSERT_TRUE(uncontrolled.serving.has_value());
+  EXPECT_GT(uncontrolled.serving->p95_ms, open.serving.slo_ms);
+
+  ExperimentConfig shed = sustainedOverloadConfig();
+  shed.serving.slo_ms = 2.0;
+  shed.serving.admit_queue = 8;
+  shed.serving.shed_policy = ShedPolicy::kShedOldest;
+  shed.serving.admit_window = 50;
+  const ExperimentResult controlled = ServingRunner(shed).run("pgas_fused");
+  ASSERT_TRUE(controlled.serving.has_value());
+  const ServingResult& sv = *controlled.serving;
+  EXPECT_GT(sv.totalShed(), 0);
+  EXPECT_LE(sv.p95_ms, open.serving.slo_ms);
+  EXPECT_GT(sv.goodput_qps, uncontrolled.serving->goodput_qps);
+}
+
+TEST(Admission, OverloadControllerShedsWhenTheWindowedP95Breaches) {
+  // The controller alone (no queue bound): every breached completion
+  // window ratchets the shed fraction up, so under sustained overload it
+  // must start shedding arrivals and improve the served tail over the
+  // uncontrolled run.
+  ExperimentConfig open = sustainedOverloadConfig();
+  open.serving.slo_ms = 2.0;
+  const ExperimentResult uncontrolled =
+      ServingRunner(open).run("pgas_fused");
+
+  ExperimentConfig ctl = sustainedOverloadConfig();
+  ctl.serving.slo_ms = 2.0;
+  ctl.serving.admit_window = 25;
+  const ExperimentResult controlled = ServingRunner(ctl).run("pgas_fused");
+  ASSERT_TRUE(uncontrolled.serving && controlled.serving);
+  EXPECT_GT(controlled.serving->shed_overload, 0);
+  EXPECT_LT(controlled.serving->p95_ms, uncontrolled.serving->p95_ms);
+  EXPECT_EQ(controlled.serving->queries + controlled.serving->totalShed(),
+            ctl.serving.num_queries);
+}
+
+TEST(Admission, SameSeedIsDeterministic) {
+  ExperimentConfig cfg = overloadConfig();
+  cfg.serving.admit_queue = 8;
+  cfg.serving.shed_policy = ShedPolicy::kShedOldest;
+  cfg.serving.query_deadline_ms = 3.0;
+  cfg.serving.slo_ms = 2.0;
+  cfg.serving.admit_window = 50;
+  auto run = [&] { return ServingRunner(cfg).run("pgas_fused"); };
+  const ExperimentResult a = run();
+  const ExperimentResult b = run();
+  ASSERT_TRUE(a.serving && b.serving);
+  EXPECT_EQ(a.serving->shed_queue, b.serving->shed_queue);
+  EXPECT_EQ(a.serving->shed_overload, b.serving->shed_overload);
+  EXPECT_EQ(a.serving->deadline_misses, b.serving->deadline_misses);
+  EXPECT_EQ(a.serving->goodput_qps, b.serving->goodput_qps);
+  EXPECT_EQ(a.stats.total, b.stats.total);
+}
+
+TEST(Admission, PolicyParsingRoundTripsAndRejectsJunk) {
+  EXPECT_EQ(parseShedPolicy("block"), ShedPolicy::kBlock);
+  EXPECT_EQ(parseShedPolicy("shed-oldest"), ShedPolicy::kShedOldest);
+  EXPECT_EQ(parseShedPolicy("shed-newest"), ShedPolicy::kShedNewest);
+  for (const ShedPolicy p :
+       {ShedPolicy::kBlock, ShedPolicy::kShedOldest,
+        ShedPolicy::kShedNewest}) {
+    EXPECT_EQ(parseShedPolicy(formatShedPolicy(p)), p);
+  }
+  EXPECT_THROW(parseShedPolicy("drop-all"), Error);
+}
+
+TEST(Admission, ValidationRejectsInconsistentKnobs) {
+  {
+    ExperimentConfig cfg = smallServingConfig();
+    cfg.serving.admit_queue = -1;
+    EXPECT_THROW(cfg.validate(), Error);
+  }
+  {
+    ExperimentConfig cfg = smallServingConfig();
+    cfg.serving.query_deadline_ms = -0.5;
+    EXPECT_THROW(cfg.validate(), Error);
+  }
+  {
+    // A latency window without an SLO has nothing to control against.
+    ExperimentConfig cfg = smallServingConfig();
+    cfg.serving.admit_window = 10;
+    EXPECT_THROW(cfg.validate(), Error);
+  }
+  {
+    // Admission knobs on a closed-loop (non-serving) config are a
+    // config error, not silently ignored.
+    ExperimentConfig cfg = weakScalingConfig(2);
+    cfg.num_batches = 2;
+    cfg.serving.admit_queue = 8;
+    EXPECT_THROW(cfg.validate(), Error);
+  }
+}
+
+TEST(Admission, CsvColumnsAppearOnlyWhenArmed) {
+  const auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  auto sweep = [&](bool admission) {
+    ExperimentConfig cfg = smallServingConfig();
+    if (admission) {
+      cfg.serving.admit_queue = 8;
+      cfg.serving.shed_policy = ShedPolicy::kShedOldest;
+    }
+    ServingRunner runner(cfg);
+    trace::ServingPoint point;
+    point.arrival = formatArrivalPattern(cfg.serving.arrival);
+    point.qps = cfg.serving.qps;
+    point.runs = runner.runAll({"pgas_fused"});
+    return std::vector<trace::ServingPoint>{point};
+  };
+  const std::string path_off = testing::TempDir() + "admission_off.csv";
+  const std::string path_on = testing::TempDir() + "admission_on.csv";
+  trace::writeServingCsv(path_off, sweep(false));
+  trace::writeServingCsv(path_on, sweep(true));
+  const std::string off = read_file(path_off);
+  const std::string on = read_file(path_on);
+  // Absent-neutral: the historical schema is untouched when no run armed
+  // an admission knob; the new columns appear only when one did.
+  EXPECT_EQ(off.find("shed_queue"), std::string::npos);
+  EXPECT_EQ(off.find("goodput_qps"), std::string::npos);
+  EXPECT_NE(on.find("shed_queue"), std::string::npos);
+  EXPECT_NE(on.find("goodput_qps"), std::string::npos);
+}
+
 // --- simsan certification of the serving path ------------------------------
 
 TEST(ServingSimsan, CleanAcrossGpuCountsAndRetrievers) {
